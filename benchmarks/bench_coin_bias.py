@@ -1,0 +1,117 @@
+"""COIN-BIAS — why the paper's coin must be a *unique threshold* signature.
+
+Paper §1 on Chen–Micali [4]: a VRF-based coin is "computational security
+against an adversary that is not strongly rushing".  This benchmark makes
+the caveat quantitative.  A strongly rushing adversary that sees honest
+VRF evaluations before publishing its own steers the minimum-evaluation
+coin whenever a corrupted party holds the global minimum:
+
+    P(coin = preferred) = 1/2 + t/(4n)    (steer when: corrupt holds the
+                                           min × baseline wrong × flip right)
+
+The threshold-signature coin (paper §2.2) is immune: its value is a
+deterministic function of key material and index; withholding shares can
+only make the flip fail (and it cannot, while n - t ≥ t + 1 honest shares
+arrive).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.coin_bias import WithholdingCoinAdversary
+from repro.adversary.strategies import CrashAdversary
+from repro.analysis.report import format_table
+from repro.analysis.stats import wilson_interval
+from repro.crypto.coin import threshold_coin_program
+from repro.crypto.vrf_coin import vrf_coin_program
+
+from .conftest import run
+
+TRIALS = 300
+
+
+def vrf_factory(index):
+    def factory(ctx, _):
+        value = yield from vrf_coin_program(ctx, index, 0, 1)
+        return value
+
+    return factory
+
+
+def threshold_factory(index):
+    def factory(ctx, _):
+        value = yield from threshold_coin_program(ctx, index, 0, 1)
+        return value
+
+    return factory
+
+
+def measure(kind, attack, trials=TRIALS):
+    """Hits for the preferred bit 1, plus total steered flips.
+
+    Sessions depend only on (kind, trial) — NOT on the attack — so the
+    passive and withheld series are *paired*: the coin material is
+    identical and the attack's effect is exact, not statistical.
+    """
+    hits = 0
+    steered = 0
+    for trial in range(trials):
+        session = f"cb-{kind}-{trial}"
+        if kind == "vrf":
+            factory = vrf_factory(trial)
+        else:
+            factory = threshold_factory(trial)
+        if attack == "withhold":
+            if kind == "vrf":
+                adversary = WithholdingCoinAdversary(
+                    [3], index=trial, low=0, high=1, preferred=1, session=session
+                )
+            else:
+                adversary = CrashAdversary([3], crash_round=1)
+        else:
+            adversary = None
+        res = run(factory, [None] * 4, 1, adversary=adversary, session=session)
+        hits += next(iter(res.honest_outputs.values())) == 1
+        if attack == "withhold" and kind == "vrf":
+            steered += adversary.steered
+    return hits, steered
+
+
+def test_vrf_coin_is_biased_threshold_coin_is_not(benchmark, report_sink):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        results = {}
+        for kind in ("vrf", "threshold"):
+            for attack in ("passive", "withhold"):
+                hits, steered = measure(kind, attack)
+                low, high = wilson_interval(hits, TRIALS)
+                results[(kind, attack)] = (hits, steered)
+                rows.append(
+                    [kind, attack, f"{hits / TRIALS:.4f}",
+                     f"[{low:.4f}, {high:.4f}]", steered]
+                )
+        # Paired exactness: every steered flip converts a miss into a hit.
+        vrf_passive, _ = results[("vrf", "passive")]
+        vrf_withheld, steered = results[("vrf", "withhold")]
+        assert steered > 0, "the attack must find steerable flips (~T/16)"
+        assert vrf_withheld == vrf_passive + steered
+        # Expected steering rate t/(4n) = 1/16: allow wide slack.
+        assert TRIALS / 40 <= steered <= TRIALS / 8
+        # The threshold coin cannot move: withholding = share loss only.
+        th_passive, _ = results[("threshold", "passive")]
+        th_withheld, _ = results[("threshold", "withhold")]
+        assert th_withheld == th_passive
+        return True
+
+    assert benchmark(sweep)
+    report_sink.append(
+        "\nCOIN-BIAS  P(coin = adversary's preferred bit), paired flips "
+        f"({TRIALS} per cell; n=4, t=1; theory for biased VRF: "
+        "1/2 + t/4n = 0.5625)\n"
+        + format_table(
+            ["coin", "adversary", "rate", "95% CI", "steered"], rows
+        )
+    )

@@ -1,0 +1,83 @@
+"""BACKENDS — protocol cost under ideal vs real cryptography.
+
+The paper analyses its protocols against idealized signatures (§2.2) and
+the reproduction defaults to the matching idealized backend.  This
+benchmark runs the same BA over real Shoup threshold RSA + RSA-FDH and
+reports the wall-time split between one-time key dealing and the protocol
+itself — evidence that the substitution (DESIGN.md) changes performance,
+not behaviour: rounds, message counts and outcomes are identical.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.ba import ba_one_half_program, rounds_one_half
+from repro.crypto.keys import CryptoSuite
+from repro.network.simulator import SyncSimulator
+
+KAPPA = 4
+N, T = 5, 2
+INPUTS = [1, 0, 1, 0, 1]
+
+
+def run_with(crypto, session):
+    simulator = SyncSimulator(
+        num_parties=N, max_faulty=T, crypto=crypto, seed=3, session=session
+    )
+    started = time.perf_counter()
+    result = simulator.run(
+        lambda ctx, bit: ba_one_half_program(ctx, bit, KAPPA), INPUTS
+    )
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_backends_agree_on_everything_but_speed(benchmark, report_sink):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        outcomes = {}
+        for backend in ("ideal", "real"):
+            started = time.perf_counter()
+            if backend == "ideal":
+                crypto = CryptoSuite.ideal(N, T, random.Random(41))
+            else:
+                crypto = CryptoSuite.real(N, T, random.Random(41), bits=128)
+            keygen = time.perf_counter() - started
+            result, elapsed = run_with(crypto, f"bk-{backend}")
+            assert result.honest_agree()
+            assert result.metrics.rounds == rounds_one_half(KAPPA)
+            outcomes[backend] = (
+                result.outputs,
+                result.metrics.rounds,
+                result.metrics.honest_messages,
+            )
+            rows.append(
+                [
+                    backend,
+                    f"{keygen * 1e3:.1f}ms",
+                    f"{elapsed * 1e3:.1f}ms",
+                    result.metrics.rounds,
+                    result.metrics.honest_messages,
+                ]
+            )
+        # Identical protocol-level behaviour (outputs may differ: the coin
+        # values are functions of the key material — but rounds/messages
+        # must match exactly).
+        assert outcomes["ideal"][1:] == outcomes["real"][1:]
+        return True
+
+    assert benchmark(sweep)
+    report_sink.append(
+        f"\nBACKENDS  BA t<n/2 (kappa={KAPPA}, n={N}) over both crypto "
+        "backends\n"
+        + format_table(
+            ["backend", "key dealing", "protocol", "rounds", "messages"], rows
+        )
+    )

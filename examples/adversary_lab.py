@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Adversary lab: every attack in the repository vs both BA protocols.
+
+Measures agreement/validity outcomes of the paper's two protocols against
+the full strategy zoo — passive, crash, malformed flooding, generic
+equivocation, adaptive mid-round corruption, coin eavesdropping, and the
+worst-case straddle attacks that realize Theorem 1's 1/(s-1) bound.
+
+Run:  python examples/adversary_lab.py
+"""
+
+from repro import (
+    CrashAdversary,
+    EavesdropCoinAdversary,
+    LastRoundCorruptionAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+    ba_one_half_program,
+    ba_one_third_program,
+)
+from repro.adversary.straddle import (
+    LinearHalfStraddleAdversary,
+    OneThirdStraddleAdversary,
+)
+from repro.analysis.experiments import (
+    ExperimentSetup,
+    disagreement_rate,
+    run_trials,
+)
+from repro.analysis.report import format_table
+
+KAPPA = 4
+TRIALS = 120
+
+
+def measure(setup, factory, inputs, adversary_factory):
+    results = run_trials(
+        setup, factory, inputs, trials=TRIALS,
+        adversary_factory=adversary_factory, seed=11,
+    )
+    return disagreement_rate(results)
+
+
+def main() -> None:
+    bound = 2.0 ** -KAPPA
+    rows = []
+
+    # --- t < n/3: n = 4, one corruption --------------------------------
+    setup13 = ExperimentSetup(num_parties=4, max_faulty=1)
+    ba13 = lambda c, b: ba_one_third_program(c, b, kappa=KAPPA)
+    split13 = [0, 0, 1, 1]
+    for name, adversary_factory in (
+        ("passive", lambda: None),
+        ("crash@r2", lambda: CrashAdversary([3], crash_round=2)),
+        ("malformed flood", lambda: MalformedAdversary([3])),
+        ("two-face equivocation", lambda: TwoFaceAdversary([3], factory=ba13)),
+        ("adaptive strike@r3", lambda: LastRoundCorruptionAdversary(3, 3)),
+        ("straddle (worst case)", lambda: OneThirdStraddleAdversary([3])),
+    ):
+        rate = measure(setup13, ba13, split13, adversary_factory)
+        rows.append(["t<n/3", name, f"{rate:.4f}", f"{bound:.4f}"])
+
+    # --- t < n/2: n = 5, two corruptions --------------------------------
+    setup12 = ExperimentSetup(num_parties=5, max_faulty=2)
+    ba12 = lambda c, b: ba_one_half_program(c, b, kappa=KAPPA)
+    split12 = [0, 0, 1, 1, 1]
+    for name, adversary_factory in (
+        ("passive", lambda: None),
+        ("crash@r1 x2", lambda: CrashAdversary([3, 4], crash_round=1)),
+        ("malformed flood", lambda: MalformedAdversary([3, 4])),
+        ("two-face equivocation", lambda: TwoFaceAdversary([3, 4], factory=ba12)),
+        ("coin eavesdropper", lambda: EavesdropCoinAdversary([4], 1, 4)),
+        ("straddle (worst case)", lambda: LinearHalfStraddleAdversary([3, 4])),
+    ):
+        rate = measure(setup12, ba12, split12, adversary_factory)
+        rows.append(["t<n/2", name, f"{rate:.4f}", f"{bound:.4f}"])
+
+    print(f"disagreement rates over {TRIALS} trials, kappa={KAPPA} "
+          f"(bound 2^-{KAPPA} = {bound:.4f})\n")
+    print(format_table(["protocol", "adversary", "measured", "bound"], rows))
+    print(
+        "\nreading: only the protocol-aware straddle attacks approach the "
+        "bound; everything else does strictly worse, and none exceeds it."
+    )
+
+    for row in rows:
+        assert float(row[2]) <= bound + 0.08, row  # 4-sigma-ish slack
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Three common coins, one attack: why the paper picks threshold signatures.
+
+Runs the repository's three 1-round coin constructions —
+
+* the **threshold-signature coin** (paper §2.2: hash of the unique
+  (t+1)-of-n signature on the coin index),
+* the **ideal coin** (the abstraction the round-complexity statements
+  assume), and
+* the **VRF minimum coin** (Chen–Micali style; paper §1 notes it is only
+  secure against adversaries that are *not* strongly rushing)
+
+— and then mounts the strongly-rushing withholding attack on the last
+one, reporting the measured bias next to the theoretical ``1/2 + t/4n``.
+
+Run:  python examples/coin_flavors.py
+"""
+
+import random
+from collections import Counter
+
+from repro.adversary.coin_bias import WithholdingCoinAdversary
+from repro.analysis.report import format_table
+from repro.crypto.coin import IdealCoin, ideal_coin_program, threshold_coin_program
+from repro.crypto.vrf_coin import vrf_coin_program
+from repro.network.simulator import run_protocol
+
+TRIALS = 200
+N, T = 4, 1
+
+
+def flip(kind, trial, adversary=None):
+    session = f"coins-{kind}-{trial}"
+    if kind == "threshold":
+        def factory(ctx, _):
+            value = yield from threshold_coin_program(ctx, trial, 0, 1)
+            return value
+    elif kind == "ideal":
+        coin = IdealCoin(random.Random(trial))
+
+        def factory(ctx, _):
+            value = yield from ideal_coin_program(ctx, coin, trial, 0, 1)
+            return value
+    else:
+        def factory(ctx, _):
+            value = yield from vrf_coin_program(ctx, trial, 0, 1)
+            return value
+
+    result = run_protocol(
+        factory, [None] * N, T, adversary=adversary, seed=trial, session=session
+    )
+    values = set(result.honest_outputs.values())
+    assert len(values) == 1, "coins must be common"
+    return values.pop()
+
+
+def main() -> None:
+    rows = []
+    for kind in ("threshold", "ideal", "vrf"):
+        ones = sum(flip(kind, trial) for trial in range(TRIALS))
+        rows.append([kind, "passive", f"{ones / TRIALS:.3f}"])
+    steered_total = 0
+    ones = 0
+    for trial in range(TRIALS):
+        adversary = WithholdingCoinAdversary(
+            [3], index=trial, low=0, high=1, preferred=1,
+            session=f"coins-vrf-{trial}",
+        )
+        ones += flip("vrf", trial, adversary)
+        steered_total += adversary.steered
+    rows.append(["vrf", "withholding (rushing)", f"{ones / TRIALS:.3f}"])
+
+    print(f"P(coin = 1) over {TRIALS} flips, n={N}, t={T}\n")
+    print(format_table(["coin", "adversary", "rate"], rows))
+    print(
+        f"\nwithholding steered {steered_total}/{TRIALS} flips "
+        f"(theory t/4n = {T / (4 * N):.4f}); the threshold coin cannot be "
+        "steered at all — its value is fixed by the key material."
+    )
+
+
+if __name__ == "__main__":
+    main()

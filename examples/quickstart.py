@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: fixed-round Byzantine Agreement in κ + 1 rounds.
+
+Runs the paper's headline protocol (t < n/3, Corollary 2) on a small
+simulated network: 4 parties, 1 Byzantine, split inputs, target error
+2^-16 — reached in 17 communication rounds where fixed-round
+Feldman–Micali would need 32.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ba_one_third_program, run_protocol
+from repro.core.ba import rounds_one_third
+from repro.core.feldman_micali import rounds_feldman_micali
+
+KAPPA = 16  # target error 2^-16
+
+
+def main() -> None:
+    inputs = [1, 0, 1, 0]
+    result = run_protocol(
+        lambda ctx, bit: ba_one_third_program(ctx, bit, kappa=KAPPA),
+        inputs=inputs,
+        max_faulty=1,
+        seed=7,
+    )
+
+    print(f"inputs            : {inputs}")
+    print(f"outputs           : {result.outputs}")
+    print(f"agreement reached : {result.honest_agree()}")
+    print(f"rounds used       : {result.metrics.rounds} "
+          f"(theory: kappa + 1 = {rounds_one_third(KAPPA)})")
+    print(f"FM baseline needs : {rounds_feldman_micali(KAPPA)} rounds "
+          f"for the same 2^-{KAPPA} error")
+    print(f"messages sent     : {result.metrics.total_messages}")
+    print(f"signatures sent   : {result.metrics.total_signatures} "
+          "(the Proxcensus itself is signature-free; these are coin shares)")
+
+    assert result.honest_agree()
+    assert result.metrics.rounds == rounds_one_third(KAPPA)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""State-machine replication: a totally-ordered log from sequential BA.
+
+The paper's §1 argues fixed-round BA is the right building block for
+larger protocols because all parties finish each instance in the same
+round — so instances compose back to back with zero glue.  This example
+runs a 4-slot replicated command log over five replicas (one crashed, one
+equivocating) and shows (a) identical logs everywhere and (b) perfectly
+aligned per-replica finish rounds.
+
+Run:  python examples/replicated_ledger.py
+"""
+
+from repro.adversary.base import Adversary, RoundDecision
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.applications.ledger import NO_OP, replicated_log_program, rounds_per_slot
+from repro.network.simulator import run_protocol
+
+SLOTS = 4
+KAPPA = 8
+
+
+class CrashPlusEquivocate(Adversary):
+    def __init__(self, factory):
+        self._crash = CrashAdversary(victims=[5], crash_round=4)
+        self._two_face = TwoFaceAdversary(
+            victims=[6], factory=factory,
+            low_input=["evil_1"], high_input=["evil_2"],
+        )
+
+    def setup(self, env):
+        super().setup(env)
+        self._crash.setup(env)
+        self._two_face.setup(env)
+
+    def initial_corruptions(self):
+        return {5, 6}
+
+    def decide(self, view):
+        merged = RoundDecision()
+        merged.replace.update(self._crash.decide(view).replace)
+        merged.replace.update(self._two_face.decide(view).replace)
+        return merged
+
+    def observe(self, round_index, inboxes):
+        self._two_face.observe(round_index, inboxes)
+
+
+def main() -> None:
+    program = lambda ctx, cmds: replicated_log_program(
+        ctx, cmds, num_slots=SLOTS, kappa=KAPPA, regime="one_third",
+        proposer="rotating",
+    )
+    queues = [
+        ["deposit:42", "withdraw:7"],
+        ["deposit:42", "transfer:3"],
+        ["deposit:42", "withdraw:7"],
+        ["deposit:42", "transfer:3"],
+        ["deposit:42", "withdraw:7"],
+        ["evil_1"],
+        ["evil_2"],
+    ]
+    result = run_protocol(
+        program, queues, max_faulty=2,
+        adversary=CrashPlusEquivocate(program), seed=5, session="ledger",
+    )
+
+    print(f"replicas          : 7 (replica 5 crashes, replica 6 equivocates)")
+    print(f"slots             : {SLOTS}, rotating leaders "
+          f"({rounds_per_slot(KAPPA, 'one_third', 'rotating')} rounds each)")
+    reference = None
+    for pid in result.honest_parties:
+        log = [c if c != NO_OP else "<no-op>" for c in result.outputs[pid]]
+        print(f"replica {pid} log     : {log}")
+        reference = reference or log
+        assert log == reference, "fork detected!"
+    spreads = {result.finish_rounds[p] for p in result.honest_parties}
+    print(f"finish rounds     : {sorted(spreads)} "
+          "(all equal -> slots composed with zero resynchronization)")
+    assert len(spreads) == 1
+    print("no forks; the log is total-ordered and identical at every "
+          "honest replica")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A guided, fully-traced walk through one generalized FM iteration.
+
+Runs a single Π_iter^5 (3-round Prox_5 with the coin in round 3, t < n/2)
+with the message transcript recorder attached, then prints the complete
+round-by-round timeline: input shares in round 1, quorum signatures and
+ω-shares in round 2, the parallel prox ∥ coin envelope in round 3 — the
+paper's §3.2 "expansion / coin-flip / extraction" pipeline made visible.
+
+Run:  python examples/traced_iteration.py
+"""
+
+from repro.core.extraction import extract
+from repro.core.iteration import pi_iter_program, threshold_coin_factory
+from repro.crypto.keys import CryptoSuite
+from repro.network.simulator import SyncSimulator
+from repro.network.trace import Tracer
+from repro.proxcensus.linear_half import prox_linear_half_program
+
+import random
+
+
+def iteration_program(ctx, bit):
+    result = yield from pi_iter_program(
+        ctx,
+        bit,
+        slots=5,
+        prox_factory=lambda c, b: prox_linear_half_program(c, b, rounds=3),
+        prox_rounds=3,
+        coin_factory=threshold_coin_factory(),
+        coin_index=("demo", 0),
+        overlap_coin=True,
+    )
+    return result
+
+
+def main() -> None:
+    inputs = [0, 1, 0, 1, 1]
+    tracer = Tracer()
+    simulator = SyncSimulator(
+        num_parties=5,
+        max_faulty=2,
+        crypto=CryptoSuite.ideal(5, 2, random.Random(42)),
+        seed=4,
+        session="traced",
+        tracer=tracer,
+    )
+    result = simulator.run(iteration_program, inputs)
+
+    print("one generalized iteration: Prox_5 (3 rounds) + coin ∥ round 3\n")
+    print(f"inputs : {inputs}")
+    print(f"outputs: {result.outputs}  (agreement: {result.honest_agree()})")
+    print(f"rounds : {result.metrics.rounds}\n")
+    print(tracer.render())
+    print(
+        "\nhow to read round 3: every payload is the parallel envelope "
+        "∥{coin: …, prox: …} — the coin share travels in the same round as "
+        "the final Proxcensus flood, which is why the iteration costs 3 "
+        "rounds, not 4."
+    )
+    print(
+        "\nextraction refresher (s=5, coin ∈ [1,4]): "
+        + ", ".join(
+            f"f(b=1,g=2,c={c})={extract(1, 2, c, 5)}" for c in range(1, 5)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

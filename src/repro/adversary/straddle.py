@@ -1,0 +1,238 @@
+"""Worst-case "straddle" adversaries that realize Theorem 1's bound.
+
+Theorem 1 says one generalized iteration fails with probability *at most*
+``1/(s-1)``: the adversary's best play is to park the honest parties on
+two adjacent slots and pray the coin lands exactly on the boundary.  The
+generic :class:`~repro.adversary.strategies.TwoFaceAdversary` maintains
+such a straddle for ``s = 3`` but loses it under iterated expansion, so
+measured failure rates collapse to ~0 for larger ``s`` — far below the
+bound.  The two adversaries here are protocol-aware and *keep* the
+straddle for the whole execution, which makes the measured per-iteration
+failure match ``1/(s-1)`` almost exactly (benchmarks/bench_error_probability.py):
+
+* :class:`OneThirdStraddleAdversary` attacks the unsigned ``Prox_{2^r+1}``
+  expansion (t < n/3): each round it mirrors the *leftmost* honest echo to
+  a designated "down" recipient and the *rightmost* honest echo to
+  everyone else, so one honest party keeps satisfying the band condition
+  one slot away from the rest.
+
+* :class:`LinearHalfStraddleAdversary` attacks the 3-round ``Prox_5`` of
+  Lemma 3 (t < n/2) inside the iterated BA: by scheduling its signature
+  shares per recipient it hands one honest 0-voter the full
+  ``(Σ, Ω, no-other)`` package for grade 1 while feeding the remaining
+  honest parties conflicting quorum signatures that cap them at grade 0 —
+  the (0,1)/(⊥,0) adjacency, split by exactly one of the four coin values.
+
+Both adversaries only use legal powers: they are rushing (they read honest
+round-``r`` traffic before sending), they sign with corrupted keys only,
+and the quorum signature they forge *for value 1* legitimately contains an
+observed honest share plus their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..network.messages import PARALLEL_KEY, Outbox
+from .base import Adversary, AdversaryEnv, RoundDecision, RoundView
+
+__all__ = ["OneThirdStraddleAdversary", "LinearHalfStraddleAdversary"]
+
+
+class OneThirdStraddleAdversary(Adversary):
+    """Keeps honest parties straddling one slot boundary in Prox_{2^r+1}.
+
+    ``down_group`` (default: the single lowest non-victim id) receives the
+    leftmost honest echo each round; everyone else the rightmost.  For
+    n = 4, t = 1 with split honest inputs this maintains a perfect
+    adjacent straddle through every expansion round, so only the boundary
+    coin value reunites the parties.
+    """
+
+    def __init__(self, victims, down_group: Optional[Set[int]] = None) -> None:
+        self.victims = list(victims)
+        self.down_group = down_group
+
+    def setup(self, env: AdversaryEnv) -> None:
+        super().setup(env)
+        if self.down_group is None:
+            honest = [p for p in range(env.num_parties) if p not in self.victims]
+            self.down_group = {honest[0]}
+
+    def initial_corruptions(self) -> Set[int]:
+        return set(self.victims)
+
+    def decide(self, view: RoundView) -> RoundDecision:
+        echoes = self._honest_echoes(view)
+        if not echoes:
+            return RoundDecision(replace={pid: None for pid in self.victims})
+        down_payload = min(echoes, key=self._slot_key)
+        up_payload = max(echoes, key=self._slot_key)
+        replace: Dict[int, Outbox] = {}
+        for pid in self.victims:
+            replace[pid] = {
+                recipient: {
+                    "prox13": down_payload
+                    if recipient in self.down_group
+                    else up_payload
+                }
+                for recipient in range(self.env.num_parties)
+            }
+        return RoundDecision(replace=replace)
+
+    def _honest_echoes(self, view: RoundView) -> List[Tuple[Any, int]]:
+        echoes = []
+        for sender, recipients in view.outboxes.items():
+            if sender in view.corrupted:
+                continue
+            for payload in recipients.values():
+                if isinstance(payload, dict) and "prox13" in payload:
+                    pair = payload["prox13"]
+                    if isinstance(pair, tuple) and len(pair) == 2:
+                        echoes.append(pair)
+                break  # broadcast: same payload to everyone
+        return echoes
+
+    @staticmethod
+    def _slot_key(pair: Tuple[Any, int]):
+        value, grade = pair
+        direction = 1 if value == 1 else -1
+        return (direction * grade, 1 if value == 1 else 0)
+
+
+class LinearHalfStraddleAdversary(Adversary):
+    """Realizes the 1/4 failure bound against the iterated Prox_5 BA.
+
+    Designed for the t < n/2 protocol of Corollary 2 (3-round Prox_5
+    iterations, coin parallel to round 3) with ``n - 2t >= 1`` honest
+    voters on each value.  Per iteration, with honest parties X (a voter
+    of some value ``v``), and Y/Z (the rest):
+
+    * round 1 — victims send σ-shares on ``v`` to X only; X alone forms
+      ``Σ_v``.  (Rushing: they also record every honest share.)
+    * round 2 — victims send ω-shares on ``v`` to X only (X completes
+      ``Ω_v``), and send ``Σ_w`` for the opposite honest value ``w`` —
+      combined from an observed honest share plus their own — to everyone
+      *except* X.
+    * round 3 — victims send ``Σ_w`` to X (too late for X's grade-1
+      "no other value by round 2" deadline, but early enough to kill
+      grade 2's "no other value by round 3").
+
+    Result: X outputs ``(v, 1)``, the others ``(⊥, 0)`` — adjacent slots,
+    split by exactly one of the s - 1 = 4 coin values.
+    """
+
+    def __init__(self, victims, iteration_rounds: int = 3) -> None:
+        self.victims = list(victims)
+        self.iteration_rounds = iteration_rounds
+        self._iteration_state: Dict[int, Dict[str, Any]] = {}
+
+    def initial_corruptions(self) -> Set[int]:
+        return set(self.victims)
+
+    # -- session bookkeeping -------------------------------------------
+
+    def _session(self, iteration: int) -> str:
+        return f"{self.env.session}/iter{iteration}"
+
+    def _sigma_message(self, iteration: int, value: Any):
+        return ("plh", self._session(iteration), "sigma", value)
+
+    def _omega_message(self, iteration: int, value: Any):
+        return ("plh", self._session(iteration), "omega", value)
+
+    # -- the attack ------------------------------------------------------
+
+    def decide(self, view: RoundView) -> RoundDecision:
+        iteration = (view.round_index - 1) // self.iteration_rounds
+        phase = (view.round_index - 1) % self.iteration_rounds + 1
+        state = self._iteration_state.setdefault(iteration, {})
+        scheme = self.env.crypto.quorum
+        n = self.env.num_parties
+        replace: Dict[int, Outbox] = {}
+
+        if phase == 1:
+            # Rushing: read every honest round-1 share, pick the straddle
+            # roles for this iteration.
+            votes: Dict[int, Tuple[Any, Any]] = {}
+            for sender, recipients in view.outboxes.items():
+                if sender in view.corrupted:
+                    continue
+                for payload in recipients.values():
+                    body = payload.get("plh") if isinstance(payload, dict) else None
+                    if isinstance(body, dict) and "value" in body:
+                        votes[sender] = (body["value"], body.get("share"))
+                    break
+            state["votes"] = votes
+            values = {v for v, _ in votes.values()}
+            if len(values) < 2:
+                # Pre-agreement: validity is unbreakable; stay silent.
+                for pid in self.victims:
+                    replace[pid] = None
+                return RoundDecision(replace=replace)
+            target_value = votes[min(votes)][0]
+            state["x"] = min(p for p, (v, _) in votes.items() if v == target_value)
+            state["v"] = target_value
+            state["w"] = next(
+                v for p, (v, _) in sorted(votes.items()) if v != target_value
+            )
+            x = state["x"]
+            for pid in self.victims:
+                share = scheme.sign_share(pid, self._sigma_message(iteration, target_value))
+                replace[pid] = {
+                    x: {"plh": {"value": target_value, "share": share}}
+                }
+            return RoundDecision(replace=replace)
+
+        if "x" not in state:
+            for pid in self.victims:
+                replace[pid] = None
+            return RoundDecision(replace=replace)
+
+        x, v, w = state["x"], state["v"], state["w"]
+        if phase == 2:
+            # Combine Σ_w from an observed honest share plus our own.
+            honest_w = [
+                (p, share)
+                for p, (value, share) in state["votes"].items()
+                if value == w
+            ]
+            sigma_w = scheme.try_combine(
+                honest_w
+                + [
+                    (pid, scheme.sign_share(pid, self._sigma_message(iteration, w)))
+                    for pid in self.victims
+                ],
+                self._sigma_message(iteration, w),
+            )
+            state["sigma_w"] = sigma_w
+            for pid in self.victims:
+                outbox: Dict[int, Any] = {}
+                omega_share = scheme.sign_share(pid, self._omega_message(iteration, v))
+                outbox[x] = {"plh": {"sigmas": [], "omegas": [],
+                                     "omega_share": (v, omega_share)}}
+                if sigma_w is not None:
+                    for recipient in range(n):
+                        if recipient == x or recipient in self.victims:
+                            continue
+                        outbox[recipient] = {
+                            "plh": {"sigmas": [(w, sigma_w)], "omegas": []}
+                        }
+                replace[pid] = outbox
+            return RoundDecision(replace=replace)
+
+        # phase 3: hand X the conflicting Σ_w — wrapped like honest round-3
+        # traffic (parallel envelope: prox ∥ coin).
+        sigma_w = state.get("sigma_w")
+        for pid in self.victims:
+            if sigma_w is None:
+                replace[pid] = None
+                continue
+            replace[pid] = {
+                x: {
+                    PARALLEL_KEY: {
+                        "prox": {"plh": {"sigmas": [(w, sigma_w)], "omegas": []}}
+                    }
+                }
+            }
+        return RoundDecision(replace=replace)

@@ -1,0 +1,150 @@
+"""Monte-Carlo experiment drivers (seeded, deterministic).
+
+These are the measurement harnesses behind the benchmarks: they run real
+simulated executions and aggregate rounds / messages / signatures /
+agreement outcomes.  Two details matter for sound measurements:
+
+* key material is dealt **once** per setup and reused across trials — key
+  generation must not pollute protocol measurements; and
+* every trial gets a **distinct session tag**.  Coin values are
+  deterministic functions of (key material, session, index) — reusing the
+  session would replay identical coins across trials and silently destroy
+  the Monte-Carlo variance.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..adversary.base import Adversary
+from ..crypto.keys import CryptoSuite
+from ..network.party import ProgramFactory
+from ..network.simulator import ExecutionResult, SyncSimulator
+from ..proxcensus.base import slot_index
+
+__all__ = [
+    "ExperimentSetup",
+    "run_trials",
+    "disagreement_rate",
+    "measure_execution",
+    "slot_occupancy",
+]
+
+# Builds a fresh adversary per trial (adversaries are stateful) — or None
+# for a passive run.
+AdversaryFactory = Callable[[], Optional[Adversary]]
+
+
+@dataclass
+class ExperimentSetup:
+    """A reusable (n, t, dealt keys) configuration for repeated trials."""
+
+    num_parties: int
+    max_faulty: int
+    seed: int = 0
+    crypto: Optional[CryptoSuite] = None
+
+    def __post_init__(self) -> None:
+        if self.crypto is None:
+            self.crypto = CryptoSuite.ideal(
+                self.num_parties, self.max_faulty, random.Random(self.seed + 0x5E7)
+            )
+
+    def run(
+        self,
+        factory: ProgramFactory,
+        inputs: Sequence[Any],
+        adversary: Optional[Adversary] = None,
+        seed: int = 0,
+        session: str = "exp",
+    ) -> ExecutionResult:
+        """Run one execution on this setup's dealt keys."""
+        simulator = SyncSimulator(
+            num_parties=self.num_parties,
+            max_faulty=self.max_faulty,
+            crypto=self.crypto,
+            adversary=adversary,
+            seed=seed,
+            session=session,
+        )
+        return simulator.run(factory, inputs)
+
+
+def run_trials(
+    setup: ExperimentSetup,
+    factory: ProgramFactory,
+    inputs: Sequence[Any],
+    trials: int,
+    adversary_factory: Optional[AdversaryFactory] = None,
+    seed: int = 0,
+) -> List[ExecutionResult]:
+    """Run ``trials`` executions with per-trial sessions and seeds."""
+    results = []
+    for trial in range(trials):
+        adversary = adversary_factory() if adversary_factory else None
+        results.append(
+            setup.run(
+                factory,
+                inputs,
+                adversary=adversary,
+                seed=seed * 1_000_003 + trial,
+                session=f"exp{seed}/{trial}",
+            )
+        )
+    return results
+
+
+def disagreement_rate(results: Sequence[ExecutionResult]) -> float:
+    """Fraction of executions whose honest parties did not all agree."""
+    if not results:
+        raise ValueError("no results")
+    failures = sum(1 for result in results if not result.honest_agree())
+    return failures / len(results)
+
+
+def measure_execution(
+    setup: ExperimentSetup,
+    factory: ProgramFactory,
+    inputs: Sequence[Any],
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Rounds / message / signature counts of a single execution."""
+    result = setup.run(factory, inputs, adversary=adversary, seed=seed)
+    return {
+        "rounds": result.metrics.rounds,
+        "honest_messages": result.metrics.honest_messages,
+        "total_messages": result.metrics.total_messages,
+        "honest_signatures": result.metrics.honest_signatures,
+        "total_signatures": result.metrics.total_signatures,
+    }
+
+
+def slot_occupancy(
+    setup: ExperimentSetup,
+    prox_factory: ProgramFactory,
+    slots: int,
+    inputs: Sequence[Any],
+    trials: int,
+    adversary_factory: Optional[AdversaryFactory] = None,
+    seed: int = 0,
+) -> Counter:
+    """Histogram of honest slot positions over many Proxcensus runs.
+
+    Used to reproduce Fig. 1: honest outputs always occupy at most two
+    *adjacent* positions per execution; aggregated counts show where the
+    adversary manages to push them.
+    """
+    occupancy: Counter = Counter()
+    for result in run_trials(
+        setup, prox_factory, inputs, trials, adversary_factory, seed
+    ):
+        for output in result.honest_outputs.values():
+            value, grade = output
+            if value not in (0, 1):
+                value, grade = 0, 0
+            occupancy[slot_index(value, grade, slots)] += 1
+    return occupancy

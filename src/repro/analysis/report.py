@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmarks and examples.
+
+No third-party table library is available offline, and the output must be
+diff-stable (it is captured into EXPERIMENTS.md), so this is a tiny,
+deterministic fixed-width renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_matrix"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as a fixed-width ASCII table with a header rule."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(value))
+            else:
+                widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(value.rjust(widths[i]) for i, value in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    cells: Sequence[Sequence[Any]],
+    corner: str = "",
+) -> str:
+    """Render a labelled matrix (used for the paper's condition tables)."""
+    headers = [corner] + list(column_labels)
+    rows = [[label] + list(row) for label, row in zip(row_labels, cells)]
+    return format_table(headers, rows)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

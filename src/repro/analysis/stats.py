@@ -1,0 +1,50 @@
+"""Small statistics helpers for Monte-Carlo measurements.
+
+The error-probability experiments estimate Bernoulli rates from a few
+hundred trials; the benchmarks and EXPERIMENTS.md report Wilson score
+intervals so "measured ≈ bound" claims carry explicit uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = ["wilson_interval", "within_interval", "format_rate"]
+
+_Z95 = 1.959963984540054  # 95% two-sided normal quantile
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = _Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at rates near 0 or 1 —
+    which is exactly where our failure probabilities live.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not (0 <= successes <= trials):
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denominator = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def within_interval(bound: float, successes: int, trials: int) -> bool:
+    """Is ``bound`` inside the 95% Wilson interval of the estimate?"""
+    low, high = wilson_interval(successes, trials)
+    return low <= bound <= high
+
+
+def format_rate(successes: int, trials: int) -> str:
+    """``"0.2500 [0.2031, 0.3034]"`` — estimate with 95% interval."""
+    low, high = wilson_interval(successes, trials)
+    return f"{successes / trials:.4f} [{low:.4f}, {high:.4f}]"

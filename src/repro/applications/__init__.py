@@ -1,0 +1,5 @@
+"""Application-level constructions built on the BA core."""
+
+from .ledger import NO_OP, replicated_log_program, rounds_per_slot
+
+__all__ = ["NO_OP", "replicated_log_program", "rounds_per_slot"]

@@ -1,0 +1,317 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``run``
+    Execute one protocol on a simulated network and print the outcome
+    (optionally with a full message trace and an adversary attached).
+``compare``
+    The §3.5 efficiency comparison, measured live for chosen κ values.
+``tables``
+    Regenerate the paper's condition tables / extraction figure.
+``error-sweep``
+    Monte-Carlo disagreement rates vs the 2^-κ bound under the worst-case
+    straddle adversaries.
+
+Examples::
+
+    python -m repro run --protocol one_third --kappa 8 --inputs 1,0,1,0 --t 1
+    python -m repro run --protocol one_half --kappa 4 --inputs 1,0,1,0,1 \\
+        --t 2 --adversary straddle --trace
+    python -m repro compare --kappas 4,8,16,32
+    python -m repro tables --which table2
+    python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .adversary.base import Adversary
+from .adversary.straddle import (
+    LinearHalfStraddleAdversary,
+    OneThirdStraddleAdversary,
+)
+from .adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from .analysis.experiments import ExperimentSetup, disagreement_rate, run_trials
+from .analysis.report import format_table
+from .analysis.tables import render_fig3, render_table1, render_table2
+from .analysis.theory import rounds_for_error
+from .core.ba import ba_one_half_program, ba_one_third_program
+from .core.dolev_strong import dolev_strong_ba_program
+from .core.feldman_micali import feldman_micali_program
+from .core.micali_vaikuntanathan import micali_vaikuntanathan_program
+from .crypto.keys import CryptoSuite
+from .network.simulator import SyncSimulator
+from .network.trace import Tracer
+
+__all__ = ["main"]
+
+PROTOCOLS = {
+    "one_third": (ba_one_third_program, "n/3"),
+    "one_half": (ba_one_half_program, "n/2"),
+    "feldman_micali": (feldman_micali_program, "n/3"),
+    "micali_vaikuntanathan": (micali_vaikuntanathan_program, "n/2"),
+}
+
+
+def _parse_int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+
+
+def _build_adversary(name: str, victims: List[int], factory) -> Optional[Adversary]:
+    if name == "none":
+        return None
+    if name == "crash":
+        return CrashAdversary(victims, crash_round=2)
+    if name == "malformed":
+        return MalformedAdversary(victims)
+    if name == "two_face":
+        return TwoFaceAdversary(victims, factory=factory)
+    if name == "straddle13":
+        return OneThirdStraddleAdversary(victims)
+    if name == "straddle12":
+        return LinearHalfStraddleAdversary(victims)
+    raise argparse.ArgumentTypeError(f"unknown adversary {name!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.protocol == "dolev_strong":
+        factory = lambda ctx, v: dolev_strong_ba_program(ctx, v)
+    else:
+        program, _regime = PROTOCOLS[args.protocol]
+        factory = lambda ctx, b: program(ctx, b, args.kappa)
+    inputs = args.inputs
+    n, t = len(inputs), args.t
+    if args.adversary == "straddle":
+        args.adversary = "straddle13" if args.protocol == "one_third" else "straddle12"
+    victims = args.victims or list(range(n - t, n))
+    adversary = _build_adversary(args.adversary, victims, factory)
+    tracer = Tracer() if args.trace else None
+    import random as _random
+
+    simulator = SyncSimulator(
+        num_parties=n,
+        max_faulty=t,
+        crypto=CryptoSuite.ideal(n, t, _random.Random(args.seed + 0x5E7)),
+        adversary=adversary,
+        seed=args.seed,
+        session=f"cli{args.seed}",
+        tracer=tracer,
+    )
+    result = simulator.run(factory, inputs)
+    print(f"protocol   : {args.protocol} (kappa={args.kappa})")
+    print(f"inputs     : {inputs}")
+    print(f"corrupted  : {sorted(result.corrupted) or '-'}")
+    print(f"outputs    : {result.outputs}")
+    print(f"agreement  : {result.honest_agree()}")
+    print(f"rounds     : {result.metrics.rounds}")
+    print(f"messages   : {result.metrics.total_messages}")
+    print(f"signatures : {result.metrics.total_signatures}")
+    if tracer is not None:
+        print("\ntranscript:")
+        print(tracer.render())
+    return 0 if result.honest_agree() else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for kappa in args.kappas:
+        rows.append(
+            [
+                kappa,
+                rounds_for_error("ours_one_third", kappa),
+                rounds_for_error("feldman_micali", kappa),
+                rounds_for_error("ours_one_half", kappa),
+                rounds_for_error("micali_vaikuntanathan", kappa),
+            ]
+        )
+    print("rounds to reach error 2^-kappa\n")
+    print(
+        format_table(
+            ["kappa", "ours t<n/3", "FM t<n/3", "ours t<n/2", "MV t<n/2"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    renderers = {
+        "table1": lambda: render_table1(3),
+        "table2": lambda: render_table2(6),
+        "fig3": lambda: render_fig3(10),
+    }
+    which = list(renderers) if args.which == "all" else [args.which]
+    for name in which:
+        print(f"── {name} " + "─" * 50)
+        print(renderers[name]())
+        print()
+    return 0
+
+
+def _cmd_error_sweep(args: argparse.Namespace) -> int:
+    if args.protocol == "one_third":
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        inputs = [0, 0, 1, 1]
+        adversary_factory = lambda: OneThirdStraddleAdversary([3])
+        program = ba_one_third_program
+    else:
+        setup = ExperimentSetup(num_parties=5, max_faulty=2)
+        inputs = [0, 0, 1, 1, 1]
+        adversary_factory = lambda: LinearHalfStraddleAdversary([3, 4])
+        program = ba_one_half_program
+    rows = []
+    for kappa in args.kappas:
+        factory = lambda c, b, k=kappa: program(c, b, k)
+        rate = disagreement_rate(
+            run_trials(
+                setup, factory, inputs, trials=args.trials,
+                adversary_factory=adversary_factory, seed=args.seed + kappa,
+            )
+        )
+        rows.append([kappa, f"{2.0 ** -kappa:.4f}", f"{rate:.4f}"])
+    print(
+        f"{args.protocol}: disagreement under worst-case straddle attack "
+        f"({args.trials} trials)\n"
+    )
+    print(format_table(["kappa", "bound 2^-k", "measured"], rows))
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .applications.ledger import NO_OP, replicated_log_program, rounds_per_slot
+
+    queues = [queue.split("+") if queue else [] for queue in args.queues.split(";")]
+    n = len(queues)
+    program = lambda ctx, cmds: replicated_log_program(
+        ctx, cmds, num_slots=args.slots, kappa=args.kappa,
+        regime=args.regime, proposer=args.proposer,
+    )
+    import random as _random
+
+    simulator = SyncSimulator(
+        num_parties=n,
+        max_faulty=args.t,
+        crypto=CryptoSuite.ideal(n, args.t, _random.Random(args.seed + 0x1ED6)),
+        seed=args.seed,
+        session=f"ledger{args.seed}",
+    )
+    result = simulator.run(program, queues)
+    per_slot = rounds_per_slot(args.kappa, args.regime, args.proposer)
+    print(f"replicas : {n} (t = {args.t}), {args.slots} slots x {per_slot} rounds")
+    reference = None
+    for pid in sorted(result.outputs):
+        log = [c if c != NO_OP else "<no-op>" for c in result.outputs[pid]]
+        print(f"replica {pid}: {log}")
+        reference = reference if reference is not None else log
+    forked = any(
+        result.outputs[pid] != result.outputs[result.honest_parties[0]]
+        for pid in result.honest_parties
+    )
+    print(f"forked   : {forked}")
+    return 1 if forked else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Round-efficient Byzantine Agreement via Proxcensus "
+        "(Fitzi, Liu-Zhang, Loss; PODC 2021) — executable reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute one protocol")
+    run_parser.add_argument(
+        "--protocol",
+        choices=list(PROTOCOLS) + ["dolev_strong"],
+        default="one_third",
+    )
+    run_parser.add_argument("--kappa", type=int, default=8)
+    run_parser.add_argument(
+        "--inputs", type=_parse_int_list, default=[1, 0, 1, 0],
+        help="comma-separated bits, one per party",
+    )
+    run_parser.add_argument("--t", type=int, default=1, help="corruption budget")
+    run_parser.add_argument(
+        "--adversary",
+        choices=["none", "crash", "malformed", "two_face", "straddle",
+                 "straddle13", "straddle12"],
+        default="none",
+    )
+    run_parser.add_argument(
+        "--victims", type=_parse_int_list, default=None,
+        help="corrupted party ids (default: the last t parties)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--trace", action="store_true")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="the §3.5 efficiency comparison"
+    )
+    compare_parser.add_argument(
+        "--kappas", type=_parse_int_list, default=[4, 8, 16, 32]
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="regenerate the paper's tables/figures"
+    )
+    tables_parser.add_argument(
+        "--which", choices=["table1", "table2", "fig3", "all"], default="all"
+    )
+    tables_parser.set_defaults(handler=_cmd_tables)
+
+    sweep_parser = subparsers.add_parser(
+        "error-sweep", help="Monte-Carlo failure rates vs 2^-kappa"
+    )
+    sweep_parser.add_argument(
+        "--protocol", choices=["one_third", "one_half"], default="one_third"
+    )
+    sweep_parser.add_argument("--kappas", type=_parse_int_list, default=[1, 2, 4])
+    sweep_parser.add_argument("--trials", type=int, default=100)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.set_defaults(handler=_cmd_error_sweep)
+
+    ledger_parser = subparsers.add_parser(
+        "ledger", help="replicated log over sequential multivalued BA"
+    )
+    ledger_parser.add_argument(
+        "--queues", default="a+b;a+c;a+b;a+c",
+        help="per-replica command queues: ';' separates replicas, "
+        "'+' separates commands",
+    )
+    ledger_parser.add_argument("--slots", type=int, default=2)
+    ledger_parser.add_argument("--kappa", type=int, default=8)
+    ledger_parser.add_argument(
+        "--regime", choices=["one_third", "one_half"], default="one_third"
+    )
+    ledger_parser.add_argument(
+        "--proposer", choices=["local", "rotating"], default="rotating"
+    )
+    ledger_parser.add_argument("--t", type=int, default=1)
+    ledger_parser.add_argument("--seed", type=int, default=0)
+    ledger_parser.set_defaults(handler=_cmd_ledger)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Generalized/parameterized BA variants for ablation studies.
+
+The paper makes two implicit design choices that these variants make
+explicit and sweepable:
+
+* **Iteration granularity, t < n/3.**  The headline protocol spends the
+  whole budget on *one* iteration (``s = 2^κ + 1``).  One could instead
+  run ``j`` iterations of ``s = 2^m + 1`` with ``j·m = κ`` — at ``m = 1``
+  that is exactly fixed-round Feldman–Micali.  :func:`ba_one_third_chunked`
+  implements the whole family; rounds are ``j·(m+1)``, so error 2^-κ costs
+  ``κ·(m+1)/m`` rounds — strictly decreasing in ``m``, minimized by the
+  paper's single-iteration choice.  (FM and the paper's protocol are the
+  two endpoints of one dial.)
+
+* **Slot count per iteration, t < n/2** (paper footnote 6: "other choices
+  of number of slots will not lead to efficiency improvements").
+  :func:`ba_one_half_generalized` runs iterations over ``Prox_{2r-1}``
+  for any ``r ≥ 2`` (coin overlapped with the last round): each iteration
+  takes ``r`` rounds and gains ``log2(2r-2)`` bits, so the
+  bits-per-round rate ``log2(2r-2)/r`` is maximized at ``r = 3`` —
+  exactly the paper's ``Prox_5`` choice.  The quadratic Proxcensus of
+  Appendix B can be swapped in via ``family="quadratic"`` to check it
+  never beats ``r = 3`` either.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..network.party import Context
+from ..proxcensus.linear_half import prox_linear_half_program
+from ..proxcensus.linear_half import slots_after_rounds as linear_slots
+from ..proxcensus.one_third import prox_one_third_program
+from ..proxcensus.quadratic_half import prox_quadratic_half_program
+from ..proxcensus.quadratic_half import slots_after_rounds as quadratic_slots
+from .iteration import CoinFactory, pi_iter_program, threshold_coin_factory
+
+__all__ = [
+    "ba_one_third_chunked",
+    "rounds_one_third_chunked",
+    "bits_per_round_one_third",
+    "ba_one_half_generalized",
+    "rounds_one_half_generalized",
+    "bits_per_round_one_half",
+]
+
+
+def rounds_one_third_chunked(kappa: int, chunk: int) -> int:
+    """Rounds of the chunked t<n/3 family: ``⌈κ/m⌉·(m+1)`` for chunk m."""
+    iterations = math.ceil(kappa / chunk)
+    return iterations * (chunk + 1)
+
+
+def bits_per_round_one_third(chunk: int) -> float:
+    """Error-exponent bits gained per round at chunk size m: ``m/(m+1)``."""
+    return chunk / (chunk + 1)
+
+
+def ba_one_third_chunked(
+    ctx: Context,
+    bit: int,
+    kappa: int,
+    chunk: int,
+    coin_factory: Optional[CoinFactory] = None,
+):
+    """t<n/3 BA as ``⌈κ/m⌉`` iterations of ``Π_iter`` over ``Prox_{2^m+1}``.
+
+    ``chunk = kappa`` is the paper's Corollary 2 protocol; ``chunk = 1``
+    is fixed-round Feldman–Micali.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"binary BA needs a bit input, got {bit!r}")
+    if not (1 <= chunk <= kappa):
+        raise ValueError("need 1 <= chunk <= kappa")
+    if 3 * ctx.max_faulty >= ctx.num_parties:
+        raise ValueError("ba_one_third_chunked requires t < n/3")
+    coin_factory = coin_factory or threshold_coin_factory()
+    iterations = math.ceil(kappa / chunk)
+    for index in range(iterations):
+        iteration_ctx = ctx.subsession(f"chunk{index}")
+        bit = yield from pi_iter_program(
+            iteration_ctx,
+            bit,
+            slots=2 ** chunk + 1,
+            prox_factory=lambda c, b: prox_one_third_program(c, b, rounds=chunk),
+            prox_rounds=chunk,
+            coin_factory=coin_factory,
+            coin_index=("chunked", index),
+            overlap_coin=False,
+        )
+    return bit
+
+
+def rounds_one_half_generalized(kappa: int, prox_rounds: int, family: str = "linear") -> int:
+    """Rounds of the generalized t<n/2 family (coin overlapped)."""
+    bits = _bits_per_iteration_one_half(prox_rounds, family)
+    iterations = math.ceil(kappa / bits)
+    return iterations * prox_rounds
+
+
+def bits_per_round_one_half(prox_rounds: int, family: str = "linear") -> float:
+    """Bits of error exponent per communication round."""
+    return _bits_per_iteration_one_half(prox_rounds, family) / prox_rounds
+
+
+def _bits_per_iteration_one_half(prox_rounds: int, family: str) -> float:
+    slots = (
+        linear_slots(prox_rounds)
+        if family == "linear"
+        else quadratic_slots(prox_rounds)
+    )
+    return math.log2(slots - 1)
+
+
+def ba_one_half_generalized(
+    ctx: Context,
+    bit: int,
+    kappa: int,
+    prox_rounds: int = 3,
+    family: str = "linear",
+    coin_factory: Optional[CoinFactory] = None,
+):
+    """t<n/2 BA iterated over ``Prox_{2r-1}`` (or the quadratic family).
+
+    ``prox_rounds = 3, family = "linear"`` is the paper's Corollary 2
+    protocol.  Iteration count is ``⌈κ / log2(s-1)⌉``: per-iteration
+    failure is ``1/(s-1)``, so that many independent iterations push the
+    product below ``2^-κ``.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"binary BA needs a bit input, got {bit!r}")
+    if 2 * ctx.max_faulty >= ctx.num_parties:
+        raise ValueError("ba_one_half_generalized requires t < n/2")
+    if family == "linear":
+        slots = linear_slots(prox_rounds)
+        prox_factory = lambda c, b: prox_linear_half_program(c, b, rounds=prox_rounds)
+    elif family == "quadratic":
+        slots = quadratic_slots(prox_rounds)
+        prox_factory = lambda c, b: prox_quadratic_half_program(
+            c, b, rounds=prox_rounds
+        )
+    else:
+        raise ValueError(f"unknown family {family!r}")
+    coin_factory = coin_factory or threshold_coin_factory()
+    iterations = math.ceil(kappa / math.log2(slots - 1))
+    for index in range(iterations):
+        iteration_ctx = ctx.subsession(f"gen{index}")
+        bit = yield from pi_iter_program(
+            iteration_ctx,
+            bit,
+            slots=slots,
+            prox_factory=prox_factory,
+            prox_rounds=prox_rounds,
+            coin_factory=coin_factory,
+            coin_index=("gen12", index),
+            overlap_coin=True,
+        )
+    return bit

@@ -1,0 +1,59 @@
+"""Fixed-round Feldman–Micali baseline (paper §3.1), t < n/3.
+
+The classic construction the paper improves on: ``κ`` sequential
+iterations, each a 1-round ``Prox_3`` (crusader agreement — the base case
+of our expansion, Corollary 1 with r = 1) followed by a 1-round binary
+coin.  Per-iteration failure ``1/2``, so ``2κ`` rounds for error ``2^-κ``.
+
+Expressed in the paper's own vocabulary, FM *is* the ``s = 3`` special case
+of the generalized iteration: at ``s = 3`` the extraction function reduces
+to "keep your value if grade 1, adopt the coin if grade 0" — the property
+tests verify this equivalence explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.party import Context
+from ..proxcensus.one_third import prox_one_third_program
+from .iteration import CoinFactory, pi_iter_program, threshold_coin_factory
+
+__all__ = ["feldman_micali_program", "rounds_feldman_micali"]
+
+
+def rounds_feldman_micali(kappa: int) -> int:
+    """Round count: ``2κ`` (one GC round + one coin round per iteration)."""
+    return 2 * kappa
+
+
+def feldman_micali_program(
+    ctx: Context,
+    bit: int,
+    kappa: int,
+    coin_factory: Optional[CoinFactory] = None,
+):
+    """Binary fixed-round FM Byzantine Agreement, t < n/3, 2κ rounds."""
+    if bit not in (0, 1):
+        raise ValueError(f"binary BA needs a bit input, got {bit!r}")
+    if kappa < 1:
+        raise ValueError("kappa must be at least 1")
+    if 3 * ctx.max_faulty >= ctx.num_parties:
+        raise ValueError(
+            f"feldman_micali requires t < n/3, got t={ctx.max_faulty}, "
+            f"n={ctx.num_parties}"
+        )
+    coin_factory = coin_factory or threshold_coin_factory()
+    for index in range(kappa):
+        iteration_ctx = ctx.subsession(f"fm{index}")
+        bit = yield from pi_iter_program(
+            iteration_ctx,
+            bit,
+            slots=3,
+            prox_factory=lambda c, b: prox_one_third_program(c, b, rounds=1),
+            prox_rounds=1,
+            coin_factory=coin_factory,
+            coin_index=("fm", index),
+            overlap_coin=False,
+        )
+    return bit

@@ -1,0 +1,122 @@
+"""The generalized Feldman–Micali iteration ``Π_iter`` (paper §3.2, §3.5).
+
+One iteration = **expand** (an ``s``-slot Proxcensus), **coin-flip** (a
+``(s-1)``-valued common coin) and **extract** (the cut function of
+:mod:`.extraction`).  Theorem 1: a single iteration reaches agreement
+except with probability ``1/(s-1)``, against a strongly rushing adaptive
+adversary, for any ``t < n`` for which the underlying Proxcensus is secure.
+
+This module provides the iteration as a composable party program, plus the
+two coin-factory flavours (ideal and threshold-signature based).  BA
+protocols assemble iterations in :mod:`.ba`,
+:mod:`.feldman_micali` and :mod:`.micali_vaikuntanathan`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..crypto.coin import IdealCoin, ideal_coin_program, threshold_coin_program
+from ..network.party import Context, resume_with, run_parallel
+from .extraction import coin_range, extract
+
+__all__ = [
+    "CoinFactory",
+    "ideal_coin_factory",
+    "threshold_coin_factory",
+    "vrf_coin_factory",
+    "pi_iter_program",
+]
+
+# A coin factory builds the 1-round coin subprotocol for iteration `index`,
+# producing a value in [low, high] (or None on coin failure).
+CoinFactory = Callable[[Context, Any, int, int], Generator]
+
+
+def ideal_coin_factory(coin: IdealCoin) -> CoinFactory:
+    """Coin factory over a shared :class:`IdealCoin` instance.
+
+    The instance must be created once per execution and passed to every
+    party's program factory (the simulator's single process stands in for
+    the paper's ideal-coin setup assumption).
+    """
+
+    def factory(ctx: Context, index: Any, low: int, high: int):
+        return ideal_coin_program(ctx, coin, index, low, high)
+
+    return factory
+
+
+def threshold_coin_factory() -> CoinFactory:
+    """Coin factory over the suite's ``(t+1)``-of-``n`` threshold scheme."""
+
+    def factory(ctx: Context, index: Any, low: int, high: int):
+        return threshold_coin_program(ctx, index, low, high)
+
+    return factory
+
+
+def vrf_coin_factory() -> CoinFactory:
+    """Coin factory over the Chen–Micali-style VRF coin.
+
+    **Biased against strongly rushing adversaries** (the paper's §1 caveat
+    on [4]; measured in ``benchmarks/bench_coin_bias.py``) — provided for
+    the comparison, not as a drop-in for the threshold coin.
+    """
+    from ..crypto.vrf_coin import vrf_coin_program
+
+    def factory(ctx: Context, index: Any, low: int, high: int):
+        return vrf_coin_program(ctx, index, low, high)
+
+    return factory
+
+
+def pi_iter_program(
+    ctx: Context,
+    bit: int,
+    slots: int,
+    prox_factory: Callable[[Context, int], Generator],
+    prox_rounds: int,
+    coin_factory: CoinFactory,
+    coin_index: Any = 0,
+    overlap_coin: bool = False,
+):
+    """One generalized iteration ``Π_iter^s`` as a party program.
+
+    ``prox_factory(ctx, bit)`` must be an ``s``-slot Proxcensus program
+    taking exactly ``prox_rounds`` communication rounds.  With
+    ``overlap_coin`` the coin's single round is multiplexed into the
+    Proxcensus' *last* round (the paper does this for the t < n/2 protocol,
+    where the honest slot pair is already fixed after round 2); otherwise
+    the coin follows the Proxcensus, for ``prox_rounds + 1`` rounds total.
+
+    Defensive notes: a failed coin (``None``) degrades to coin value 1 —
+    the iteration then still satisfies validity, and consistency merely is
+    not helped this iteration; a non-binary Proxcensus value (impossible
+    for honest executions, but cheap to guard) degrades to the (0, 0) slot.
+    """
+    low, high = coin_range(slots)
+    prox = prox_factory(ctx, bit)
+    if overlap_coin and prox_rounds >= 1:
+        outbox = next(prox)
+        for _ in range(prox_rounds - 1):
+            inbox = yield outbox
+            outbox = prox.send(inbox)
+        results = yield from run_parallel(
+            ctx,
+            {
+                "prox": resume_with(prox, outbox),
+                "coin": coin_factory(ctx, coin_index, low, high),
+            },
+        )
+        prox_output = results["prox"]
+        coin = results["coin"]
+    else:
+        prox_output = yield from prox
+        coin = yield from coin_factory(ctx, coin_index, low, high)
+    value, grade = prox_output
+    if value not in (0, 1):
+        value, grade = 0, 0
+    if coin is None:
+        coin = low
+    return extract(value, grade, coin, slots)

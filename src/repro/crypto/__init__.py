@@ -1,0 +1,64 @@
+"""Cryptographic substrate: fields, sharing, signatures, coins.
+
+Public surface re-exported here; see module docstrings for construction
+details and the DESIGN.md substitution notes (ideal vs real backends).
+"""
+
+from .coin import (
+    IdealCoin,
+    coin_message_tag,
+    coin_value_from_signature,
+    ideal_coin_program,
+    threshold_coin_program,
+)
+from .field import FieldElement, PrimeField, lagrange_interpolate_at
+from .ideal import IdealSignatureScheme, IdealThresholdScheme
+from .interfaces import CryptoError, SignatureScheme, ThresholdSignatureScheme
+from .keys import CryptoSuite
+from .primes import generate_prime, generate_safe_prime, is_probable_prime
+from .random_oracle import encode_term, hash_to_int, hash_to_range, oracle_digest
+from .rsa import RsaSignatureScheme, generate_rsa_keypair
+from .shamir import Share, ShamirError, reconstruct_secret, split_secret
+from .threshold_rsa import ThresholdRsaScheme, generate_threshold_rsa
+from .vrf_coin import (
+    vrf_coin_from_evaluations,
+    vrf_coin_program,
+    vrf_evaluate,
+    vrf_verify,
+)
+
+__all__ = [
+    "CryptoError",
+    "CryptoSuite",
+    "FieldElement",
+    "IdealCoin",
+    "IdealSignatureScheme",
+    "IdealThresholdScheme",
+    "PrimeField",
+    "RsaSignatureScheme",
+    "ShamirError",
+    "Share",
+    "SignatureScheme",
+    "ThresholdRsaScheme",
+    "ThresholdSignatureScheme",
+    "coin_message_tag",
+    "coin_value_from_signature",
+    "encode_term",
+    "generate_prime",
+    "generate_rsa_keypair",
+    "generate_safe_prime",
+    "generate_threshold_rsa",
+    "hash_to_int",
+    "hash_to_range",
+    "ideal_coin_program",
+    "is_probable_prime",
+    "lagrange_interpolate_at",
+    "oracle_digest",
+    "reconstruct_secret",
+    "split_secret",
+    "threshold_coin_program",
+    "vrf_coin_from_evaluations",
+    "vrf_coin_program",
+    "vrf_evaluate",
+    "vrf_verify",
+]

@@ -1,0 +1,173 @@
+"""Prime-field arithmetic.
+
+The threshold-signature and secret-sharing substrates work over ``Z_p`` (or,
+for threshold RSA, over ``Z_m`` for a secret composite ``m``).  This module
+provides a small, explicit field abstraction plus the Lagrange machinery that
+Shamir reconstruction and Shoup-style share combination need.
+
+Everything here is deterministic, pure-Python big-integer arithmetic: the
+reproduction never depends on platform word size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "FieldElement",
+    "PrimeField",
+    "lagrange_coefficients_at_zero",
+    "lagrange_interpolate_at",
+]
+
+
+class FieldError(ValueError):
+    """Raised for invalid field operations (mixing fields, zero inverse)."""
+
+
+@dataclass(frozen=True)
+class FieldElement:
+    """An element of ``Z_p``; immutable and hashable.
+
+    Instances are produced by :class:`PrimeField`; arithmetic between
+    elements of different fields raises :class:`FieldError` rather than
+    silently producing nonsense.
+    """
+
+    value: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value < self.modulus):
+            object.__setattr__(self, "value", self.value % self.modulus)
+
+    def _check(self, other: "FieldElement") -> None:
+        if self.modulus != other.modulus:
+            raise FieldError(
+                f"mixing fields Z_{self.modulus} and Z_{other.modulus}"
+            )
+
+    def __add__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return FieldElement((self.value + other.value) % self.modulus, self.modulus)
+
+    def __sub__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return FieldElement((self.value - other.value) % self.modulus, self.modulus)
+
+    def __mul__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return FieldElement((self.value * other.value) % self.modulus, self.modulus)
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(-self.value % self.modulus, self.modulus)
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse; raises FieldError on zero."""
+        if self.value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return FieldElement(pow(self.value, -1, self.modulus), self.modulus)
+
+    def __truediv__(self, other: "FieldElement") -> "FieldElement":
+        self._check(other)
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        return FieldElement(pow(self.value, exponent, self.modulus), self.modulus)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+
+class PrimeField:
+    """The field ``Z_p`` for a prime ``p``.
+
+    The constructor trusts the caller that ``p`` is prime (checked by
+    :mod:`repro.crypto.primes` at key-generation time); re-verifying
+    primality on every field construction would be wasteful in tests that
+    build thousands of small fields.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise FieldError(f"modulus must be >= 2, got {modulus}")
+        self.modulus = modulus
+
+    def __call__(self, value: int) -> FieldElement:
+        return FieldElement(value % self.modulus, self.modulus)
+
+    def zero(self) -> FieldElement:
+        """The additive identity."""
+        return FieldElement(0, self.modulus)
+
+    def one(self) -> FieldElement:
+        """The multiplicative identity."""
+        return FieldElement(1, self.modulus)
+
+    def element(self, value: int) -> FieldElement:
+        """Alias of calling the field: reduce ``value`` into Z_p."""
+        return self(value)
+
+    def random_element(self, rng) -> FieldElement:
+        """Uniform element drawn from a ``random.Random``-like source."""
+        return FieldElement(rng.randrange(self.modulus), self.modulus)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.modulus == self.modulus
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.modulus))
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.modulus})"
+
+
+def lagrange_coefficients_at_zero(
+    xs: Sequence[int], modulus: int
+) -> List[int]:
+    """Lagrange coefficients ``λ_i`` with ``f(0) = Σ λ_i · f(x_i)`` mod p.
+
+    ``xs`` must be distinct and non-zero modulo ``modulus``.
+    """
+    _require_distinct(xs, modulus)
+    coefficients = []
+    for i, x_i in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % modulus
+            denominator = (denominator * (x_i - x_j)) % modulus
+        coefficients.append(numerator * pow(denominator, -1, modulus) % modulus)
+    return coefficients
+
+
+def lagrange_interpolate_at(
+    points: Iterable[Tuple[int, int]], x: int, modulus: int
+) -> int:
+    """Evaluate, at ``x``, the unique polynomial through ``points`` mod p."""
+    points = list(points)
+    xs = [p[0] for p in points]
+    _require_distinct(xs, modulus)
+    total = 0
+    for i, (x_i, y_i) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (x - x_j)) % modulus
+            denominator = (denominator * (x_i - x_j)) % modulus
+        total = (total + y_i * numerator * pow(denominator, -1, modulus)) % modulus
+    return total
+
+
+def _require_distinct(xs: Sequence[int], modulus: int) -> None:
+    reduced = [x % modulus for x in xs]
+    if len(set(reduced)) != len(reduced):
+        raise FieldError(f"interpolation points must be distinct mod {modulus}")

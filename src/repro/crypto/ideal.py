@@ -1,0 +1,148 @@
+"""Idealized signature backends.
+
+The paper (§2.2) analyses its protocols against *idealized* signatures:
+"we require that for any given threshold t, signatures remain perfectly
+unforgeable for a message m, given t signature shares on m".  This module
+realizes that idealization concretely: a trusted registry holds a secret
+MAC key; signatures and shares are HMAC tags over canonical encodings, so
+
+* they are unforgeable to any code that only uses the public API (the
+  simulated adversary), because producing a tag requires the registry key;
+* combined signatures are **unique** per (registry, message) — required by
+  the common coin; and
+* verification is pure recomputation, with no global mutable state, so a
+  signature formed by one party verifies at every other party.
+
+Corrupted parties legitimately hold their own secret keys, which here means
+they may call ``sign``/``sign_share`` for their own ids — exactly the power
+the model grants them — but cannot mint shares for honest ids nor combined
+signatures without ``threshold`` distinct shares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .interfaces import CryptoError, SignatureScheme, ThresholdSignatureScheme
+from .random_oracle import Term, encode_term
+
+__all__ = ["IdealSignatureScheme", "IdealThresholdScheme"]
+
+
+def _tag(key: bytes, *parts: Term) -> bytes:
+    return hmac.new(key, encode_term(tuple(parts)), hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class _IdealShare:
+    signer: int
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class _IdealSignature:
+    tag: bytes
+
+
+class IdealSignatureScheme(SignatureScheme):
+    """Per-party idealized plain signatures."""
+
+    def __init__(self, num_parties: int, rng: random.Random) -> None:
+        if num_parties < 1:
+            raise CryptoError("need at least one party")
+        self._n = num_parties
+        self._key = rng.getrandbits(256).to_bytes(32, "big")
+
+    @property
+    def num_parties(self) -> int:
+        return self._n
+
+    def sign(self, signer: int, message: Term) -> _IdealSignature:
+        self._check_signer(signer)
+        return _IdealSignature(_tag(self._key, "plain", signer, message))
+
+    def verify(self, signer: int, signature, message: Term) -> bool:
+        if not isinstance(signature, _IdealSignature):
+            return False
+        if not isinstance(signer, int) or not (0 <= signer < self._n):
+            return False
+        try:
+            expected = _tag(self._key, "plain", signer, message)
+        except TypeError:
+            return False
+        return hmac.compare_digest(signature.tag, expected)
+
+    def _check_signer(self, signer: int) -> None:
+        if not (0 <= signer < self._n):
+            raise CryptoError(f"no such signer {signer}")
+
+
+class IdealThresholdScheme(ThresholdSignatureScheme):
+    """Idealized ``threshold``-of-``n`` unique threshold signatures."""
+
+    def __init__(self, num_parties: int, threshold: int, rng: random.Random) -> None:
+        if not (1 <= threshold <= num_parties):
+            raise CryptoError(
+                f"need 1 <= threshold <= n, got {threshold}/{num_parties}"
+            )
+        self._n = num_parties
+        self._threshold = threshold
+        self._key = rng.getrandbits(256).to_bytes(32, "big")
+
+    @property
+    def num_parties(self) -> int:
+        return self._n
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def sign_share(self, signer: int, message: Term) -> _IdealShare:
+        if not (0 <= signer < self._n):
+            raise CryptoError(f"no such signer {signer}")
+        return _IdealShare(signer, _tag(self._key, "share", signer, message))
+
+    def verify_share(self, signer: int, share, message: Term) -> bool:
+        if not isinstance(share, _IdealShare) or share.signer != signer:
+            return False
+        if not isinstance(signer, int) or not (0 <= signer < self._n):
+            return False
+        try:
+            expected = _tag(self._key, "share", signer, message)
+        except TypeError:
+            return False
+        return hmac.compare_digest(share.tag, expected)
+
+    def combine(self, shares: Sequence, message: Term) -> _IdealSignature:
+        distinct = {}
+        for item in shares:
+            signer, share = item if isinstance(item, tuple) else (getattr(item, "signer", None), item)
+            if signer is None:
+                raise CryptoError("shares must be (signer, share) pairs or carry .signer")
+            if not self.verify_share(signer, share, message):
+                raise CryptoError(f"invalid share from signer {signer}")
+            distinct[signer] = share
+        if len(distinct) < self._threshold:
+            raise CryptoError(
+                f"need {self._threshold} distinct valid shares, got {len(distinct)}"
+            )
+        return _IdealSignature(_tag(self._key, "combined", message))
+
+    def verify(self, signature, message: Term) -> bool:
+        if not isinstance(signature, _IdealSignature):
+            return False
+        try:
+            expected = _tag(self._key, "combined", message)
+        except TypeError:
+            return False
+        return hmac.compare_digest(signature.tag, expected)
+
+    def signature_bytes(self, signature) -> bytes:
+        """Canonical bytes of a combined signature (coin input)."""
+        if not isinstance(signature, _IdealSignature):
+            raise CryptoError("not an ideal signature")
+        return signature.tag

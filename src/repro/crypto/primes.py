@@ -1,0 +1,85 @@
+"""Primality testing and prime generation.
+
+Used by the real (non-idealized) cryptographic backends: RSA-FDH plain
+signatures and Shoup threshold RSA.  Key generation is the only genuinely
+expensive operation in the repository, so the safe-prime search keeps bit
+sizes modest in tests and exposes deterministic, seeded generation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin primality test.
+
+    With ``rounds=40`` the error probability is below ``4^-40``, far beyond
+    anything the simulation can observe.  A deterministic small-prime sieve
+    runs first so that tiny candidates are cheap.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 3:
+        raise ValueError("need at least 3 bits for a random prime")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng: random.Random) -> int:
+    """Generate a safe prime ``p = 2q + 1`` with ``p`` having ``bits`` bits.
+
+    Safe primes are what Shoup threshold RSA requires: the sharing of the
+    secret exponent lives in ``Z_m`` for ``m = p'q'`` where ``p = 2p' + 1``
+    and ``q = 2q' + 1``.
+    """
+    if bits < 5:
+        raise ValueError("need at least 5 bits for a safe prime")
+    while True:
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p

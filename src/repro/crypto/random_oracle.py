@@ -1,0 +1,76 @@
+"""Random oracle (hash) utilities.
+
+The paper proves its coin in the random-oracle model: the coin value is the
+hash of a unique threshold signature, mapped into the coin's range.  This
+module centralizes all hashing so that domain separation is enforced in one
+place and every byte fed into SHA-256 is canonical (no ``repr``-based
+hashing, which would be Python-version dependent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple, Union
+
+__all__ = ["encode_term", "oracle_digest", "hash_to_int", "hash_to_range"]
+
+Term = Union[int, str, bytes, bool, None, Tuple["Term", ...]]
+
+
+def encode_term(term: Term) -> bytes:
+    """Canonical, injective encoding of nested tuples/ints/strings/bytes.
+
+    The encoding is length-prefixed, so distinct terms never collide as byte
+    strings.  Protocol messages are hashed through this, never via ``str``.
+    """
+    if term is None:
+        return b"N"
+    if isinstance(term, bool):  # must precede int: bool is a subclass of int
+        return b"B1" if term else b"B0"
+    if isinstance(term, int):
+        raw = term.to_bytes((term.bit_length() + 8) // 8 or 1, "big", signed=True)
+        return b"I" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(term, str):
+        raw = term.encode("utf-8")
+        return b"S" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(term, bytes):
+        return b"Y" + len(term).to_bytes(4, "big") + term
+    if isinstance(term, tuple):
+        parts = [encode_term(part) for part in term]
+        body = b"".join(parts)
+        return b"T" + len(parts).to_bytes(4, "big") + body
+    raise TypeError(f"cannot canonically encode {type(term).__name__}")
+
+
+def oracle_digest(domain: str, term: Term) -> bytes:
+    """SHA-256 digest of ``term`` under domain-separation tag ``domain``."""
+    h = hashlib.sha256()
+    h.update(domain.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(encode_term(term))
+    return h.digest()
+
+
+def hash_to_int(domain: str, term: Term, bits: int = 256) -> int:
+    """Hash into a ``bits``-bit integer (counter-mode expansion for > 256)."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    output = b""
+    counter = 0
+    while len(output) * 8 < bits:
+        output += oracle_digest(domain, (counter, term))
+        counter += 1
+    return int.from_bytes(output, "big") % (1 << bits)
+
+
+def hash_to_range(domain: str, term: Term, low: int, high: int) -> int:
+    """Hash into the inclusive integer range ``[low, high]``.
+
+    Uses 128 bits of slack beyond the range size, so the modular bias is
+    below ``2^-128`` — negligible next to the protocol's own error terms.
+    """
+    if high < low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    span = high - low + 1
+    bits = span.bit_length() + 128
+    return low + hash_to_int(domain, term, bits) % span

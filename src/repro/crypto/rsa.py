@@ -1,0 +1,98 @@
+"""Plain RSA-FDH signatures (real backend for the dealer PKI).
+
+Full-domain-hash RSA: ``sign(m) = H(m)^d mod N`` with ``H`` hashing into
+``Z_N``.  Deterministic, hence *unique* signatures — the same property the
+idealized backend provides.  Key sizes are a parameter; tests use small
+moduli because the simulation cares about protocol logic, not concrete
+hardness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .interfaces import CryptoError, SignatureScheme
+from .primes import generate_prime
+from .random_oracle import Term, hash_to_int
+
+__all__ = ["RsaKeyPair", "generate_rsa_keypair", "RsaSignatureScheme"]
+
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """An RSA key pair; ``d`` is private, ``(n, e)`` public."""
+
+    n: int
+    e: int
+    d: int
+
+
+def generate_rsa_keypair(bits: int, rng: random.Random) -> RsaKeyPair:
+    """Generate an RSA key pair with a ``bits``-bit modulus."""
+    if bits < 32:
+        raise CryptoError("modulus below 32 bits cannot host SHA-based FDH")
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = pow(_PUBLIC_EXPONENT, -1, phi)
+        return RsaKeyPair(n=n, e=_PUBLIC_EXPONENT, d=d)
+
+
+def _fdh(message: Term, modulus: int) -> int:
+    """Full-domain hash into ``Z_N`` (strictly, into [2, N-1])."""
+    digest = hash_to_int("rsa-fdh", message, modulus.bit_length() + 128)
+    return 2 + digest % (modulus - 2)
+
+
+@dataclass(frozen=True)
+class _RsaSignature:
+    signer: int
+    value: int
+
+
+class RsaSignatureScheme(SignatureScheme):
+    """One RSA-FDH key pair per party, dealt by trusted setup."""
+
+    def __init__(self, keypairs: List[RsaKeyPair]) -> None:
+        if not keypairs:
+            raise CryptoError("need at least one key pair")
+        self._keypairs = list(keypairs)
+
+    @classmethod
+    def setup(cls, num_parties: int, bits: int, rng: random.Random) -> "RsaSignatureScheme":
+        return cls([generate_rsa_keypair(bits, rng) for _ in range(num_parties)])
+
+    @property
+    def num_parties(self) -> int:
+        return len(self._keypairs)
+
+    def sign(self, signer: int, message: Term) -> _RsaSignature:
+        if not (0 <= signer < self.num_parties):
+            raise CryptoError(f"no such signer {signer}")
+        key = self._keypairs[signer]
+        h = _fdh(message, key.n)
+        return _RsaSignature(signer, pow(h, key.d, key.n))
+
+    def verify(self, signer: int, signature, message: Term) -> bool:
+        if not isinstance(signature, _RsaSignature) or signature.signer != signer:
+            return False
+        if not isinstance(signer, int) or not (0 <= signer < self.num_parties):
+            return False
+        key = self._keypairs[signer]
+        if not isinstance(signature.value, int) or not (0 < signature.value < key.n):
+            return False
+        try:
+            h = _fdh(message, key.n)
+        except TypeError:
+            return False
+        return pow(signature.value, key.e, key.n) == h

@@ -1,0 +1,78 @@
+"""Shamir secret sharing over a prime field.
+
+This is the sharing substrate underneath the idealized threshold-signature
+backend's key material and is exposed publicly because it is independently
+useful (and independently tested with hypothesis).
+
+Shares use 1-based evaluation points: party ``i`` (0-based id) holds the
+polynomial evaluated at ``x = i + 1``, so the secret is the evaluation at 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .field import lagrange_interpolate_at
+
+__all__ = ["Share", "split_secret", "reconstruct_secret", "ShamirError"]
+
+
+class ShamirError(ValueError):
+    """Raised on malformed share sets (duplicates, too few, mixed moduli)."""
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the polynomial evaluated at point ``x``."""
+
+    x: int
+    y: int
+    modulus: int
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    modulus: int,
+    rng: random.Random,
+) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it; fewer reveal nothing (information-theoretically).
+
+    ``threshold`` is the number of shares *sufficient* to reconstruct
+    (degree ``threshold - 1`` polynomial).
+    """
+    if not (1 <= threshold <= num_shares):
+        raise ShamirError(
+            f"need 1 <= threshold <= num_shares, got {threshold}/{num_shares}"
+        )
+    if num_shares >= modulus:
+        raise ShamirError("modulus too small for the requested share count")
+    secret %= modulus
+    coefficients = [secret] + [rng.randrange(modulus) for _ in range(threshold - 1)]
+
+    def evaluate(x: int) -> int:
+        accumulator = 0
+        for coefficient in reversed(coefficients):
+            accumulator = (accumulator * x + coefficient) % modulus
+        return accumulator
+
+    return [Share(x=i, y=evaluate(i), modulus=modulus) for i in range(1, num_shares + 1)]
+
+
+def reconstruct_secret(shares: Iterable[Share]) -> int:
+    """Reconstruct the secret (evaluation at 0) from a set of shares."""
+    shares = list(shares)
+    if not shares:
+        raise ShamirError("no shares given")
+    moduli = {s.modulus for s in shares}
+    if len(moduli) != 1:
+        raise ShamirError("shares come from different fields")
+    modulus = moduli.pop()
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ShamirError("duplicate share points")
+    return lagrange_interpolate_at(((s.x, s.y) for s in shares), 0, modulus)

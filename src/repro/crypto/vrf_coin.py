@@ -1,0 +1,124 @@
+"""The Chen–Micali VRF-style common coin — and why the paper avoids it.
+
+Paper §1 ("More on previous work"): Chen and Micali [4] implement the
+common coin "by means of verifiable random functions — at the price of
+downgrading to computational security against an adversary that is *not
+strongly rushing*".  This module implements that coin so the trade-off is
+executable:
+
+* every party evaluates its VRF at the coin index — here, the unique
+  RSA-FDH signature on the index, hashed to a value in ``[0, 2^128)``
+  (uniqueness + public verifiability is exactly the VRF contract);
+* parties broadcast their evaluation (1 round, like the threshold coin);
+* the coin is derived from the *minimum* valid evaluation received.
+
+Against a **strongly rushing** adversary this is biased: the adversary
+sees all honest evaluations first and then decides, per corrupted party,
+whether to reveal its (possibly minimal) evaluation — steering the coin
+whenever a corrupted party holds the global minimum, i.e. with probability
+about ``t/n`` per flip (:class:`repro.adversary.coin_bias.WithholdingCoinAdversary`,
+measured in ``benchmarks/bench_coin_bias.py``).  The threshold-signature
+coin of :mod:`repro.crypto.coin` is immune: its value is fixed by the key
+material alone, so withholding shares can only *fail* the flip, never
+steer it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .interfaces import SignatureScheme
+from .random_oracle import Term, hash_to_int, hash_to_range
+
+__all__ = [
+    "vrf_evaluate",
+    "vrf_verify",
+    "vrf_coin_from_evaluations",
+    "vrf_coin_program",
+]
+
+_EVALUATION_BITS = 128
+
+
+def vrf_message(session: str, index: Term) -> Term:
+    """The message every party signs for this coin instance."""
+    return ("vrf-coin", session, index)
+
+
+def vrf_evaluate(
+    scheme: SignatureScheme, signer: int, session: str, index: Term
+) -> Tuple[int, Any]:
+    """This party's VRF output at the coin index: ``(value, proof)``.
+
+    The proof is the unique signature; the value is its hash.  (With
+    RSA-FDH the signature *is* a classic VRF; with the idealized backend
+    uniqueness holds by construction.)
+    """
+    proof = scheme.sign(signer, vrf_message(session, index))
+    value = hash_to_int("vrf-value", ("out", session, index, _proof_term(proof)),
+                        _EVALUATION_BITS)
+    return value, proof
+
+
+def vrf_verify(
+    scheme: SignatureScheme, signer: int, value: Any, proof: Any,
+    session: str, index: Term,
+) -> bool:
+    """Publicly verify an evaluation; never raises on garbage."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        return False
+    if not scheme.verify(signer, proof, vrf_message(session, index)):
+        return False
+    expected = hash_to_int(
+        "vrf-value", ("out", session, index, _proof_term(proof)),
+        _EVALUATION_BITS,
+    )
+    return value == expected
+
+
+def _proof_term(proof: Any) -> Term:
+    # Both backends' signature objects reduce to stable byte/int content.
+    tag = getattr(proof, "tag", None)
+    if isinstance(tag, bytes):
+        return tag
+    numeric = getattr(proof, "value", None)
+    if isinstance(numeric, int):
+        return numeric
+    return repr(proof)
+
+
+def vrf_coin_from_evaluations(
+    evaluations: Dict[int, int], session: str, index: Term, low: int, high: int
+) -> Optional[int]:
+    """Derive the coin from the minimum valid evaluation (already verified).
+
+    Ties broken by party id; returns ``None`` when no evaluation arrived.
+    """
+    if not evaluations:
+        return None
+    winner = min(evaluations.items(), key=lambda kv: (kv[1], kv[0]))
+    return hash_to_range(
+        "vrf-coin-extract", (session, index, winner[0], winner[1]), low, high
+    )
+
+
+def vrf_coin_program(ctx, index: Term, low: int, high: int):
+    """One-round VRF coin subprotocol (same interface as the others).
+
+    Insecure against strongly rushing adversaries by design — that is the
+    point of having it in the repository; see the module docstring.
+    """
+    scheme = ctx.crypto.plain
+    value, proof = vrf_evaluate(scheme, ctx.party_id, ctx.session, index)
+    inbox = yield ctx.broadcast({"vrf": (value, proof)})
+    valid: Dict[int, int] = {}
+    for sender, payload in inbox.items():
+        pair = payload.get("vrf") if isinstance(payload, dict) else None
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            continue
+        received_value, received_proof = pair
+        if vrf_verify(
+            scheme, sender, received_value, received_proof, ctx.session, index
+        ):
+            valid[sender] = received_value
+    return vrf_coin_from_evaluations(valid, ctx.session, index, low, high)

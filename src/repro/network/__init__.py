@@ -1,0 +1,44 @@
+"""Synchronous authenticated network simulator and party-program model."""
+
+from .errors import AdversaryBudgetError, RoundLimitError, SimulationError
+from .messages import (
+    Broadcast,
+    Inbox,
+    Outbox,
+    get_field,
+    get_int,
+    get_int_in_range,
+    get_pair,
+    normalize_outbox,
+)
+from .metrics import RoundStats, RunMetrics, count_signatures
+from .party import Context, ProgramFactory, resume_with, run_parallel
+from .simulator import ExecutionResult, SyncSimulator, run_protocol
+from .trace import TraceEvent, Tracer, summarize_payload
+
+__all__ = [
+    "AdversaryBudgetError",
+    "Broadcast",
+    "Context",
+    "ExecutionResult",
+    "Inbox",
+    "Outbox",
+    "ProgramFactory",
+    "RoundLimitError",
+    "RoundStats",
+    "RunMetrics",
+    "SimulationError",
+    "SyncSimulator",
+    "TraceEvent",
+    "Tracer",
+    "count_signatures",
+    "summarize_payload",
+    "get_field",
+    "get_int",
+    "get_int_in_range",
+    "get_pair",
+    "normalize_outbox",
+    "resume_with",
+    "run_parallel",
+    "run_protocol",
+]

@@ -1,0 +1,21 @@
+"""Errors raised by the synchronous network simulator."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "AdversaryBudgetError", "RoundLimitError"]
+
+
+class SimulationError(RuntimeError):
+    """Generic simulator misconfiguration or harness bug."""
+
+
+class AdversaryBudgetError(SimulationError):
+    """The adversary tried to corrupt more than ``t`` parties."""
+
+
+class RoundLimitError(SimulationError):
+    """A protocol ran past the simulator's safety round cap.
+
+    All protocols in this repository are fixed-round, so hitting the cap
+    always indicates a protocol-logic bug, never legitimate slowness.
+    """

@@ -1,0 +1,92 @@
+"""Execution metrics: rounds, messages, signatures.
+
+The paper measures communication complexity "in the number of signatures
+exchanged between the parties" (§2.2).  :func:`count_signatures` walks a
+payload and counts embedded signature-ish objects — anything constructed by
+:mod:`repro.crypto` (shares, combined signatures, plain signatures).  That
+makes the measured numbers directly comparable to the paper's
+``O(r n²)`` / ``O(κ n²)`` claims without instrumenting every protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["RoundStats", "RunMetrics", "count_signatures"]
+
+
+def count_signatures(payload: Any) -> int:
+    """Count signature objects (shares, combined, plain) inside a payload."""
+    if payload is None or isinstance(payload, (int, str, bytes, bool, float)):
+        return 0
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        if type(payload).__module__.startswith("repro.crypto"):
+            return 1
+        return sum(
+            count_signatures(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
+    if isinstance(payload, dict):
+        return sum(count_signatures(v) for v in payload.values()) + sum(
+            count_signatures(k) for k in payload.keys()
+        )
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(count_signatures(item) for item in payload)
+    return 0
+
+
+@dataclass
+class RoundStats:
+    """Per-round tallies, split by sender honesty at send time."""
+
+    honest_messages: int = 0
+    corrupt_messages: int = 0
+    honest_signatures: int = 0
+    corrupt_signatures: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated measurements for one simulated execution."""
+
+    rounds: int = 0
+    per_round: Dict[int, RoundStats] = field(default_factory=dict)
+
+    def record(self, round_index: int, honest: bool, signature_count: int) -> None:
+        """Tally one delivered message."""
+        stats = self.per_round.setdefault(round_index, RoundStats())
+        if honest:
+            stats.honest_messages += 1
+            stats.honest_signatures += signature_count
+        else:
+            stats.corrupt_messages += 1
+            stats.corrupt_signatures += signature_count
+
+    @property
+    def honest_messages(self) -> int:
+        """Messages sent by parties that were honest at send time."""
+        return sum(s.honest_messages for s in self.per_round.values())
+
+    @property
+    def corrupt_messages(self) -> int:
+        """Messages sent by corrupted parties."""
+        return sum(s.corrupt_messages for s in self.per_round.values())
+
+    @property
+    def total_messages(self) -> int:
+        """All delivered messages."""
+        return self.honest_messages + self.corrupt_messages
+
+    @property
+    def honest_signatures(self) -> int:
+        """Signature objects inside honest-sent payloads (the paper's comm metric)."""
+        return sum(s.honest_signatures for s in self.per_round.values())
+
+    @property
+    def total_signatures(self) -> int:
+        """Signature objects across all payloads, honest and corrupt."""
+        return self.honest_signatures + sum(
+            s.corrupt_signatures for s in self.per_round.values()
+        )

@@ -1,0 +1,290 @@
+"""The synchronous network simulator.
+
+Drives generator party programs (see :mod:`repro.network.party`) round by
+round over authenticated point-to-point channels, with a strongly-rushing,
+adaptive Byzantine adversary interposed between message *computation* and
+message *delivery* — exactly the paper's §2.1 model.
+
+The simulator is single-process and fully deterministic given its seed: the
+per-party RNGs, the adversary RNG and the (ideal) coin secret all derive
+from it.  Every experiment in ``benchmarks/`` is therefore reproducible
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..adversary.base import Adversary, AdversaryEnv, RoundDecision, RoundView
+from ..crypto.keys import CryptoSuite
+from .errors import AdversaryBudgetError, RoundLimitError, SimulationError
+from .messages import Outbox, normalize_outbox
+from .metrics import RunMetrics, count_signatures
+from .party import Context, ProgramFactory
+from .trace import Tracer
+
+__all__ = ["ExecutionResult", "SyncSimulator", "run_protocol"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution."""
+
+    outputs: Dict[int, Any]
+    corrupted: Set[int]
+    metrics: RunMetrics
+    inputs: Dict[int, Any]
+    # Round in which each party's program returned (0 = before round 1).
+    # Fixed-round protocols finish everyone in the same round; protocols
+    # with probabilistic termination visibly do not — see
+    # repro.core.probabilistic.
+    finish_rounds: Dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.finish_rounds is None:
+            self.finish_rounds = {}
+
+    @property
+    def honest_parties(self) -> List[int]:
+        """Ids of parties never corrupted during the run."""
+        return sorted(set(self.inputs) - self.corrupted)
+
+    @property
+    def honest_outputs(self) -> Dict[int, Any]:
+        """Outputs restricted to honest parties."""
+        return {
+            pid: self.outputs[pid]
+            for pid in self.honest_parties
+            if pid in self.outputs
+        }
+
+    def honest_agree(self) -> bool:
+        """Did all honest parties produce the same output?"""
+        values = list(self.honest_outputs.values())
+        return all(value == values[0] for value in values) if values else True
+
+
+class SyncSimulator:
+    """A configured synchronous network ready to run party programs."""
+
+    def __init__(
+        self,
+        num_parties: int,
+        max_faulty: int,
+        crypto: CryptoSuite,
+        adversary: Optional[Adversary] = None,
+        seed: int = 0,
+        session: str = "run",
+        max_rounds: int = 4096,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if crypto.num_parties != num_parties:
+            raise SimulationError(
+                f"crypto suite dealt for n={crypto.num_parties}, "
+                f"simulator has n={num_parties}"
+            )
+        if not (0 <= max_faulty < num_parties):
+            raise SimulationError(f"need 0 <= t < n, got t={max_faulty}")
+        self.num_parties = num_parties
+        self.max_faulty = max_faulty
+        self.crypto = crypto
+        self.adversary = adversary or Adversary()
+        self.seed = seed
+        self.session = session
+        self.max_rounds = max_rounds
+        self.tracer = tracer
+
+    def run(self, factory: ProgramFactory, inputs: Sequence[Any]) -> ExecutionResult:
+        """Execute ``factory(ctx_i, inputs[i])`` for every party to completion."""
+        n = self.num_parties
+        if len(inputs) != n:
+            raise SimulationError(f"need {n} inputs, got {len(inputs)}")
+        input_map = dict(enumerate(inputs))
+        master = random.Random(self.seed)
+        party_seeds = [master.getrandbits(64) for _ in range(n)]
+        adversary_rng = random.Random(master.getrandbits(64))
+
+        self.adversary.setup(
+            AdversaryEnv(
+                num_parties=n,
+                max_faulty=self.max_faulty,
+                session=self.session,
+                crypto=self.crypto,
+                rng=adversary_rng,
+                inputs=dict(input_map),
+            )
+        )
+        corrupted: Set[int] = set(self.adversary.initial_corruptions())
+        self._check_budget(corrupted)
+
+        contexts = [
+            Context(
+                party_id=i,
+                num_parties=n,
+                max_faulty=self.max_faulty,
+                session=self.session,
+                crypto=self.crypto,
+                rng=random.Random(party_seeds[i]),
+            )
+            for i in range(n)
+        ]
+        programs: List[Optional[Any]] = []
+        outputs: Dict[int, Any] = {}
+        finish_rounds: Dict[int, int] = {}
+        pending: Dict[int, Outbox] = {}
+        for i in range(n):
+            program = factory(contexts[i], inputs[i])
+            try:
+                pending[i] = next(program)
+                programs.append(program)
+            except StopIteration as stop:
+                outputs[i] = stop.value
+                finish_rounds[i] = 0
+                programs.append(None)
+            except Exception:
+                if i in corrupted:
+                    programs.append(None)  # broken shadow: silent hereafter
+                else:
+                    raise
+
+        metrics = RunMetrics()
+        round_index = 0
+        while self._honest_unfinished(outputs, corrupted):
+            round_index += 1
+            if round_index > self.max_rounds:
+                raise RoundLimitError(
+                    f"protocol exceeded {self.max_rounds} rounds; "
+                    "fixed-round protocols must terminate — this is a bug"
+                )
+            normalized = {
+                pid: normalize_outbox(outbox, n) for pid, outbox in pending.items()
+            }
+            for pid in range(n):
+                normalized.setdefault(pid, {})
+            decision = self.adversary.decide(
+                RoundView(
+                    round_index=round_index,
+                    outboxes=normalized,
+                    corrupted=frozenset(corrupted),
+                )
+            )
+            corrupted = self._apply_decision(decision, corrupted, normalized)
+            if self.tracer is not None:
+                self.tracer.record_corruptions(round_index, corrupted)
+
+            inboxes: Dict[int, Dict[int, Any]] = {pid: {} for pid in range(n)}
+            for sender in range(n):
+                sender_honest = sender not in corrupted
+                for recipient, payload in normalized[sender].items():
+                    inboxes[recipient][sender] = payload
+                    metrics.record(
+                        round_index, sender_honest, count_signatures(payload)
+                    )
+                    if self.tracer is not None:
+                        self.tracer.record_message(
+                            round_index, sender, recipient, payload, sender_honest
+                        )
+
+            self.adversary.observe(
+                round_index, {pid: inboxes[pid] for pid in corrupted}
+            )
+
+            pending = {}
+            for pid in range(n):
+                program = programs[pid]
+                if program is None:
+                    continue
+                try:
+                    pending[pid] = program.send(inboxes[pid])
+                except StopIteration as stop:
+                    outputs[pid] = stop.value
+                    finish_rounds[pid] = round_index
+                    programs[pid] = None
+                except Exception:
+                    if pid in corrupted:
+                        programs[pid] = None  # broken shadow: silent hereafter
+                    else:
+                        raise
+        metrics.rounds = round_index
+        return ExecutionResult(
+            outputs=outputs,
+            corrupted=corrupted,
+            metrics=metrics,
+            inputs=input_map,
+            finish_rounds=finish_rounds,
+        )
+
+    def _honest_unfinished(self, outputs: Dict[int, Any], corrupted: Set[int]) -> bool:
+        return any(
+            pid not in outputs and pid not in corrupted
+            for pid in range(self.num_parties)
+        )
+
+    def _apply_decision(
+        self,
+        decision: RoundDecision,
+        corrupted: Set[int],
+        normalized: Dict[int, Dict[int, Any]],
+    ) -> Set[int]:
+        for pid, outbox in decision.replace.items():
+            if pid not in corrupted:
+                raise SimulationError(
+                    f"adversary tried to replace messages of honest party {pid} "
+                    "without corrupting it"
+                )
+            normalized[pid] = normalize_outbox(outbox, self.num_parties)
+        new_corrupted = set(corrupted)
+        for pid, outbox in decision.corrupt.items():
+            if not (0 <= pid < self.num_parties):
+                raise SimulationError(f"adversary named nonexistent party {pid}")
+            new_corrupted.add(pid)
+            # Strongly rushing: replace (or drop, when None) the in-flight
+            # round-r messages of the freshly corrupted party.
+            normalized[pid] = normalize_outbox(outbox, self.num_parties)
+        self._check_budget(new_corrupted)
+        return new_corrupted
+
+    def _check_budget(self, corrupted: Set[int]) -> None:
+        if len(corrupted) > self.max_faulty:
+            raise AdversaryBudgetError(
+                f"adversary corrupted {len(corrupted)} parties, budget is "
+                f"{self.max_faulty}"
+            )
+        for pid in corrupted:
+            if not (0 <= pid < self.num_parties):
+                raise SimulationError(f"adversary named nonexistent party {pid}")
+
+
+def run_protocol(
+    factory: ProgramFactory,
+    inputs: Sequence[Any],
+    max_faulty: int,
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    session: str = "run",
+    crypto: Optional[CryptoSuite] = None,
+    max_rounds: int = 4096,
+) -> ExecutionResult:
+    """One-call convenience wrapper: deal ideal keys, build a simulator, run.
+
+    ``crypto`` may be supplied to reuse key material across executions (key
+    dealing dominates runtime for the real backend) or to select the real
+    backend explicitly.
+    """
+    num_parties = len(inputs)
+    if crypto is None:
+        crypto = CryptoSuite.ideal(
+            num_parties, max_faulty, random.Random(seed ^ 0x5E7_0000)
+        )
+    simulator = SyncSimulator(
+        num_parties=num_parties,
+        max_faulty=max_faulty,
+        crypto=crypto,
+        adversary=adversary,
+        seed=seed,
+        session=session,
+        max_rounds=max_rounds,
+    )
+    return simulator.run(factory, inputs)

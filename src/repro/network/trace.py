@@ -1,0 +1,143 @@
+"""Execution tracing: record and render full message transcripts.
+
+A :class:`Tracer` attached to :class:`~repro.network.simulator.SyncSimulator`
+records every delivered message (round, sender, recipient, payload, sender
+honesty at send time) plus corruption events.  Transcripts render as a
+round-by-round ASCII timeline — handy for debugging a protocol, teaching
+the FM iteration structure, or eyeballing what an adversary actually did.
+
+Payloads are summarized, not deep-copied: tracing a 2^64-slot Proxcensus
+must not blow up memory, so each payload is reduced to a short structural
+description at record time (dict keys, tuple arity, signature markers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+from .messages import PARALLEL_KEY
+
+__all__ = ["TraceEvent", "Tracer", "summarize_payload"]
+
+
+def summarize_payload(payload: Any, depth: int = 0) -> str:
+    """A short, bounded structural description of a message payload."""
+    if depth > 3:
+        return "…"
+    if payload is None:
+        return "∅"
+    if isinstance(payload, bool):
+        return str(payload)
+    if isinstance(payload, int):
+        return str(payload) if abs(payload) < 10 ** 6 else f"int({payload.bit_length()}b)"
+    if isinstance(payload, str):
+        return repr(payload if len(payload) <= 12 else payload[:9] + "...")
+    if isinstance(payload, bytes):
+        return f"bytes[{len(payload)}]"
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        if type(payload).__module__.startswith("repro.crypto"):
+            return f"<{type(payload).__name__.lstrip('_')}>"
+        return type(payload).__name__
+    if isinstance(payload, dict):
+        if PARALLEL_KEY in payload and isinstance(payload[PARALLEL_KEY], dict):
+            inner = payload[PARALLEL_KEY]
+            parts = ", ".join(
+                f"{tag}: {summarize_payload(sub, depth + 1)}"
+                for tag, sub in sorted(inner.items())
+            )
+            return f"∥{{{parts}}}"
+        parts = ", ".join(
+            f"{key}={summarize_payload(value, depth + 1)}"
+            for key, value in list(sorted(payload.items(), key=lambda kv: str(kv[0])))[:4]
+        )
+        suffix = ", …" if len(payload) > 4 else ""
+        return f"{{{parts}{suffix}}}"
+    if isinstance(payload, (list, tuple)):
+        items = ", ".join(summarize_payload(item, depth + 1) for item in payload[:3])
+        suffix = ", …" if len(payload) > 3 else ""
+        return f"({items}{suffix})"
+    return type(payload).__name__
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message."""
+
+    round_index: int
+    sender: int
+    recipient: int
+    summary: str
+    sender_honest: bool
+
+
+@dataclass
+class Tracer:
+    """Collects message events and corruption history during a run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    corruptions: List[Tuple[int, int]] = field(default_factory=list)  # (round, pid)
+    _known_corrupted: Set[int] = field(default_factory=set)
+
+    def record_message(
+        self, round_index: int, sender: int, recipient: int, payload: Any,
+        sender_honest: bool,
+    ) -> None:
+        """Record one delivered message (payload summarized, not copied)."""
+        self.events.append(
+            TraceEvent(
+                round_index=round_index,
+                sender=sender,
+                recipient=recipient,
+                summary=summarize_payload(payload),
+                sender_honest=sender_honest,
+            )
+        )
+
+    def record_corruptions(self, round_index: int, corrupted: Set[int]) -> None:
+        for pid in sorted(corrupted - self._known_corrupted):
+            self.corruptions.append((round_index, pid))
+            self._known_corrupted.add(pid)
+
+    @property
+    def rounds(self) -> int:
+        """Highest round with a recorded event."""
+        return max((e.round_index for e in self.events), default=0)
+
+    def events_in_round(self, round_index: int) -> List[TraceEvent]:
+        """All events delivered in one round."""
+        return [e for e in self.events if e.round_index == round_index]
+
+    def render(self, max_payload_width: int = 60) -> str:
+        """Round-by-round ASCII timeline of the execution."""
+        lines: List[str] = []
+        corrupted_at: Dict[int, List[int]] = {}
+        for round_index, pid in self.corruptions:
+            corrupted_at.setdefault(round_index, []).append(pid)
+        for round_index in range(0, self.rounds + 1):
+            events = self.events_in_round(round_index)
+            if not events and round_index not in corrupted_at:
+                continue
+            lines.append(f"── round {round_index} " + "─" * 40)
+            if round_index in corrupted_at:
+                pids = ", ".join(f"P{p}" for p in corrupted_at[round_index])
+                lines.append(f"   ⚡ corrupted: {pids}")
+            # Broadcasts collapse into one line per (sender, summary).
+            grouped: Dict[Tuple[int, str, bool], List[int]] = {}
+            for event in events:
+                key = (event.sender, event.summary, event.sender_honest)
+                grouped.setdefault(key, []).append(event.recipient)
+            for (sender, summary, honest), recipients in sorted(grouped.items()):
+                marker = " " if honest else "!"
+                if len(recipients) == len({e.recipient for e in events if e.sender == sender}) and len(set(recipients)) > 2:
+                    target = "→ all" if len(set(recipients)) >= self._population(events) else f"→ {sorted(set(recipients))}"
+                else:
+                    target = f"→ {sorted(set(recipients))}"
+                clipped = summary if len(summary) <= max_payload_width else summary[: max_payload_width - 1] + "…"
+                lines.append(f" {marker} P{sender} {target}: {clipped}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _population(events: List[TraceEvent]) -> int:
+        return len({e.recipient for e in events})

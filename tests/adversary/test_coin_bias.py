@@ -1,0 +1,73 @@
+"""Tests for the withholding coin-bias adversary's mechanics."""
+
+import pytest
+
+from repro.adversary.coin_bias import WithholdingCoinAdversary
+from repro.crypto.vrf_coin import vrf_coin_program
+
+from ..conftest import run
+
+
+def vrf_factory(index=0, low=0, high=1):
+    def factory(ctx, _):
+        value = yield from vrf_coin_program(ctx, index, low, high)
+        return value
+
+    return factory
+
+
+class TestWithholdingMechanics:
+    def test_silent_on_rounds_without_vrf_traffic(self):
+        """Against a non-coin protocol the adversary just goes dark."""
+
+        def chatter(ctx, _):
+            inbox = yield ctx.broadcast({"v": 1})
+            return sorted(inbox)
+
+        adversary = WithholdingCoinAdversary(
+            [3], index=0, low=0, high=1, preferred=1
+        )
+        res = run(chatter, [None] * 4, 1, adversary=adversary, session="wb1")
+        # party 3 sent nothing; honest traffic flowed
+        assert 3 not in res.outputs[0]
+        assert adversary.steered == 0
+
+    def test_honest_parties_get_a_consistent_coin(self):
+        for trial in range(20):
+            adversary = WithholdingCoinAdversary(
+                [3], index=trial, low=0, high=3, preferred=0,
+                session=f"wb2-{trial}",
+            )
+            res = run(
+                vrf_factory(trial, 0, 3), [None] * 4, 1,
+                adversary=adversary, session=f"wb2-{trial}",
+            )
+            assert len(set(res.honest_outputs.values())) == 1
+
+    def test_steered_counter_only_counts_real_divergence(self):
+        total_steered = 0
+        preferred_hits_with = 0
+        preferred_hits_without = 0
+        trials = 60
+        for trial in range(trials):
+            session = f"wb3-{trial}"
+            baseline = run(
+                vrf_factory(trial), [None] * 4, 1, session=session
+            )
+            adversary = WithholdingCoinAdversary(
+                [3], index=trial, low=0, high=1, preferred=1, session=session
+            )
+            attacked = run(
+                vrf_factory(trial), [None] * 4, 1,
+                adversary=adversary, session=session,
+            )
+            total_steered += adversary.steered
+            preferred_hits_without += baseline.honest_outputs[0] == 1
+            preferred_hits_with += attacked.honest_outputs[0] == 1
+        # paired exactness: gains == steered
+        assert preferred_hits_with == preferred_hits_without + total_steered
+
+    def test_session_defaults_to_environment(self):
+        adversary = WithholdingCoinAdversary([3], index=5, low=0, high=1, preferred=1)
+        run(vrf_factory(5), [None] * 4, 1, adversary=adversary, session="wb4")
+        assert adversary.session == "wb4"

@@ -1,0 +1,123 @@
+"""Tests for the concrete adversary strategies (mechanics, not protocols)."""
+
+import pytest
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    EavesdropCoinAdversary,
+    LastRoundCorruptionAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.network.messages import Broadcast
+
+from ..conftest import run
+
+
+def gossip(ctx, value):
+    """Two-round program that returns everything it heard."""
+    heard = []
+    inbox = yield ctx.broadcast({"v": value, "round": 1})
+    heard.append(dict(inbox))
+    inbox = yield ctx.broadcast({"v": value, "round": 2})
+    heard.append(dict(inbox))
+    return heard
+
+
+class TestCrash:
+    def test_behaves_honestly_before_crash(self):
+        res = run(
+            gossip, [1, 2, 3, 4], max_faulty=1,
+            adversary=CrashAdversary(victims=[3], crash_round=2),
+        )
+        round1, round2 = res.outputs[0]
+        assert 3 in round1      # spoke in round 1
+        assert 3 not in round2  # silent from round 2
+
+    def test_crash_from_start(self):
+        res = run(
+            gossip, [1, 2, 3, 4], max_faulty=1,
+            adversary=CrashAdversary(victims=[3], crash_round=1),
+        )
+        round1, round2 = res.outputs[0]
+        assert 3 not in round1 and 3 not in round2
+
+
+class TestMalformed:
+    def test_garbage_reaches_recipients_without_crashing(self):
+        res = run(
+            gossip, [1, 2, 3, 4], max_faulty=1,
+            adversary=MalformedAdversary(victims=[3]),
+        )
+        round1, _ = res.outputs[0]
+        assert 3 in round1  # garbage was delivered
+        assert res.outputs[0] is not None  # honest party survived
+
+
+class TestTwoFace:
+    def test_two_groups_see_different_faces(self):
+        adversary = TwoFaceAdversary(
+            victims=[3], factory=gossip, low_input="L", high_input="H"
+        )
+        res = run(gossip, ["a", "b", "c", "d"], max_faulty=1, adversary=adversary)
+        low_view = res.outputs[0][0][3]   # party 0 (low group), round 1
+        high_view = res.outputs[2][0][3]  # party 2 (high group), round 1
+        assert low_view["v"] == "L"
+        assert high_view["v"] == "H"
+
+    def test_custom_low_group(self):
+        adversary = TwoFaceAdversary(
+            victims=[3], factory=gossip, low_input="L", high_input="H",
+            low_group={2},
+        )
+        res = run(gossip, ["a", "b", "c", "d"], max_faulty=1, adversary=adversary)
+        assert res.outputs[2][0][3]["v"] == "L"
+        assert res.outputs[0][0][3]["v"] == "H"
+
+    def test_twins_track_rounds(self):
+        adversary = TwoFaceAdversary(victims=[3], factory=gossip)
+        res = run(gossip, [0, 0, 1, 1], max_faulty=1, adversary=adversary)
+        assert res.outputs[0][1][3]["round"] == 2  # twin advanced to round 2
+
+
+class TestLastRoundCorruption:
+    def test_strike_drops_in_flight_messages(self):
+        adversary = LastRoundCorruptionAdversary(victim=0, strike_round=2)
+        res = run(gossip, [1, 2, 3, 4], max_faulty=1, adversary=adversary)
+        round1, round2 = res.outputs[1]
+        assert 0 in round1       # round 1 was honest
+        assert 0 not in round2   # round-2 messages seized and dropped
+        assert res.corrupted == {0}
+
+    def test_strike_with_replacement(self):
+        adversary = LastRoundCorruptionAdversary(
+            victim=0, strike_round=2, replacement=Broadcast({"v": "fake"})
+        )
+        res = run(gossip, [1, 2, 3, 4], max_faulty=1, adversary=adversary)
+        assert res.outputs[1][1][0] == {"v": "fake"}
+
+
+class TestEavesdropCoin:
+    def test_opens_overlapped_coin_during_its_round(self):
+        from repro.core.ba import ba_one_half_program
+
+        adversary = EavesdropCoinAdversary(victims=[4], coin_low=1, coin_high=4)
+        res = run(
+            lambda c, b: ba_one_half_program(c, b, kappa=4),
+            [1, 0, 1, 0, 1],
+            max_faulty=2,
+            adversary=adversary,
+            session="eav",
+        )
+        # The coin of iteration 0 runs inside rounds 1-3 (parallel to
+        # Proxcensus round 3): the adversary must have opened it at round 3.
+        opened = {
+            index: round_and_value
+            for (session, index), round_and_value in adversary.opened.items()
+        }
+        assert ("ba12", 0) in opened
+        strike_round, value = opened[("ba12", 0)]
+        assert strike_round == 3
+        assert 1 <= value <= 4
+        # ...and agreement held anyway (the slot pair was already fixed).
+        assert res.honest_agree()

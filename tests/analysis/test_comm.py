@@ -1,0 +1,101 @@
+"""Measured message counts equal the exact predictions (constants included)."""
+
+import pytest
+
+from repro.analysis.comm import (
+    messages_ba_one_half,
+    messages_ba_one_third,
+    messages_feldman_micali,
+    messages_mv,
+    messages_prox_linear_half,
+    messages_prox_one_third,
+    messages_prox_quadratic_half,
+    messages_proxcast,
+)
+from repro.core.ba import ba_one_half_program, ba_one_third_program
+from repro.core.feldman_micali import feldman_micali_program
+from repro.core.micali_vaikuntanathan import micali_vaikuntanathan_program
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_one_third_program
+from repro.proxcensus.proxcast import proxcast_program
+from repro.proxcensus.quadratic_half import prox_quadratic_half_program
+
+from ..conftest import run
+
+
+class TestProxcensusCounts:
+    @pytest.mark.parametrize("n,t,rounds", [(4, 1, 1), (4, 1, 3), (7, 2, 4)])
+    def test_one_third(self, n, t, rounds):
+        res = run(
+            lambda c, x: prox_one_third_program(c, x, rounds=rounds),
+            [i % 2 for i in range(n)], t, session=f"c13-{n}-{rounds}",
+        )
+        assert res.metrics.honest_messages == messages_prox_one_third(n, rounds)
+
+    @pytest.mark.parametrize("n,t,rounds", [(5, 2, 2), (5, 2, 4), (9, 4, 3)])
+    def test_linear_half(self, n, t, rounds):
+        res = run(
+            lambda c, x: prox_linear_half_program(c, x, rounds=rounds),
+            [i % 2 for i in range(n)], t, session=f"clh-{n}-{rounds}",
+        )
+        assert res.metrics.honest_messages == messages_prox_linear_half(n, rounds)
+
+    @pytest.mark.parametrize("n,t,rounds", [(5, 2, 3), (5, 2, 6)])
+    def test_quadratic_half(self, n, t, rounds):
+        res = run(
+            lambda c, x: prox_quadratic_half_program(c, x, rounds=rounds),
+            [i % 2 for i in range(n)], t, session=f"cqh-{n}-{rounds}",
+        )
+        assert res.metrics.honest_messages == messages_prox_quadratic_half(
+            n, rounds
+        )
+
+    @pytest.mark.parametrize("n,slots", [(4, 3), (4, 5), (6, 4)])
+    def test_proxcast(self, n, slots):
+        res = run(
+            lambda c, x: proxcast_program(c, x, slots=slots, dealer=0),
+            ["v"] * n, n - 1, session=f"cpx-{n}-{slots}",
+        )
+        assert res.metrics.honest_messages == messages_proxcast(n, slots)
+
+
+class TestBACounts:
+    @pytest.mark.parametrize("n,t,kappa", [(4, 1, 4), (4, 1, 9), (7, 2, 6)])
+    def test_ba_one_third(self, n, t, kappa):
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa),
+            [i % 2 for i in range(n)], t, session=f"cb13-{n}-{kappa}",
+        )
+        assert res.metrics.honest_messages == messages_ba_one_third(n, kappa)
+
+    @pytest.mark.parametrize("n,t,kappa", [(5, 2, 4), (5, 2, 7)])
+    def test_ba_one_half(self, n, t, kappa):
+        res = run(
+            lambda c, b: ba_one_half_program(c, b, kappa),
+            [i % 2 for i in range(n)], t, session=f"cb12-{n}-{kappa}",
+        )
+        assert res.metrics.honest_messages == messages_ba_one_half(n, kappa)
+
+    def test_feldman_micali(self):
+        res = run(
+            lambda c, b: feldman_micali_program(c, b, 4),
+            [0, 1, 0, 1], 1, session="cfm",
+        )
+        assert res.metrics.honest_messages == messages_feldman_micali(4, 4)
+
+    def test_mv(self):
+        res = run(
+            lambda c, b: micali_vaikuntanathan_program(c, b, 4),
+            [0, 1, 0, 1, 1], 2, session="cmv",
+        )
+        assert res.metrics.honest_messages == messages_mv(5, 4)
+
+    def test_the_headline_constant(self):
+        """The paper's O(κn²): the constant is exactly 1 message per pair
+        per round — ours t<n/3 sends (κ+1)n², not c·κn² for hidden c."""
+        n, kappa = 4, 16
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa),
+            [1, 0, 1, 0], 1, session="chc",
+        )
+        assert res.metrics.honest_messages == (kappa + 1) * n * n

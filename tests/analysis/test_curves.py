@@ -1,0 +1,50 @@
+"""Tests for the ASCII curve renderers."""
+
+import pytest
+
+from repro.analysis.curves import bar_chart, log_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestLogSparkline:
+    def test_exponential_decay_renders_linear(self):
+        values = [2.0 ** -k for k in range(1, 9)]
+        line = log_sparkline(values)
+        # strictly decreasing blocks (log-linear)
+        assert line == "".join(sorted(line, reverse=True))
+
+    def test_zero_clamps_to_floor(self):
+        line = log_sparkline([0.5, 0.0])
+        assert len(line) == 2
+        assert line[1] == "▁"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart([("ours", 9.0), ("fm", 16.0)], width=10, unit=" rounds")
+        assert "ours" in chart and "fm" in chart
+        assert "16 rounds" in chart
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10      # the max fills the width
+        assert 4 <= lines[0].count("█") <= 7  # 9/16 of the width
+
+    def test_zero_peak_does_not_divide_by_zero(self):
+        assert bar_chart([("a", 0.0)]) != ""

@@ -1,0 +1,78 @@
+"""Tests for the Monte-Carlo experiment drivers."""
+
+import pytest
+
+from repro.adversary.strategies import TwoFaceAdversary
+from repro.analysis.experiments import (
+    ExperimentSetup,
+    disagreement_rate,
+    measure_execution,
+    run_trials,
+    slot_occupancy,
+)
+from repro.core.ba import ba_one_third_program
+from repro.proxcensus.one_third import prox_one_third_program
+
+
+def prox(ctx, x):
+    return prox_one_third_program(ctx, x, rounds=2)
+
+
+def ba(ctx, b):
+    return ba_one_third_program(ctx, b, kappa=4)
+
+
+class TestRunTrials:
+    def test_trials_are_distinct_executions(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        results = run_trials(setup, ba, [0, 1, 0, 1], trials=6)
+        assert len(results) == 6
+        # Coins differ across trials (distinct sessions), so outputs vary
+        # across enough trials.
+        outcomes = {tuple(sorted(r.outputs.items())) for r in results}
+        assert len(outcomes) >= 2
+
+    def test_deterministic_given_seed(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        a = run_trials(setup, ba, [0, 1, 0, 1], trials=3, seed=5)
+        b = run_trials(setup, ba, [0, 1, 0, 1], trials=3, seed=5)
+        assert [r.outputs for r in a] == [r.outputs for r in b]
+
+
+class TestDisagreementRate:
+    def test_zero_for_validity_runs(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        results = run_trials(setup, ba, [1, 1, 1, 1], trials=5)
+        assert disagreement_rate(results) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            disagreement_rate([])
+
+
+class TestMeasureExecution:
+    def test_reports_all_metrics(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        measured = measure_execution(setup, ba, [0, 1, 0, 1])
+        assert measured["rounds"] == 5  # kappa + 1
+        assert measured["honest_messages"] > 0
+        assert measured["total_signatures"] >= measured["honest_signatures"]
+
+
+class TestSlotOccupancy:
+    def test_pre_agreement_occupies_one_extremal_slot(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        occupancy = slot_occupancy(setup, prox, 5, [1, 1, 1, 1], trials=4)
+        assert set(occupancy) == {4}  # rightmost slot of Prox_5
+
+    def test_adversarial_runs_stay_adjacent_per_execution(self):
+        setup = ExperimentSetup(num_parties=4, max_faulty=1)
+        occupancy = slot_occupancy(
+            setup,
+            prox,
+            5,
+            [0, 0, 1, 1],
+            trials=8,
+            adversary_factory=lambda: TwoFaceAdversary(victims=[3], factory=prox),
+        )
+        assert sum(occupancy.values()) == 8 * 3  # 3 honest parties per trial

@@ -1,0 +1,53 @@
+"""Tests for the Monte-Carlo statistics helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import format_rate, wilson_interval, within_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_degenerate_extremes_are_bounded(self):
+        low, high = wilson_interval(0, 50)
+        assert low <= 1e-12 and 0 < high < 0.15
+        low, high = wilson_interval(50, 50)
+        assert 0.85 < low < 1 and high >= 1.0 - 1e-12
+
+    def test_shrinks_with_trials(self):
+        narrow = wilson_interval(300, 1000)
+        wide = wilson_interval(30, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    @given(
+        trials=st.integers(min_value=1, max_value=10_000),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_is_ordered_and_in_unit_range(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        low, high = wilson_interval(successes, trials)
+        estimate = successes / trials
+        assert 0.0 <= low <= high <= 1.0
+        assert low - 1e-12 <= estimate <= high + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestHelpers:
+    def test_within_interval(self):
+        assert within_interval(0.25, 25, 100)
+        assert not within_interval(0.9, 25, 100)
+
+    def test_format_rate(self):
+        text = format_rate(25, 100)
+        assert text.startswith("0.2500 [")
+        assert text.endswith("]")

@@ -1,0 +1,155 @@
+"""Tests for the replicated log (sequential BA composition)."""
+
+import pytest
+
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.applications.ledger import NO_OP, replicated_log_program, rounds_per_slot
+
+from ..conftest import run
+
+KAPPA = 6
+
+
+def log_program(num_slots, regime="one_third", kappa=KAPPA):
+    return lambda ctx, cmds: replicated_log_program(
+        ctx, cmds, num_slots=num_slots, kappa=kappa, regime=regime
+    )
+
+
+class TestHonestRuns:
+    def test_identical_logs_across_replicas(self):
+        queues = [["a", "b"], ["a", "c"], ["a", "b"], ["a", "c"]]
+        res = run(log_program(3), queues, 1, session="lg1")
+        logs = list(res.outputs.values())
+        assert all(log == logs[0] for log in logs)
+        assert len(logs[0]) == 3
+
+    def test_unanimous_proposals_commit_in_order(self):
+        queues = [["tx1", "tx2", "tx3"]] * 4
+        res = run(log_program(3), queues, 1, session="lg2")
+        assert res.outputs[0] == ["tx1", "tx2", "tx3"]
+
+    def test_committed_command_is_not_ordered_twice(self):
+        queues = [["a", "a", "b"]] * 4  # duplicate client submission
+        res = run(log_program(3), queues, 1, session="lg3")
+        log = res.outputs[0]
+        assert log[0] == "a"
+        assert log.count("a") <= 2  # the duplicate may commit once more
+        # identical everywhere regardless
+        assert all(res.outputs[i] == log for i in range(4))
+
+    def test_round_cost_is_slots_times_per_slot(self):
+        res = run(log_program(2), [["x"]] * 4, 1, session="lg4")
+        assert res.metrics.rounds == 2 * rounds_per_slot(KAPPA, "one_third")
+
+    def test_slots_finish_in_lockstep(self):
+        """The composability property: all replicas finish the whole log in
+        the same round — no re-synchronization gadget needed between
+        slots (the paper's §1 argument for fixed-round building blocks)."""
+        res = run(log_program(3), [["x"], ["y"], ["x"], ["y"]], 1, session="lg5")
+        assert len(set(res.finish_rounds.values())) == 1
+
+    def test_one_half_regime(self):
+        queues = [["m"]] * 5
+        res = run(log_program(2, regime="one_half"), queues, 2, session="lg6")
+        assert res.outputs[0][0] == "m"
+        assert res.metrics.rounds == 2 * rounds_per_slot(KAPPA, "one_half")
+
+
+class TestRotatingProposer:
+    def test_distinct_commands_all_commit(self):
+        """With honest rotating leaders, every replica's command lands."""
+        queues = [["cmd_a"], ["cmd_b"], ["cmd_c"], ["cmd_d"]]
+        res = run(
+            log_program := (lambda ctx, cmds: replicated_log_program(
+                ctx, cmds, num_slots=4, kappa=KAPPA,
+                regime="one_third", proposer="rotating",
+            )),
+            queues, 1, session="lr1",
+        )
+        log = res.outputs[0]
+        assert log == ["cmd_a", "cmd_b", "cmd_c", "cmd_d"]
+        assert all(res.outputs[i] == log for i in range(4))
+
+    def test_round_cost_includes_proxcast(self):
+        res = run(
+            lambda ctx, cmds: replicated_log_program(
+                ctx, cmds, num_slots=2, kappa=KAPPA,
+                regime="one_third", proposer="rotating",
+            ),
+            [["x"]] * 4, 1, session="lr2",
+        )
+        assert res.metrics.rounds == 2 * rounds_per_slot(
+            KAPPA, "one_third", "rotating"
+        )
+
+    def test_crashed_leader_costs_a_noop_not_a_fork(self):
+        queues = [["a"], ["b"], ["c"], ["d"]]
+        res = run(
+            lambda ctx, cmds: replicated_log_program(
+                ctx, cmds, num_slots=2, kappa=KAPPA,
+                regime="one_third", proposer="rotating",
+            ),
+            queues, 1,
+            adversary=CrashAdversary(victims=[0], crash_round=1),
+            session="lr3",
+        )
+        honest_logs = list(res.honest_outputs.values())
+        assert all(log == honest_logs[0] for log in honest_logs)
+        assert honest_logs[0][0] == NO_OP     # slot 0's leader was dead
+        assert honest_logs[0][1] == "b"       # slot 1's leader delivered
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run(
+                lambda ctx, cmds: replicated_log_program(
+                    ctx, cmds, num_slots=1, proposer="anarchic"
+                ),
+                [["x"]] * 4, 1, session="lr4",
+            )
+
+
+class TestAdversarialRuns:
+    def test_crash_replicas_do_not_fork_the_log(self):
+        queues = [["a"], ["a"], ["a"], ["b"], ["b"]]
+        res = run(
+            log_program(2), queues, 1,
+            adversary=CrashAdversary(victims=[4], crash_round=3), session="lg7",
+        )
+        honest_logs = list(res.honest_outputs.values())
+        assert all(log == honest_logs[0] for log in honest_logs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_equivocating_replica_cannot_fork(self, seed):
+        factory = log_program(2)
+        queues = [["a"], ["a"], ["b"], ["b"]]
+        res = run(
+            factory, queues, 1,
+            adversary=TwoFaceAdversary(
+                victims=[3], factory=factory,
+                low_input=["a"], high_input=["b"],
+            ),
+            seed=seed, session=f"lg8-{seed}",
+        )
+        honest_logs = list(res.honest_outputs.values())
+        assert all(log == honest_logs[0] for log in honest_logs)
+
+    def test_no_proposals_commit_no_ops(self):
+        res = run(log_program(2), [[]] * 4, 1, session="lg9")
+        assert res.outputs[0] == [NO_OP, NO_OP]
+
+
+class TestValidation:
+    def test_regime_resilience_enforced(self):
+        with pytest.raises(ValueError):
+            run(log_program(1), [["x"]] * 4, 2, session="lgx")  # t !< n/3
+        with pytest.raises(ValueError):
+            run(log_program(1, regime="one_half"), [["x"]] * 4, 2, session="lgy")
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            run(log_program(0), [["x"]] * 4, 1, session="lgz")
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            run(log_program(1, regime="bogus"), [["x"]] * 4, 1, session="lgw")

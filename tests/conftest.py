@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import CryptoSuite
+from repro.network.simulator import SyncSimulator
+
+# Dealt once per session: ideal suites are cheap but there is no reason to
+# re-deal hundreds of times across tests with the same (n, t).
+_SUITE_CACHE = {}
+
+
+def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
+    key = (num_parties, max_faulty)
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = CryptoSuite.ideal(
+            num_parties, max_faulty, random.Random(hash(key) & 0xFFFF)
+        )
+    return _SUITE_CACHE[key]
+
+
+def run(factory, inputs, max_faulty, adversary=None, seed=0, session="t", crypto=None):
+    """Run a protocol on cached ideal keys; returns the ExecutionResult."""
+    num_parties = len(inputs)
+    simulator = SyncSimulator(
+        num_parties=num_parties,
+        max_faulty=max_faulty,
+        crypto=crypto or ideal_suite(num_parties, max_faulty),
+        adversary=adversary,
+        seed=seed,
+        session=session,
+    )
+    return simulator.run(factory, inputs)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xDEC0DE)

@@ -1,0 +1,110 @@
+"""Tests for the ablation protocol variants."""
+
+import math
+
+import pytest
+
+from repro.adversary.strategies import TwoFaceAdversary
+from repro.core.ablation import (
+    ba_one_half_generalized,
+    ba_one_third_chunked,
+    bits_per_round_one_half,
+    bits_per_round_one_third,
+    rounds_one_half_generalized,
+    rounds_one_third_chunked,
+)
+
+from ..conftest import run
+
+
+class TestChunkedOneThird:
+    @pytest.mark.parametrize("chunk,expected", [(1, 16), (2, 12), (4, 10), (8, 9)])
+    def test_round_formula(self, chunk, expected):
+        assert rounds_one_third_chunked(8, chunk) == expected
+
+    def test_endpoints_are_fm_and_ours(self):
+        from repro.core.ba import rounds_one_third
+        from repro.core.feldman_micali import rounds_feldman_micali
+
+        for kappa in (4, 8, 16):
+            assert rounds_one_third_chunked(kappa, 1) == rounds_feldman_micali(kappa)
+            assert rounds_one_third_chunked(kappa, kappa) == rounds_one_third(kappa)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 4, 8])
+    def test_executes_with_formula_rounds(self, chunk):
+        res = run(
+            lambda c, b: ba_one_third_chunked(c, b, 8, chunk),
+            [1, 0, 1, 0], 1, session=f"ch{chunk}",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == rounds_one_third_chunked(8, chunk)
+
+    def test_validity(self):
+        res = run(
+            lambda c, b: ba_one_third_chunked(c, b, 6, 3),
+            [1, 1, 1, 1], 1, session="chv",
+        )
+        assert all(v == 1 for v in res.outputs.values())
+
+    def test_consistency_under_two_face(self):
+        factory = lambda c, b: ba_one_third_chunked(c, b, 6, 3)
+        res = run(
+            factory, [0, 0, 1, 1], 1,
+            adversary=TwoFaceAdversary(victims=[3], factory=factory),
+            session="cht",
+        )
+        assert res.honest_agree()
+
+    def test_bits_per_round_increases_with_chunk(self):
+        rates = [bits_per_round_one_third(m) for m in range(1, 10)]
+        assert rates == sorted(rates)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            run(lambda c, b: ba_one_third_chunked(c, b, 4, 0), [0] * 4, 1)
+        with pytest.raises(ValueError):
+            run(lambda c, b: ba_one_third_chunked(c, b, 4, 5), [0] * 4, 1)
+
+
+class TestGeneralizedOneHalf:
+    def test_r3_linear_is_the_paper_protocol(self):
+        from repro.core.ba import rounds_one_half
+
+        for kappa in (2, 4, 8, 12):
+            assert rounds_one_half_generalized(kappa, 3, "linear") == rounds_one_half(
+                kappa
+            )
+
+    @pytest.mark.parametrize(
+        "prox_rounds,family", [(2, "linear"), (3, "linear"), (4, "linear"), (4, "quadratic")]
+    )
+    def test_executes_with_formula_rounds(self, prox_rounds, family):
+        res = run(
+            lambda c, b: ba_one_half_generalized(c, b, 6, prox_rounds, family),
+            [1, 0, 1, 0, 1], 2, session=f"g{family}{prox_rounds}",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == rounds_one_half_generalized(
+            6, prox_rounds, family
+        )
+
+    def test_r3_maximizes_bits_per_round(self):
+        best = bits_per_round_one_half(3, "linear")
+        for prox_rounds in (2, 4, 5, 6, 8):
+            assert bits_per_round_one_half(prox_rounds, "linear") < best
+        for prox_rounds in (4, 5, 6, 8):
+            assert bits_per_round_one_half(prox_rounds, "quadratic") < best
+
+    def test_quadratic_family_validity(self):
+        res = run(
+            lambda c, b: ba_one_half_generalized(c, b, 4, 5, "quadratic"),
+            [0, 0, 0, 0, 0], 2, session="gq",
+        )
+        assert all(v == 0 for v in res.outputs.values())
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            run(
+                lambda c, b: ba_one_half_generalized(c, b, 4, 3, "cubic"),
+                [0] * 5, 2, session="gx",
+            )

@@ -1,0 +1,102 @@
+"""Edge-path tests for Π_iter: coin failure, non-binary clamps, overlap."""
+
+import pytest
+
+from repro.core.iteration import pi_iter_program, threshold_coin_factory
+from repro.proxcensus.base import ProxOutput
+from repro.proxcensus.one_third import prox_one_third_program
+
+from ..conftest import run
+
+
+def failing_coin_factory():
+    """A coin whose combine never succeeds (models total share loss)."""
+
+    def factory(ctx, index, low, high):
+        yield ctx.broadcast(None)  # the round is still spent
+        return None
+
+    return factory
+
+
+def synthetic_prox(output):
+    """A 1-round 'Proxcensus' that returns a fixed output (test double)."""
+
+    def factory(ctx, _bit):
+        yield ctx.broadcast(None)
+        return output
+
+    return factory
+
+
+class TestCoinFailure:
+    def test_failed_coin_degrades_to_low_value(self):
+        """With coin=None every party falls back to coin=1 — identical at
+        all parties, so agreement still holds; validity is untouched."""
+
+        def program(ctx, bit):
+            result = yield from pi_iter_program(
+                ctx, bit, slots=9,
+                prox_factory=lambda c, b: prox_one_third_program(c, b, rounds=3),
+                prox_rounds=3,
+                coin_factory=failing_coin_factory(),
+            )
+            return result
+
+        res = run(program, [1, 1, 1, 1], 1, session="cf1")
+        assert all(v == 1 for v in res.outputs.values())
+        res = run(program, [0, 1, 0, 1], 1, session="cf2")
+        assert res.honest_agree()
+
+    def test_failed_coin_still_spends_one_round(self):
+        def program(ctx, bit):
+            result = yield from pi_iter_program(
+                ctx, bit, slots=3,
+                prox_factory=lambda c, b: prox_one_third_program(c, b, rounds=1),
+                prox_rounds=1,
+                coin_factory=failing_coin_factory(),
+            )
+            return result
+
+        res = run(program, [1, 1, 1, 1], 1, session="cf3")
+        assert res.metrics.rounds == 2
+
+
+class TestNonBinaryClamp:
+    def test_non_binary_prox_value_degrades_to_center(self):
+        """A (impossible-for-honest) non-binary Proxcensus value is clamped
+        to the (0, 0) slot rather than crashing extraction."""
+
+        def program(ctx, bit):
+            result = yield from pi_iter_program(
+                ctx, bit, slots=5,
+                prox_factory=synthetic_prox(ProxOutput("weird", 2)),
+                prox_rounds=1,
+                coin_factory=threshold_coin_factory(),
+            )
+            return result
+
+        res = run(program, [1, 1, 1, 1], 1, session="nb1")
+        assert set(res.outputs.values()) <= {0, 1}
+        assert res.honest_agree()
+
+
+class TestOverlapEdge:
+    def test_overlap_with_zero_round_prox_falls_back_to_sequential(self):
+        def instant_prox(ctx, _bit):
+            return ProxOutput(1, 1)
+            yield  # pragma: no cover
+
+        def program(ctx, bit):
+            result = yield from pi_iter_program(
+                ctx, bit, slots=3,
+                prox_factory=instant_prox,
+                prox_rounds=0,
+                coin_factory=threshold_coin_factory(),
+                overlap_coin=True,
+            )
+            return result
+
+        res = run(program, [1, 1, 1, 1], 1, session="ov0")
+        assert res.metrics.rounds == 1  # just the coin round
+        assert all(v == 1 for v in res.outputs.values())

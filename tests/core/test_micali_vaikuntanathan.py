@@ -1,0 +1,96 @@
+"""Tests for the MV-style t < n/2 baseline (threshold and PKI modes)."""
+
+import pytest
+
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.core.micali_vaikuntanathan import (
+    micali_vaikuntanathan_program,
+    mv_pki_program,
+    rounds_mv,
+)
+
+from ..conftest import run
+
+
+def mv(kappa):
+    return lambda c, b: micali_vaikuntanathan_program(c, b, kappa)
+
+
+def mv_pki(kappa):
+    return lambda c, b: mv_pki_program(c, b, kappa)
+
+
+class TestMicaliVaikuntanathan:
+    @pytest.mark.parametrize("kappa", [1, 3, 6])
+    def test_round_count_is_two_kappa(self, kappa):
+        res = run(mv(kappa), [1, 0, 1, 0, 1], max_faulty=2, session=f"mv{kappa}")
+        assert res.metrics.rounds == rounds_mv(kappa) == 2 * kappa
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity(self, bit):
+        res = run(mv(4), [bit] * 5, max_faulty=2, session="mvv")
+        assert all(v == bit for v in res.outputs.values())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_consistency_split_inputs(self, seed):
+        res = run(
+            mv(6), [0, 1, 0, 1, 1], max_faulty=2, seed=seed, session=f"mvc{seed}"
+        )
+        assert res.honest_agree()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_consistency_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=mv(6))
+        res = run(
+            mv(6), [0, 0, 1, 1, 1], max_faulty=2,
+            adversary=adversary, seed=seed, session=f"mvt{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_crash_tolerated(self):
+        res = run(
+            mv(4), [1, 1, 1, 1, 1], max_faulty=2,
+            adversary=CrashAdversary(victims=[3, 4], crash_round=1), session="mvx",
+        )
+        assert all(v == 1 for v in res.honest_outputs.values())
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError):
+            run(mv(2), [0, 1], max_faulty=1, session="mvg")
+
+
+class TestPkiMode:
+    @pytest.mark.parametrize("kappa", [1, 3])
+    def test_round_count(self, kappa):
+        res = run(mv_pki(kappa), [1, 0, 1, 0, 1], max_faulty=2, session=f"mp{kappa}")
+        assert res.metrics.rounds == 2 * kappa
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity(self, bit):
+        res = run(mv_pki(3), [bit] * 5, max_faulty=2, session="mpv")
+        assert all(v == bit for v in res.outputs.values())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_consistency_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=mv_pki(4))
+        res = run(
+            mv_pki(4), [0, 0, 1, 1, 1], max_faulty=2,
+            adversary=adversary, seed=seed, session=f"mpt{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_pki_mode_costs_a_factor_n_in_signatures(self):
+        """§3.5: plain-signature certificates carry n-t signatures where a
+        threshold signature carries one, so the PKI/threshold signature
+        ratio must grow with n (the asymptotic factor-n gap)."""
+        ratios = []
+        for n in (5, 9):
+            t = (n - 1) // 2
+            inputs = [i % 2 for i in range(n)]
+            threshold = run(mv(3), inputs, max_faulty=t, session=f"mps{n}")
+            pki = run(mv_pki(3), inputs, max_faulty=t, session=f"mpp{n}")
+            assert pki.metrics.honest_signatures > threshold.metrics.honest_signatures
+            ratios.append(
+                pki.metrics.honest_signatures / threshold.metrics.honest_signatures
+            )
+        assert ratios[1] > ratios[0]

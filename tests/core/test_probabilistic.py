@@ -1,0 +1,90 @@
+"""Tests for the Las-Vegas FM protocol and termination (non-)simultaneity."""
+
+import pytest
+
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.adversary.termination import GradeSplitAdversary
+from repro.core.probabilistic import ProbTermOutput, fm_probabilistic_program
+
+from ..conftest import run
+
+
+def program(ctx, bit):
+    return fm_probabilistic_program(ctx, bit)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_decides_first_iteration(self, bit):
+        res = run(program, [bit] * 4, 1, session="pv")
+        for output in res.outputs.values():
+            assert output.value == bit
+            assert output.decided_iteration == 1
+        # one helper iteration after deciding: 2 iterations x 3 rounds
+        assert all(r == 6 for r in res.finish_rounds.values())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_split_inputs(self, seed):
+        res = run(program, [0, 1, 0, 1], 1, seed=seed, session=f"pa{seed}")
+        assert res.honest_agree()
+        assert all(isinstance(o, ProbTermOutput) for o in res.outputs.values())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(victims=[3], factory=program)
+        res = run(
+            program, [0, 0, 1, 1], 1,
+            adversary=adversary, seed=seed, session=f"pt{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_agreement_under_crash(self):
+        res = run(
+            program, [1, 1, 1, 1], 1,
+            adversary=CrashAdversary(victims=[3], crash_round=2), session="pc",
+        )
+        assert all(o.value == 1 for o in res.honest_outputs.values())
+
+    def test_expected_constant_iterations(self):
+        """Over many seeds, the mean decision iteration stays small."""
+        iterations = []
+        for seed in range(20):
+            res = run(program, [0, 1, 1, 0], 1, seed=seed, session=f"pe{seed}")
+            iterations.extend(
+                o.decided_iteration for o in res.honest_outputs.values()
+            )
+        assert max(iterations) <= 8
+        assert sum(iterations) / len(iterations) <= 4
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run(program, [0, 1, 2, 1], 1, session="px")
+        with pytest.raises(ValueError):
+            run(program, [0, 1, 1], 1, session="py")  # t !< n/3
+
+
+class TestTerminationSpread:
+    def test_fixed_round_protocols_terminate_simultaneously(self):
+        from repro.core.ba import ba_one_third_program
+
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa=6),
+            [0, 1, 0, 1], 1, session="ts",
+        )
+        assert len(set(res.finish_rounds.values())) == 1
+
+    def test_grade_split_adversary_desynchronizes_termination(self):
+        """The §1 motivation, executed: probabilistic termination is not
+        simultaneous — one honest party decides a full iteration before
+        the others, and they halt 3 rounds apart."""
+        adversary = GradeSplitAdversary(victims=[3], target=0, boost_value=0)
+        res = run(
+            program, [0, 0, 1, 0], 1, adversary=adversary, session="tg"
+        )
+        honest = res.honest_outputs
+        assert len({o.value for o in honest.values()}) == 1  # still agree
+        decided = {pid: o.decided_iteration for pid, o in honest.items()}
+        assert decided[0] == 1
+        assert decided[1] == decided[2] == 2
+        finish = {pid: res.finish_rounds[pid] for pid in honest}
+        assert finish[1] - finish[0] == 3  # one full iteration apart

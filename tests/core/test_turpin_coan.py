@@ -1,0 +1,136 @@
+"""Tests for the multivalued BA lifts (classic Turpin–Coan and ours)."""
+
+import pytest
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.core.ba import ba_one_half_program, ba_one_third_program
+from repro.core.turpin_coan import (
+    multivalued_ba_program,
+    turpin_coan_classic_program,
+)
+
+from ..conftest import run
+
+KAPPA = 5
+
+
+def bba13(ctx, bit):
+    return ba_one_third_program(ctx, bit, KAPPA)
+
+
+def bba12(ctx, bit):
+    return ba_one_half_program(ctx, bit, KAPPA)
+
+
+def classic(default=None):
+    return lambda c, v: turpin_coan_classic_program(c, v, bba13, default)
+
+
+def lifted(regime, bba, default=None):
+    return lambda c, v: multivalued_ba_program(c, v, bba, regime, default)
+
+
+class TestClassic:
+    def test_validity(self):
+        res = run(classic(), ["tx"] * 4, max_faulty=1, session="tc1")
+        assert all(v == "tx" for v in res.outputs.values())
+
+    def test_adds_exactly_two_rounds(self):
+        res = run(classic(), ["tx"] * 4, max_faulty=1, session="tc2")
+        assert res.metrics.rounds == 2 + (KAPPA + 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistency_split_inputs(self, seed):
+        res = run(
+            classic("D"), ["a", "b", "c", "a"], max_faulty=1,
+            seed=seed, session=f"tc3-{seed}",
+        )
+        assert res.honest_agree()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistency_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(
+            victims=[3], factory=classic("D"), low_input="a", high_input="b"
+        )
+        res = run(
+            classic("D"), ["a", "a", "b", "b"], max_faulty=1,
+            adversary=adversary, seed=seed, session=f"tc4-{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_validity_under_crash(self):
+        res = run(
+            classic(), ["v"] * 4, max_faulty=1,
+            adversary=CrashAdversary(victims=[2], crash_round=1), session="tc5",
+        )
+        assert all(v == "v" for v in res.honest_outputs.values())
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError):
+            run(classic(), ["a", "b", "c"], max_faulty=1, session="tc6")
+
+
+class TestLiftOneThird:
+    def test_validity(self):
+        res = run(lifted("one_third", bba13), ["k"] * 4, max_faulty=1, session="l1")
+        assert all(v == "k" for v in res.outputs.values())
+
+    def test_adds_exactly_two_rounds(self):
+        res = run(lifted("one_third", bba13), ["k"] * 4, max_faulty=1, session="l2")
+        assert res.metrics.rounds == 2 + (KAPPA + 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistency_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(
+            victims=[3], factory=lifted("one_third", bba13, "D"),
+            low_input="a", high_input="b",
+        )
+        res = run(
+            lifted("one_third", bba13, "D"), ["a", "a", "b", "b"],
+            max_faulty=1, adversary=adversary, seed=seed, session=f"l3-{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_disagreement_falls_to_default(self):
+        res = run(
+            lifted("one_third", bba13, default="DEFAULT"),
+            ["a", "b", "c", "d"], max_faulty=1, session="l4",
+        )
+        assert res.honest_agree()
+
+
+class TestLiftOneHalf:
+    def test_validity(self):
+        res = run(lifted("one_half", bba12), ["k"] * 5, max_faulty=2, session="l5")
+        assert all(v == "k" for v in res.outputs.values())
+
+    def test_adds_exactly_three_rounds(self):
+        res = run(lifted("one_half", bba12), ["k"] * 5, max_faulty=2, session="l6")
+        assert res.metrics.rounds == 3 + 3 * ((KAPPA + 1) // 2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consistency_under_two_face(self, seed):
+        adversary = TwoFaceAdversary(
+            victims=[3, 4], factory=lifted("one_half", bba12, "D"),
+            low_input="a", high_input="b",
+        )
+        res = run(
+            lifted("one_half", bba12, "D"), ["a", "a", "b", "b", "a"],
+            max_faulty=2, adversary=adversary, seed=seed, session=f"l7-{seed}",
+        )
+        assert res.honest_agree()
+
+    def test_malformed_adversary(self):
+        res = run(
+            lifted("one_half", bba12, "D"), ["x", "x", "x", "y", "y"],
+            max_faulty=2, adversary=MalformedAdversary(victims=[4]), session="l8",
+        )
+        assert res.honest_agree()
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            run(lifted("bogus", bba13), ["a"] * 4, max_faulty=1, session="l9")

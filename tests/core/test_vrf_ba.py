@@ -1,0 +1,28 @@
+"""BA over the VRF coin — works honestly, documented-weak under rushing."""
+
+import pytest
+
+from repro.core.ba import ba_one_third_program
+from repro.core.iteration import vrf_coin_factory
+
+from ..conftest import run
+
+
+class TestBAOverVrfCoin:
+    def test_validity_and_agreement_passively(self):
+        factory = lambda c, b: ba_one_third_program(
+            c, b, kappa=6, coin_factory=vrf_coin_factory()
+        )
+        res = run(factory, [1, 1, 1, 1], 1, session="vba1")
+        assert all(v == 1 for v in res.outputs.values())
+        for seed in range(5):
+            res = run(factory, [0, 1, 0, 1], 1, seed=seed, session=f"vba2-{seed}")
+            assert res.honest_agree()
+
+    def test_round_count_unchanged(self):
+        """The VRF coin is also 1-round, so kappa+1 still holds."""
+        factory = lambda c, b: ba_one_third_program(
+            c, b, kappa=5, coin_factory=vrf_coin_factory()
+        )
+        res = run(factory, [1, 0, 1, 0], 1, session="vba3")
+        assert res.metrics.rounds == 6

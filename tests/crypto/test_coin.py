@@ -1,0 +1,119 @@
+"""Tests for the common coin (threshold and ideal flavours)."""
+
+import random
+
+import pytest
+
+from repro.crypto.coin import (
+    IdealCoin,
+    coin_message_tag,
+    coin_value_from_signature,
+    ideal_coin_program,
+    threshold_coin_program,
+)
+from repro.crypto.ideal import IdealThresholdScheme
+
+from ..conftest import ideal_suite, run
+
+
+def coin_factory(low, high, index=0):
+    def factory(ctx, _input):
+        value = yield from threshold_coin_program(ctx, index, low, high)
+        return value
+
+    return factory
+
+
+class TestThresholdCoin:
+    def test_all_parties_agree_and_in_range(self):
+        res = run(coin_factory(1, 16), [None] * 4, max_faulty=1, session="c1")
+        values = set(res.outputs.values())
+        assert len(values) == 1
+        assert 1 <= values.pop() <= 16
+
+    def test_one_round(self):
+        res = run(coin_factory(1, 4), [None] * 4, max_faulty=1, session="c2")
+        assert res.metrics.rounds == 1
+
+    def test_different_indices_give_independent_values(self):
+        seen = set()
+        for index in range(12):
+            res = run(
+                coin_factory(1, 2 ** 30, index),
+                [None] * 4,
+                max_faulty=1,
+                session="c3",
+            )
+            seen.add(next(iter(res.outputs.values())))
+        assert len(seen) == 12  # 12 draws from 2^30 values never collide
+
+    def test_deterministic_per_session_and_index(self):
+        big = 2 ** 40
+        a = run(coin_factory(1, big), [None] * 4, max_faulty=1, session="same")
+        b = run(coin_factory(1, big), [None] * 4, max_faulty=1, session="same")
+        assert a.outputs == b.outputs
+        c = run(coin_factory(1, big), [None] * 4, max_faulty=1, session="other")
+        # Different session → different signed message → (whp) new value.
+        assert c.outputs[0] != a.outputs[0]
+
+    def test_survives_withheld_corrupt_shares(self):
+        from repro.adversary.strategies import CrashAdversary
+
+        res = run(
+            coin_factory(1, 64),
+            [None] * 4,
+            max_faulty=1,
+            adversary=CrashAdversary(victims=[3], crash_round=1),
+            session="c4",
+        )
+        values = {res.outputs[i] for i in (0, 1, 2)}
+        assert len(values) == 1
+
+    def test_roughly_uniform_over_indices(self):
+        counts = [0, 0]
+        for index in range(200):
+            res = run(
+                coin_factory(1, 2, index), [None] * 4, max_faulty=1, session="c5"
+            )
+            counts[res.outputs[0] - 1] += 1
+        assert abs(counts[0] - 100) < 40
+
+
+class TestCoinHelpers:
+    def test_value_from_signature_matches_program(self):
+        scheme = IdealThresholdScheme(4, 2, random.Random(5))
+        message = coin_message_tag("s", 3)
+        sig = scheme.combine(
+            [(i, scheme.sign_share(i, message)) for i in range(2)], message
+        )
+        value = coin_value_from_signature(scheme, sig, "s", 3, 1, 10)
+        assert 1 <= value <= 10
+        assert value == coin_value_from_signature(scheme, sig, "s", 3, 1, 10)
+
+
+class TestIdealCoin:
+    def test_common_and_in_range(self):
+        coin = IdealCoin(random.Random(3))
+
+        def factory(ctx, _):
+            value = yield from ideal_coin_program(ctx, coin, 0, 1, 8)
+            return value
+
+        res = run(factory, [None] * 4, max_faulty=1, session="ic")
+        values = set(res.outputs.values())
+        assert len(values) == 1
+        assert 1 <= values.pop() <= 8
+        assert res.metrics.rounds == 1
+
+    def test_independent_secrets_give_independent_coins(self):
+        a = IdealCoin(random.Random(1)).value(0, 1, 2 ** 40)
+        b = IdealCoin(random.Random(2)).value(0, 1, 2 ** 40)
+        assert a != b
+
+    def test_uniformity(self):
+        coin = IdealCoin(random.Random(9))
+        counts = [0] * 4
+        for index in range(400):
+            counts[coin.value(index, 0, 3)] += 1
+        for c in counts:
+            assert abs(c - 100) < 45

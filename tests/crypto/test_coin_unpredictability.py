@@ -1,0 +1,90 @@
+"""The coin's security property: unpredictable until an honest share flies.
+
+Paper §2.2: "the value of Coin_k remains uniform from the view of the
+adversary until the first honest party has queried CoinFlip on input k".
+Concretely: ``t`` shares are strictly below the ``t + 1`` combining
+threshold, so the adversary can neither combine the signature nor learn
+anything about the hash — and the moment one honest share is released,
+a rushing adversary *can* open the coin (which is allowed; the protocols
+are designed so that this is already too late).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.coin import coin_message_tag, coin_value_from_signature
+from repro.crypto.ideal import IdealThresholdScheme
+from repro.crypto.interfaces import CryptoError
+from repro.crypto.keys import CryptoSuite
+
+
+class TestUnpredictability:
+    def setup_method(self):
+        self.suite = CryptoSuite.ideal(4, 1, random.Random(99))
+        self.scheme = self.suite.coin  # (t+1)-of-n = 2-of-4
+
+    def test_adversary_shares_alone_cannot_combine(self):
+        """t = 1 corrupted share < threshold 2: combine must fail."""
+        message = coin_message_tag("s", 0)
+        corrupt_share = self.scheme.sign_share(3, message)
+        with pytest.raises(CryptoError):
+            self.scheme.combine([(3, corrupt_share)], message)
+        assert self.scheme.try_combine([(3, corrupt_share)], message) is None
+
+    def test_duplicated_corrupt_shares_do_not_help(self):
+        message = coin_message_tag("s", 1)
+        corrupt_share = self.scheme.sign_share(3, message)
+        indexed = [(3, corrupt_share)] * 5  # replay storms change nothing
+        assert self.scheme.try_combine(indexed, message) is None
+
+    def test_one_honest_share_opens_the_coin(self):
+        """The rushing adversary's legal power, verified end to end."""
+        message = coin_message_tag("s", 2)
+        honest_share = self.scheme.sign_share(0, message)
+        corrupt_share = self.scheme.sign_share(3, message)
+        signature = self.scheme.try_combine(
+            [(0, honest_share), (3, corrupt_share)], message
+        )
+        assert signature is not None
+        value = coin_value_from_signature(self.scheme, signature, "s", 2, 1, 4)
+        assert 1 <= value <= 4
+
+    def test_shares_for_other_indices_are_useless(self):
+        """Shares on coin index k reveal nothing about index k' != k."""
+        message_a = coin_message_tag("s", 10)
+        message_b = coin_message_tag("s", 11)
+        shares_on_a = [
+            (i, self.scheme.sign_share(i, message_a)) for i in range(2)
+        ]
+        # Valid quorum for A...
+        assert self.scheme.try_combine(shares_on_a, message_a) is not None
+        # ...is garbage for B.
+        assert self.scheme.try_combine(shares_on_a, message_b) is None
+
+    def test_coin_values_distinct_across_indices(self):
+        values = set()
+        for index in range(24):
+            message = coin_message_tag("s", index)
+            signature = self.scheme.combine(
+                [(i, self.scheme.sign_share(i, message)) for i in range(2)],
+                message,
+            )
+            values.add(
+                coin_value_from_signature(
+                    self.scheme, signature, "s", index, 1, 2 ** 40
+                )
+            )
+        assert len(values) == 24
+
+
+@pytest.mark.slow
+class TestUnpredictabilityRealBackend:
+    def test_shoup_coin_below_threshold_fails(self):
+        suite = CryptoSuite.real(4, 1, random.Random(123), bits=128)
+        message = coin_message_tag("r", 0)
+        share = suite.coin.sign_share(3, message)
+        assert suite.coin.try_combine([(3, share)], message) is None
+        honest = suite.coin.sign_share(1, message)
+        signature = suite.coin.try_combine([(3, share), (1, honest)], message)
+        assert signature is not None and suite.coin.verify(signature, message)

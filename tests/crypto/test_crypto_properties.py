@@ -1,0 +1,112 @@
+"""Hypothesis property tests across the cryptographic backends."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ideal import IdealSignatureScheme, IdealThresholdScheme
+from repro.crypto.rsa import RsaSignatureScheme
+from repro.crypto.threshold_rsa import generate_threshold_rsa
+
+# Small nested message terms (the protocols sign tuples of these shapes).
+messages = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+        st.text(max_size=10),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.lists(children, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+_PLAIN = IdealSignatureScheme(4, random.Random(1))
+_THRESHOLD = IdealThresholdScheme(5, 3, random.Random(2))
+_RSA = RsaSignatureScheme.setup(2, 128, random.Random(3))
+_TRSA = generate_threshold_rsa(4, 2, 128, random.Random(4))
+
+
+class TestIdealProperties:
+    @given(message=messages, signer=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_plain_roundtrip_any_term(self, message, signer):
+        sig = _PLAIN.sign(signer, message)
+        assert _PLAIN.verify(signer, sig, message)
+
+    @given(message=messages, other=messages)
+    @settings(max_examples=60, deadline=None)
+    def test_plain_signature_bound_to_message(self, message, other):
+        if message == other and type(message) is type(other):
+            return
+        sig = _PLAIN.sign(0, message)
+        # (bool/int edge handled inside encode_term; distinct terms differ)
+        try:
+            crossed = _PLAIN.verify(0, sig, other)
+        except Exception as error:  # pragma: no cover - must never happen
+            pytest.fail(f"verify raised {error!r}")
+        if crossed:
+            # only possible when the canonical encodings coincide,
+            # i.e. the terms are structurally identical
+            from repro.crypto.random_oracle import encode_term
+
+            assert encode_term(message) == encode_term(other)
+
+    @given(message=messages, subset=st.sets(st.integers(0, 4), min_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_any_quorum_combines_to_same_signature(
+        self, message, subset
+    ):
+        shares = [(i, _THRESHOLD.sign_share(i, message)) for i in subset]
+        sig = _THRESHOLD.combine(shares, message)
+        assert _THRESHOLD.verify(sig, message)
+        reference = _THRESHOLD.combine(
+            [(i, _THRESHOLD.sign_share(i, message)) for i in (0, 1, 2)], message
+        )
+        assert sig == reference  # uniqueness
+
+
+class TestRsaProperties:
+    @given(message=messages)
+    @settings(max_examples=30, deadline=None)
+    def test_fdh_roundtrip_any_term(self, message):
+        sig = _RSA.sign(0, message)
+        assert _RSA.verify(0, sig, message)
+        assert not _RSA.verify(1, sig, message)
+
+    @given(message=messages, tamper=st.integers(min_value=1, max_value=2 ** 32))
+    @settings(max_examples=30, deadline=None)
+    def test_tampered_values_rejected(self, message, tamper):
+        sig = _RSA.sign(0, message)
+        forged = type(sig)(signer=0, value=sig.value ^ tamper)
+        if forged.value != sig.value:
+            assert not _RSA.verify(0, forged, message)
+
+
+class TestThresholdRsaProperties:
+    @given(message=messages)
+    @settings(max_examples=15, deadline=None)
+    def test_shoup_roundtrip_any_term(self, message):
+        shares = [(i, _TRSA.sign_share(i, message)) for i in (0, 2)]
+        sig = _TRSA.combine(shares, message)
+        assert _TRSA.verify(sig, message)
+
+    @given(
+        message=messages,
+        field=st.sampled_from(["value", "challenge", "response"]),
+        tamper=st.integers(min_value=1, max_value=2 ** 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nizk_rejects_any_single_field_tampering(self, message, field, tamper):
+        share = _TRSA.sign_share(1, message)
+        attributes = {
+            "signer": share.signer,
+            "value": share.value,
+            "challenge": share.challenge,
+            "response": share.response,
+        }
+        attributes[field] = attributes[field] ^ tamper
+        forged = type(share)(**attributes)
+        if getattr(forged, field) != getattr(share, field):
+            assert not _TRSA.verify_share(1, forged, message)

@@ -1,0 +1,132 @@
+"""Unit and property tests for prime-field arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import (
+    FieldElement,
+    PrimeField,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+)
+from repro.crypto.field import FieldError
+
+PRIME = 2 ** 61 - 1  # Mersenne prime: cheap, large
+SMALL_PRIME = 97
+
+field_elements = st.integers(min_value=0, max_value=PRIME - 1)
+
+
+class TestFieldElement:
+    def test_construction_reduces_modulo(self):
+        f = PrimeField(SMALL_PRIME)
+        assert int(f(SMALL_PRIME + 5)) == 5
+        assert int(f(-1)) == SMALL_PRIME - 1
+
+    def test_add_sub_roundtrip(self):
+        f = PrimeField(SMALL_PRIME)
+        a, b = f(30), f(80)
+        assert int(a + b) == (30 + 80) % SMALL_PRIME
+        assert (a + b) - b == a
+
+    def test_mul_div_roundtrip(self):
+        f = PrimeField(SMALL_PRIME)
+        a, b = f(30), f(80)
+        assert (a * b) / b == a
+
+    def test_negation(self):
+        f = PrimeField(SMALL_PRIME)
+        assert int(-f(1)) == SMALL_PRIME - 1
+        assert int(-f(0)) == 0
+
+    def test_pow_matches_python_pow(self):
+        f = PrimeField(SMALL_PRIME)
+        assert int(f(3) ** 20) == pow(3, 20, SMALL_PRIME)
+
+    def test_zero_inverse_raises(self):
+        f = PrimeField(SMALL_PRIME)
+        with pytest.raises(FieldError):
+            f(0).inverse()
+
+    def test_mixed_field_operations_raise(self):
+        a = PrimeField(SMALL_PRIME)(3)
+        b = PrimeField(101)(3)
+        with pytest.raises(FieldError):
+            a + b
+        with pytest.raises(FieldError):
+            a * b
+
+    def test_bool_and_int_conversions(self):
+        f = PrimeField(SMALL_PRIME)
+        assert not f(0)
+        assert f(1)
+        assert int(f(42)) == 42
+
+    def test_elements_hashable_and_equal(self):
+        f = PrimeField(SMALL_PRIME)
+        assert f(5) == f(5 + SMALL_PRIME)
+        assert len({f(5), f(5), f(6)}) == 2
+
+
+class TestPrimeField:
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(FieldError):
+            PrimeField(1)
+
+    def test_zero_one(self):
+        f = PrimeField(SMALL_PRIME)
+        assert int(f.zero()) == 0
+        assert int(f.one()) == 1
+
+    def test_random_element_in_range(self):
+        f = PrimeField(SMALL_PRIME)
+        rng = random.Random(1)
+        for _ in range(50):
+            assert 0 <= int(f.random_element(rng)) < SMALL_PRIME
+
+    def test_equality_and_hash(self):
+        assert PrimeField(SMALL_PRIME) == PrimeField(SMALL_PRIME)
+        assert PrimeField(SMALL_PRIME) != PrimeField(101)
+        assert hash(PrimeField(SMALL_PRIME)) == hash(PrimeField(SMALL_PRIME))
+
+
+class TestLagrange:
+    @given(
+        coefficients=st.lists(field_elements, min_size=1, max_size=6),
+        x=field_elements,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interpolation_recovers_polynomial(self, coefficients, x):
+        """Interpolating deg-(k-1) polynomial through k points is exact."""
+
+        def evaluate(at):
+            acc = 0
+            for c in reversed(coefficients):
+                acc = (acc * at + c) % PRIME
+            return acc
+
+        points = [(i, evaluate(i)) for i in range(1, len(coefficients) + 1)]
+        assert lagrange_interpolate_at(points, x, PRIME) == evaluate(x)
+
+    @given(coefficients=st.lists(field_elements, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_coefficients_at_zero_match_interpolation(self, coefficients):
+        def evaluate(at):
+            acc = 0
+            for c in reversed(coefficients):
+                acc = (acc * at + c) % PRIME
+            return acc
+
+        xs = list(range(1, len(coefficients) + 1))
+        lams = lagrange_coefficients_at_zero(xs, PRIME)
+        combined = sum(l * evaluate(x) for l, x in zip(lams, xs)) % PRIME
+        assert combined == evaluate(0) == coefficients[0]
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(FieldError):
+            lagrange_interpolate_at([(1, 2), (1, 3)], 0, SMALL_PRIME)
+        with pytest.raises(FieldError):
+            lagrange_coefficients_at_zero([1, 1 + SMALL_PRIME], SMALL_PRIME)

@@ -1,0 +1,120 @@
+"""Tests for the idealized signature backends."""
+
+import random
+
+import pytest
+
+from repro.crypto.ideal import IdealSignatureScheme, IdealThresholdScheme
+from repro.crypto.interfaces import CryptoError
+
+
+@pytest.fixture
+def plain():
+    return IdealSignatureScheme(4, random.Random(1))
+
+
+@pytest.fixture
+def threshold():
+    return IdealThresholdScheme(5, 3, random.Random(2))
+
+
+class TestPlain:
+    def test_sign_verify_roundtrip(self, plain):
+        sig = plain.sign(2, ("msg", 1))
+        assert plain.verify(2, sig, ("msg", 1))
+
+    def test_wrong_message_rejected(self, plain):
+        sig = plain.sign(2, "a")
+        assert not plain.verify(2, sig, "b")
+
+    def test_wrong_signer_rejected(self, plain):
+        sig = plain.sign(2, "a")
+        assert not plain.verify(1, sig, "a")
+
+    def test_garbage_rejected_without_raising(self, plain):
+        assert not plain.verify(0, "not a signature", "a")
+        assert not plain.verify(0, None, "a")
+        assert not plain.verify(99, plain.sign(0, "a"), "a")
+        assert not plain.verify("zero", plain.sign(0, "a"), "a")
+
+    def test_unencodable_message_rejected(self, plain):
+        sig = plain.sign(0, "a")
+        assert not plain.verify(0, sig, [1, 2])  # lists are not terms
+
+    def test_invalid_signer_raises_on_sign(self, plain):
+        with pytest.raises(CryptoError):
+            plain.sign(7, "a")
+
+    def test_two_schemes_do_not_cross_verify(self):
+        a = IdealSignatureScheme(3, random.Random(1))
+        b = IdealSignatureScheme(3, random.Random(99))
+        assert not b.verify(0, a.sign(0, "m"), "m")
+
+
+class TestThreshold:
+    def test_share_roundtrip(self, threshold):
+        share = threshold.sign_share(1, "m")
+        assert threshold.verify_share(1, share, "m")
+        assert not threshold.verify_share(2, share, "m")
+        assert not threshold.verify_share(1, share, "other")
+
+    def test_combine_and_verify(self, threshold):
+        shares = [(i, threshold.sign_share(i, "m")) for i in range(3)]
+        sig = threshold.combine(shares, "m")
+        assert threshold.verify(sig, "m")
+        assert not threshold.verify(sig, "other")
+
+    def test_combine_requires_threshold_distinct(self, threshold):
+        shares = [(i, threshold.sign_share(i, "m")) for i in range(2)]
+        with pytest.raises(CryptoError):
+            threshold.combine(shares, "m")
+        duplicated = [(0, threshold.sign_share(0, "m"))] * 3
+        with pytest.raises(CryptoError):
+            threshold.combine(duplicated, "m")
+
+    def test_combine_rejects_invalid_share(self, threshold):
+        shares = [(i, threshold.sign_share(i, "m")) for i in range(2)]
+        shares.append((2, "forged"))
+        with pytest.raises(CryptoError):
+            threshold.combine(shares, "m")
+
+    def test_uniqueness(self, threshold):
+        """Any qualifying share subset combines to the *same* signature."""
+        sig_a = threshold.combine(
+            [(i, threshold.sign_share(i, "m")) for i in (0, 1, 2)], "m"
+        )
+        sig_b = threshold.combine(
+            [(i, threshold.sign_share(i, "m")) for i in (2, 3, 4)], "m"
+        )
+        assert sig_a == sig_b
+        assert threshold.signature_bytes(sig_a) == threshold.signature_bytes(sig_b)
+
+    def test_try_combine_filters_garbage(self, threshold):
+        indexed = [(i, threshold.sign_share(i, "m")) for i in range(3)]
+        indexed += [(3, "junk"), ("x", None), (99, threshold.sign_share(0, "m"))]
+        sig = threshold.try_combine(indexed, "m")
+        assert sig is not None and threshold.verify(sig, "m")
+
+    def test_try_combine_insufficient_returns_none(self, threshold):
+        indexed = [(i, threshold.sign_share(i, "m")) for i in range(2)]
+        assert threshold.try_combine(indexed, "m") is None
+
+    def test_signature_bytes_requires_signature(self, threshold):
+        with pytest.raises(CryptoError):
+            threshold.signature_bytes("nope")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            IdealThresholdScheme(3, 0, random.Random(1))
+        with pytest.raises(CryptoError):
+            IdealThresholdScheme(3, 4, random.Random(1))
+
+    def test_forgery_via_api_impossible(self, threshold):
+        """t shares (below threshold) give the adversary nothing combinable,
+        and hand-rolled signature objects do not verify."""
+        from repro.crypto.ideal import _IdealShare, _IdealSignature
+
+        fake_share = _IdealShare(signer=4, tag=b"\x00" * 32)
+        assert not threshold.verify_share(4, fake_share, "m")
+        fake_sig = _IdealSignature(tag=b"\x00" * 32)
+        assert not threshold.verify(fake_sig, "m")

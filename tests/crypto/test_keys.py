@@ -1,0 +1,40 @@
+"""Tests for the trusted-setup crypto suite."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import CryptoSuite
+
+
+class TestIdealSuite:
+    def test_thresholds_match_paper(self):
+        suite = CryptoSuite.ideal(7, 2, random.Random(1))
+        assert suite.quorum.threshold == 5   # n - t
+        assert suite.coin.threshold == 3     # t + 1
+        assert suite.plain.num_parties == 7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CryptoSuite.ideal(0, 0, random.Random(1))
+        with pytest.raises(ValueError):
+            CryptoSuite.ideal(4, 4, random.Random(1))
+        with pytest.raises(ValueError):
+            CryptoSuite.ideal(4, -1, random.Random(1))
+
+    def test_zero_faults_allowed(self):
+        suite = CryptoSuite.ideal(3, 0, random.Random(1))
+        assert suite.quorum.threshold == 3
+        assert suite.coin.threshold == 1
+
+
+@pytest.mark.slow
+class TestRealSuite:
+    def test_real_backend_end_to_end(self):
+        suite = CryptoSuite.real(4, 1, random.Random(2), bits=128)
+        sig = suite.plain.sign(0, "m")
+        assert suite.plain.verify(0, sig, "m")
+        shares = [(i, suite.quorum.sign_share(i, "q")) for i in range(3)]
+        assert suite.quorum.verify(suite.quorum.combine(shares, "q"), "q")
+        shares = [(i, suite.coin.sign_share(i, "c")) for i in range(2)]
+        assert suite.coin.verify(suite.coin.combine(shares, "c"), "c")

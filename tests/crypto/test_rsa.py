@@ -1,0 +1,68 @@
+"""Tests for plain RSA-FDH signatures (real backend)."""
+
+import random
+
+import pytest
+
+from repro.crypto.interfaces import CryptoError
+from repro.crypto.rsa import RsaSignatureScheme, generate_rsa_keypair
+
+BITS = 128  # tiny on purpose: tests exercise logic, not hardness
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return RsaSignatureScheme.setup(3, BITS, random.Random(7))
+
+
+class TestKeygen:
+    def test_keypair_consistency(self):
+        kp = generate_rsa_keypair(BITS, random.Random(3))
+        assert kp.n.bit_length() in (BITS, BITS - 1)
+        message = 0x1234567
+        assert pow(pow(message, kp.d, kp.n), kp.e, kp.n) == message % kp.n
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(CryptoError):
+            generate_rsa_keypair(16, random.Random(1))
+
+    def test_deterministic_given_seed(self):
+        a = generate_rsa_keypair(64, random.Random(9))
+        b = generate_rsa_keypair(64, random.Random(9))
+        assert (a.n, a.e, a.d) == (b.n, b.e, b.d)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, scheme):
+        sig = scheme.sign(0, ("block", 7))
+        assert scheme.verify(0, sig, ("block", 7))
+
+    def test_signature_is_deterministic_hence_unique(self, scheme):
+        assert scheme.sign(1, "m") == scheme.sign(1, "m")
+
+    def test_wrong_message_rejected(self, scheme):
+        assert not scheme.verify(0, scheme.sign(0, "a"), "b")
+
+    def test_wrong_signer_rejected(self, scheme):
+        sig = scheme.sign(0, "a")
+        assert not scheme.verify(1, sig, "a")
+
+    def test_tampered_value_rejected(self, scheme):
+        sig = scheme.sign(0, "a")
+        tampered = type(sig)(signer=0, value=sig.value ^ 1)
+        assert not scheme.verify(0, tampered, "a")
+
+    def test_garbage_rejected_without_raising(self, scheme):
+        assert not scheme.verify(0, None, "a")
+        assert not scheme.verify(0, "sig", "a")
+        assert not scheme.verify(0, scheme.sign(0, "a"), [1])  # bad term
+        assert not scheme.verify(-1, scheme.sign(0, "a"), "a")
+
+    def test_out_of_range_value_rejected(self, scheme):
+        sig = scheme.sign(0, "a")
+        huge = type(sig)(signer=0, value=10 ** 100)
+        assert not scheme.verify(0, huge, "a")
+
+    def test_sign_invalid_signer_raises(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.sign(5, "a")

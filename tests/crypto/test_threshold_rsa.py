@@ -1,0 +1,150 @@
+"""Tests for Shoup threshold RSA (real threshold backend).
+
+Key generation needs safe primes, so one small scheme is dealt per module
+and shared; a couple of heavier checks are marked slow.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.interfaces import CryptoError
+from repro.crypto.threshold_rsa import ThresholdRsaScheme, generate_threshold_rsa
+
+BITS = 128
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return generate_threshold_rsa(5, 3, BITS, random.Random(11))
+
+
+class TestSetup:
+    def test_parameters_exposed(self, scheme):
+        assert scheme.num_parties == 5
+        assert scheme.threshold == 3
+        n, e = scheme.public_key
+        assert n.bit_length() in (BITS, BITS - 1)
+        assert e > scheme.num_parties
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_threshold_rsa(3, 0, BITS, random.Random(1))
+        with pytest.raises(CryptoError):
+            generate_threshold_rsa(3, 4, BITS, random.Random(1))
+        with pytest.raises(CryptoError):
+            generate_threshold_rsa(3, 2, 32, random.Random(1))
+
+
+class TestShares:
+    def test_share_verifies(self, scheme):
+        share = scheme.sign_share(0, "m")
+        assert scheme.verify_share(0, share, "m")
+
+    def test_share_bound_to_signer_and_message(self, scheme):
+        share = scheme.sign_share(0, "m")
+        assert not scheme.verify_share(1, share, "m")
+        assert not scheme.verify_share(0, share, "other")
+
+    def test_tampered_share_value_rejected(self, scheme):
+        share = scheme.sign_share(0, "m")
+        n, _ = scheme.public_key
+        forged = type(share)(
+            signer=0,
+            value=(share.value * 2) % n,
+            challenge=share.challenge,
+            response=share.response,
+        )
+        assert not scheme.verify_share(0, forged, "m")
+
+    def test_tampered_proof_rejected(self, scheme):
+        share = scheme.sign_share(0, "m")
+        forged = type(share)(
+            signer=0,
+            value=share.value,
+            challenge=share.challenge ^ 1,
+            response=share.response,
+        )
+        assert not scheme.verify_share(0, forged, "m")
+        forged = type(share)(
+            signer=0,
+            value=share.value,
+            challenge=share.challenge,
+            response=share.response + 1,
+        )
+        assert not scheme.verify_share(0, forged, "m")
+
+    def test_garbage_rejected_without_raising(self, scheme):
+        assert not scheme.verify_share(0, None, "m")
+        assert not scheme.verify_share(0, "share", "m")
+        assert not scheme.verify_share(0, scheme.sign_share(0, "m"), [1])
+        assert not scheme.verify_share(-3, scheme.sign_share(0, "m"), "m")
+
+    def test_invalid_signer_raises(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.sign_share(9, "m")
+
+
+class TestCombine:
+    def test_combine_exact_threshold(self, scheme):
+        shares = [(i, scheme.sign_share(i, "m")) for i in range(3)]
+        sig = scheme.combine(shares, "m")
+        assert scheme.verify(sig, "m")
+
+    def test_uniqueness_across_subsets(self, scheme):
+        """Shoup signatures are standard RSA-FDH: any subset combines to
+        the identical signature (the coin depends on this)."""
+        sig_a = scheme.combine(
+            [(i, scheme.sign_share(i, "m")) for i in (0, 1, 2)], "m"
+        )
+        sig_b = scheme.combine(
+            [(i, scheme.sign_share(i, "m")) for i in (1, 3, 4)], "m"
+        )
+        assert sig_a == sig_b
+        assert scheme.signature_bytes(sig_a) == scheme.signature_bytes(sig_b)
+
+    def test_combine_too_few_raises(self, scheme):
+        shares = [(i, scheme.sign_share(i, "m")) for i in range(2)]
+        with pytest.raises(CryptoError):
+            scheme.combine(shares, "m")
+
+    def test_combine_rejects_forged_share(self, scheme):
+        shares = [(i, scheme.sign_share(i, "m")) for i in range(2)]
+        shares.append((2, "forged"))
+        with pytest.raises(CryptoError):
+            scheme.combine(shares, "m")
+
+    def test_try_combine_filters(self, scheme):
+        indexed = [(i, scheme.sign_share(i, "m")) for i in range(3)]
+        indexed.append((3, "junk"))
+        sig = scheme.try_combine(indexed, "m")
+        assert sig is not None and scheme.verify(sig, "m")
+
+    def test_verify_rejects_garbage(self, scheme):
+        assert not scheme.verify(None, "m")
+        assert not scheme.verify("sig", "m")
+        sig = scheme.combine(
+            [(i, scheme.sign_share(i, "m")) for i in range(3)], "m"
+        )
+        assert not scheme.verify(sig, "other-message")
+
+    def test_signature_bytes_round_length(self, scheme):
+        sig = scheme.combine(
+            [(i, scheme.sign_share(i, "m")) for i in range(3)], "m"
+        )
+        n, _ = scheme.public_key
+        assert len(scheme.signature_bytes(sig)) == (n.bit_length() + 7) // 8
+
+
+@pytest.mark.slow
+class TestSlow:
+    def test_larger_modulus_end_to_end(self):
+        scheme = generate_threshold_rsa(4, 3, 256, random.Random(21))
+        shares = [(i, scheme.sign_share(i, ("coin", 5))) for i in (0, 2, 3)]
+        sig = scheme.combine(shares, ("coin", 5))
+        assert scheme.verify(sig, ("coin", 5))
+
+    def test_two_of_two(self):
+        scheme = generate_threshold_rsa(2, 2, BITS, random.Random(31))
+        shares = [(i, scheme.sign_share(i, "m")) for i in range(2)]
+        assert scheme.verify(scheme.combine(shares, "m"), "m")

@@ -1,0 +1,57 @@
+"""Tests for message envelopes and defensive accessors."""
+
+import pytest
+
+from repro.network.messages import (
+    Broadcast,
+    get_field,
+    get_int,
+    get_int_in_range,
+    get_pair,
+    normalize_outbox,
+)
+
+
+class TestNormalizeOutbox:
+    def test_none_is_silence(self):
+        assert normalize_outbox(None, 4) == {}
+
+    def test_broadcast_reaches_everyone_including_self(self):
+        expanded = normalize_outbox(Broadcast("x"), 3)
+        assert expanded == {0: "x", 1: "x", 2: "x"}
+
+    def test_dict_passthrough_filters_bad_recipients(self):
+        expanded = normalize_outbox({0: "a", 7: "b", -1: "c", "x": "d"}, 3)
+        assert expanded == {0: "a"}
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            normalize_outbox("hello", 3)
+        with pytest.raises(TypeError):
+            normalize_outbox([("a", 1)], 3)
+
+
+class TestAccessors:
+    def test_get_field(self):
+        assert get_field({"k": 5}, "k") == 5
+        assert get_field({"k": 5}, "missing") is None
+        assert get_field("not a dict", "k") is None
+        assert get_field(None, "k") is None
+
+    def test_get_int_rejects_bool_and_nonints(self):
+        assert get_int({"k": 5}, "k") == 5
+        assert get_int({"k": True}, "k") is None
+        assert get_int({"k": 5.0}, "k") is None
+        assert get_int({"k": "5"}, "k") is None
+        assert get_int(7, "k") is None
+
+    def test_get_int_in_range(self):
+        assert get_int_in_range({"k": 5}, "k", 0, 10) == 5
+        assert get_int_in_range({"k": 11}, "k", 0, 10) is None
+        assert get_int_in_range({"k": -1}, "k", 0, 10) is None
+
+    def test_get_pair(self):
+        assert get_pair({"k": (1, 2)}, "k") == (1, 2)
+        assert get_pair({"k": [1, 2]}, "k") == (1, 2)
+        assert get_pair({"k": (1, 2, 3)}, "k") is None
+        assert get_pair({"k": 5}, "k") is None

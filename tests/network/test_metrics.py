@@ -1,0 +1,58 @@
+"""Tests for execution metrics and signature counting."""
+
+import random
+
+from repro.crypto.ideal import IdealSignatureScheme, IdealThresholdScheme
+from repro.network.metrics import RunMetrics, count_signatures
+
+
+class TestCountSignatures:
+    def setup_method(self):
+        self.plain = IdealSignatureScheme(3, random.Random(1))
+        self.threshold = IdealThresholdScheme(3, 2, random.Random(2))
+
+    def test_counts_plain_and_shares_and_combined(self):
+        sig = self.plain.sign(0, "m")
+        share = self.threshold.sign_share(0, "m")
+        combined = self.threshold.combine(
+            [(i, self.threshold.sign_share(i, "m")) for i in range(2)], "m"
+        )
+        assert count_signatures(sig) == 1
+        assert count_signatures(share) == 1
+        assert count_signatures(combined) == 1
+
+    def test_counts_nested_structures(self):
+        sig = self.plain.sign(0, "m")
+        payload = {
+            "a": [(0, sig), (1, sig)],
+            "b": {"inner": (sig, sig)},
+            "c": 123,
+            "d": "text",
+        }
+        assert count_signatures(payload) == 4
+
+    def test_plain_data_counts_zero(self):
+        assert count_signatures(None) == 0
+        assert count_signatures({"v": 1, "g": [2, 3]}) == 0
+        assert count_signatures((1, "x", b"y")) == 0
+
+
+class TestRunMetrics:
+    def test_honest_corrupt_split(self):
+        metrics = RunMetrics()
+        metrics.record(1, honest=True, signature_count=2)
+        metrics.record(1, honest=False, signature_count=3)
+        metrics.record(2, honest=True, signature_count=0)
+        assert metrics.honest_messages == 2
+        assert metrics.corrupt_messages == 1
+        assert metrics.total_messages == 3
+        assert metrics.honest_signatures == 2
+        assert metrics.total_signatures == 5
+
+    def test_per_round_breakdown(self):
+        metrics = RunMetrics()
+        metrics.record(1, True, 1)
+        metrics.record(2, True, 1)
+        metrics.record(2, True, 1)
+        assert metrics.per_round[1].honest_messages == 1
+        assert metrics.per_round[2].honest_messages == 2

@@ -1,0 +1,120 @@
+"""Tests for party-program combinators (parallel composition, resume)."""
+
+from repro.network.messages import PARALLEL_KEY
+from repro.network.party import resume_with, run_parallel
+
+from ..conftest import run
+
+
+def echo_program(ctx, tag, rounds):
+    """Broadcasts `(tag, round)` each round; returns collected inboxes."""
+    seen = []
+    for round_index in range(rounds):
+        inbox = yield ctx.broadcast({"tag": tag, "round": round_index})
+        seen.append({s: p for s, p in sorted(inbox.items())})
+    return seen
+
+
+class TestRunParallel:
+    def test_two_programs_share_rounds(self):
+        def factory(ctx, _):
+            results = yield from run_parallel(
+                ctx,
+                {
+                    "a": echo_program(ctx, "A", 2),
+                    "b": echo_program(ctx, "B", 2),
+                },
+            )
+            return results
+
+        res = run(factory, [None] * 3, max_faulty=0, session="par1")
+        assert res.metrics.rounds == 2  # not 4: genuinely parallel
+        results = res.outputs[0]
+        assert results["a"][0][1] == {"tag": "A", "round": 0}
+        assert results["b"][1][2] == {"tag": "B", "round": 1}
+
+    def test_different_lengths(self):
+        def factory(ctx, _):
+            results = yield from run_parallel(
+                ctx,
+                {
+                    "short": echo_program(ctx, "S", 1),
+                    "long": echo_program(ctx, "L", 3),
+                },
+            )
+            return results
+
+        res = run(factory, [None] * 3, max_faulty=0, session="par2")
+        assert res.metrics.rounds == 3
+        assert len(res.outputs[0]["short"]) == 1
+        assert len(res.outputs[0]["long"]) == 3
+
+    def test_zero_round_program(self):
+        def instant(ctx):
+            return 42
+            yield  # pragma: no cover - makes this a generator
+
+        def factory(ctx, _):
+            results = yield from run_parallel(
+                ctx, {"now": instant(ctx), "later": echo_program(ctx, "E", 1)}
+            )
+            return results
+
+        res = run(factory, [None] * 2, max_faulty=0, session="par3")
+        assert res.outputs[0]["now"] == 42
+
+    def test_malformed_parallel_envelope_ignored(self):
+        """A Byzantine sender's non-dict envelope must not reach subprograms."""
+        def sender(ctx, _):
+            yield ctx.broadcast("not-an-envelope")
+            return None
+
+        def receiver(ctx, _):
+            results = yield from run_parallel(ctx, {"e": echo_program(ctx, "E", 1)})
+            return results["e"]
+
+        def factory(ctx, _):
+            if ctx.party_id == 0:
+                return sender(ctx, None)
+            return receiver(ctx, None)
+
+        res = run(factory, [None] * 3, max_faulty=0, session="par4")
+        # party 1 saw only parties 1 and 2 under tag "e" (party 0 malformed)
+        assert set(res.outputs[1][0]) == {1, 2}
+
+
+class TestResumeWith:
+    def test_resume_preserves_round_alignment(self):
+        def factory(ctx, _):
+            inner = echo_program(ctx, "X", 3)
+            first_outbox = next(inner)
+            # Drive round 1 by hand, then hand over to run_parallel.
+            inbox = yield first_outbox
+            second_outbox = inner.send(inbox)
+            results = yield from run_parallel(
+                ctx, {"x": resume_with(inner, second_outbox)}
+            )
+            return results["x"]
+
+        res = run(factory, [None] * 2, max_faulty=0, session="par5")
+        assert res.metrics.rounds == 3
+        assert len(res.outputs[0]) == 3
+
+
+class TestContext:
+    def test_subsession_extends_tag(self):
+        def factory(ctx, _):
+            sub = ctx.subsession("child")
+            return sub.session
+            yield  # pragma: no cover
+
+        res = run(factory, [None] * 2, max_faulty=0, session="root")
+        assert res.outputs[0] == "root/child"
+
+    def test_quorum_size(self):
+        def factory(ctx, _):
+            return ctx.quorum_size
+            yield  # pragma: no cover
+
+        res = run(factory, [None] * 5, max_faulty=2, session="q")
+        assert res.outputs[0] == 3

@@ -1,0 +1,83 @@
+"""Edge paths of the parallel combinator and context helpers."""
+
+from repro.network.messages import PARALLEL_KEY
+from repro.network.party import run_parallel
+
+from ..conftest import run
+
+
+def unicast_program(ctx, target, tag, rounds=1):
+    """Sends only to `target` each round (exercises the unicast merge path)."""
+    received = []
+    for _ in range(rounds):
+        inbox = yield {target: {"tag": tag}}
+        received.append(sorted(inbox))
+    return received
+
+
+def broadcast_program(ctx, tag):
+    inbox = yield ctx.broadcast({"tag": tag})
+    return sorted(inbox)
+
+
+class TestUnicastMerge:
+    def test_mixed_broadcast_and_unicast_subprograms(self):
+        """When any subprogram unicasts, the combinator expands all
+        outboxes per recipient — messages still route correctly."""
+
+        def factory(ctx, _):
+            results = yield from run_parallel(
+                ctx,
+                {
+                    "uni": unicast_program(ctx, target=1, tag="U"),
+                    "bc": broadcast_program(ctx, "B"),
+                },
+            )
+            return results
+
+        res = run(factory, [None] * 3, 0, session="um1")
+        # Party 1 received the unicast channel from everyone...
+        assert res.outputs[1]["uni"] == [[0, 1, 2]]
+        # ...party 0 received nothing on it (the envelope omits the tag).
+        assert res.outputs[0]["uni"] == [[]]
+        # The broadcast channel reached everyone regardless.
+        assert res.outputs[0]["bc"] == [0, 1, 2]
+        assert res.outputs[2]["bc"] == [0, 1, 2]
+
+    def test_pure_unicast_parallel(self):
+        def factory(ctx, _):
+            results = yield from run_parallel(
+                ctx,
+                {
+                    "a": unicast_program(ctx, target=0, tag="A"),
+                    "b": unicast_program(ctx, target=2, tag="B"),
+                },
+            )
+            return results
+
+        res = run(factory, [None] * 3, 0, session="um2")
+        assert res.outputs[0]["a"] == [[0, 1, 2]]
+        assert res.outputs[2]["b"] == [[0, 1, 2]]
+        assert res.outputs[1]["a"] == [[]]
+
+
+class TestContextHelpers:
+    def test_all_parties_enumerates_everyone(self):
+        def factory(ctx, _):
+            return list(ctx.all_parties())
+            yield  # pragma: no cover
+
+        res = run(factory, [None] * 4, 1, session="cx1")
+        assert res.outputs[0] == [0, 1, 2, 3]
+
+    def test_subsession_rng_is_shared_not_forked(self):
+        """subsession() keeps the party RNG (determinism across the whole
+        party program), only the session tag changes."""
+
+        def factory(ctx, _):
+            sub = ctx.subsession("s")
+            return sub.rng is ctx.rng and sub.crypto is ctx.crypto
+            yield  # pragma: no cover
+
+        res = run(factory, [None] * 2, 0, session="cx2")
+        assert res.outputs[0] is True

@@ -1,0 +1,121 @@
+"""Tests for execution tracing."""
+
+import random
+
+from repro.crypto.ideal import IdealThresholdScheme
+from repro.network.messages import PARALLEL_KEY
+from repro.network.simulator import SyncSimulator
+from repro.network.trace import Tracer, summarize_payload
+
+from ..conftest import ideal_suite
+
+
+def traced_run(factory, inputs, max_faulty, adversary=None, seed=0):
+    tracer = Tracer()
+    simulator = SyncSimulator(
+        num_parties=len(inputs),
+        max_faulty=max_faulty,
+        crypto=ideal_suite(len(inputs), max_faulty),
+        adversary=adversary,
+        seed=seed,
+        session="tr",
+        tracer=tracer,
+    )
+    result = simulator.run(factory, inputs)
+    return result, tracer
+
+
+def two_round_echo(ctx, value):
+    yield ctx.broadcast({"v": value})
+    yield ctx.broadcast({"v": value + 1})
+    return value
+
+
+class TestSummarizePayload:
+    def test_scalars(self):
+        assert summarize_payload(None) == "∅"
+        assert summarize_payload(5) == "5"
+        assert summarize_payload(True) == "True"
+        assert summarize_payload(2 ** 80) == "int(81b)"
+        assert summarize_payload("hello") == "'hello'"
+        assert "..." in summarize_payload("a-very-long-string-indeed")
+        assert summarize_payload(b"\x00" * 7) == "bytes[7]"
+
+    def test_signature_objects_are_marked(self):
+        scheme = IdealThresholdScheme(3, 2, random.Random(1))
+        share = scheme.sign_share(0, "m")
+        assert summarize_payload(share) == "<IdealShare>"
+
+    def test_dicts_and_sequences_are_bounded(self):
+        big = {f"k{i}": i for i in range(10)}
+        summary = summarize_payload(big)
+        assert "…" in summary and len(summary) < 120
+        assert summarize_payload((1, 2, 3, 4, 5)).endswith(", …)")
+
+    def test_parallel_envelope_rendering(self):
+        payload = {PARALLEL_KEY: {"prox": {"v": 1}, "coin": None}}
+        summary = summarize_payload(payload)
+        assert summary.startswith("∥{") and "prox" in summary and "coin" in summary
+
+    def test_depth_bound(self):
+        nested = {"a": {"b": {"c": {"d": {"e": 1}}}}}
+        assert "…" in summarize_payload(nested)
+
+
+class TestTracer:
+    def test_records_all_messages(self):
+        result, tracer = traced_run(two_round_echo, [1, 2, 3], 0)
+        assert tracer.rounds == 2
+        assert len(tracer.events_in_round(1)) == 9  # 3 senders x 3 recipients
+        assert len(tracer.events) == 18
+
+    def test_records_corruptions_with_round(self):
+        from repro.adversary.base import Adversary, RoundDecision
+
+        class Strike(Adversary):
+            def decide(self, view):
+                if view.round_index == 2:
+                    return RoundDecision(corrupt={0: None})
+                return RoundDecision()
+
+        _result, tracer = traced_run(two_round_echo, [1, 2, 3], 1, adversary=Strike())
+        assert tracer.corruptions == [(2, 0)]
+
+    def test_honesty_flag(self):
+        from repro.adversary.strategies import CrashAdversary
+
+        _result, tracer = traced_run(
+            two_round_echo, [1, 2, 3], 1,
+            adversary=CrashAdversary(victims=[2], crash_round=2),
+        )
+        round1 = tracer.events_in_round(1)
+        assert any(not e.sender_honest for e in round1 if e.sender == 2)
+        # Crashed in round 2: no messages from party 2 at all.
+        assert all(e.sender != 2 for e in tracer.events_in_round(2))
+
+    def test_render_contains_rounds_and_corruption_markers(self):
+        from repro.adversary.base import Adversary, RoundDecision
+
+        class Strike(Adversary):
+            def decide(self, view):
+                if view.round_index == 1:
+                    return RoundDecision(corrupt={1: None})
+                return RoundDecision()
+
+        _result, tracer = traced_run(two_round_echo, [1, 2, 3], 1, adversary=Strike())
+        rendered = tracer.render()
+        assert "── round 1" in rendered and "── round 2" in rendered
+        assert "⚡ corrupted: P1" in rendered
+        assert "P0" in rendered
+
+    def test_tracing_a_real_protocol(self):
+        from repro.core.ba import ba_one_half_program
+
+        result, tracer = traced_run(
+            lambda c, b: ba_one_half_program(c, b, kappa=2), [1, 0, 1, 0, 1], 2
+        )
+        assert result.honest_agree()
+        assert tracer.rounds == 3
+        rendered = tracer.render()
+        # round 3 carries the parallel prox ∥ coin envelope
+        assert "∥{" in rendered

@@ -1,0 +1,83 @@
+"""Tests for the standalone expansion step (paper Fig. 2, executed).
+
+The iterated t<n/3 chain only visits odd slot counts (2^r + 1), but the
+expansion itself is defined for any ``s >= 2`` — including the Fig. 2
+``Prox_4 → Prox_7`` example.  Here we feed parties *synthetic* inner
+configurations (any Definition-2-consistent placement, which is exactly
+what a real inner Proxcensus could output) and check the expanded outputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proxcensus.base import (
+    check_proxcensus_consistency,
+    check_proxcensus_validity,
+    max_grade,
+    slot_index,
+    slot_label,
+)
+from repro.proxcensus.one_third import prox_expand_once_program
+
+from ..conftest import run
+
+
+def expand(inner_slots):
+    return lambda ctx, pair: prox_expand_once_program(
+        ctx, pair[0], pair[1], inner_slots
+    )
+
+
+class TestFromSyntheticConfigurations:
+    @pytest.mark.parametrize("inner", [2, 3, 4, 5, 6, 9])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_pre_agreement_on_extremal_slot(self, inner, bit):
+        """Everyone at (b, G_inner) must land at (b, G_outer)."""
+        pair = (bit, max_grade(inner))
+        res = run(expand(inner), [pair] * 4, 1, session=f"e{inner}{bit}")
+        check_proxcensus_validity(res.outputs.values(), 2 * inner - 1, bit)
+
+    @given(
+        inner=st.integers(min_value=2, max_value=9),
+        position=st.integers(min_value=0, max_value=100),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_inner_configurations_stay_consistent(
+        self, inner, position, data
+    ):
+        """Any two-adjacent-slot inner placement expands consistently."""
+        position %= inner - 1  # left slot of the adjacent pair
+        labels = [slot_label(position, inner), slot_label(position + 1, inner)]
+        pairs = []
+        for _ in range(4):
+            value, grade = labels[data.draw(st.integers(0, 1))]
+            if value is None:
+                value, grade = data.draw(st.integers(0, 1)), 0
+            pairs.append((value, grade))
+        res = run(
+            expand(inner), pairs, 1,
+            session=f"ea{inner}-{position}-{hash(tuple(pairs)) & 0xFFF}",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 2 * inner - 1)
+
+    def test_fig2_prox4_to_prox7(self):
+        """The figure's even-s example: Prox_4 inner states, 7 outer slots."""
+        # All four parties at (1, 1) — the rightmost Prox_4 slot.
+        res = run(expand(4), [(1, 1)] * 4, 1, session="f4a")
+        check_proxcensus_validity(res.outputs.values(), 7, 1)
+        # Straddling (1,0)/(1,1): outputs must stay within two adjacent
+        # slots of Prox_7 on value 1.
+        res = run(expand(4), [(1, 0), (1, 1), (1, 1), (1, 0)], 1, session="f4b")
+        check_proxcensus_consistency(res.outputs.values(), 7)
+        for output in res.outputs.values():
+            assert output.value == 1 and output.grade >= 1
+
+    def test_grade_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            run(expand(4), [(1, 2)] * 4, 1, session="f4x")
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError):
+            run(expand(4), [(1, 1)] * 3, 1, session="f4y")

@@ -1,0 +1,126 @@
+"""Tests for the t < n/2 linear Proxcensus (Lemma 3): Prox_{2r-1}."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.proxcensus.base import (
+    check_proxcensus_consistency,
+    check_proxcensus_validity,
+)
+from repro.proxcensus.linear_half import (
+    grade_conditions,
+    prox_linear_half_program,
+    slots_after_rounds,
+)
+
+from ..conftest import run
+
+
+def factory(rounds):
+    return lambda ctx, x: prox_linear_half_program(ctx, x, rounds=rounds)
+
+
+class TestStatics:
+    @pytest.mark.parametrize("rounds,slots", [(2, 3), (3, 5), (4, 7), (6, 11)])
+    def test_slot_growth_formula(self, rounds, slots):
+        assert slots_after_rounds(rounds) == slots
+
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            slots_after_rounds(1)
+
+    def test_grade_conditions_match_paper_table1(self):
+        """Table 1 (r = 3): slot deadlines for Prox_5."""
+        conditions = grade_conditions(3)
+        assert conditions[2] == {"sigma_by": 1, "no_other_by": 3, "omega_by": 2}
+        assert conditions[1] == {"sigma_by": 2, "no_other_by": 2, "omega_by": 3}
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError):
+            run(factory(3), [0, 1], max_faulty=1)  # n=2, t=1 violates 2t<n
+
+
+class TestHonestExecutions:
+    @pytest.mark.parametrize("rounds", [2, 3, 4, 5])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_under_pre_agreement(self, rounds, bit):
+        res = run(factory(rounds), [bit] * 5, max_faulty=2)
+        check_proxcensus_validity(
+            res.outputs.values(), slots_after_rounds(rounds), bit
+        )
+
+    def test_rounds_consumed(self):
+        res = run(factory(4), [1, 0, 1, 0, 1], max_faulty=2)
+        assert res.metrics.rounds == 4
+
+    def test_signatures_on_the_wire(self):
+        """Lemma 3 measures communication in signatures: O(r n²)."""
+        res = run(factory(3), [1, 0, 1, 0, 1], max_faulty=2)
+        assert res.metrics.total_signatures > 0
+
+    @given(
+        inputs=st.lists(st.integers(0, 1), min_size=3, max_size=7),
+        rounds=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_consistency_any_inputs_no_adversary(self, inputs, rounds):
+        n = len(inputs)
+        t = (n - 1) // 2
+        res = run(factory(rounds), inputs, max_faulty=t)
+        check_proxcensus_consistency(
+            res.outputs.values(), slots_after_rounds(rounds)
+        )
+
+    def test_multivalued_domain(self):
+        res = run(factory(3), ["tx9"] * 5, max_faulty=2)
+        check_proxcensus_validity(res.outputs.values(), 5, "tx9")
+
+
+class TestAdversarialExecutions:
+    @pytest.mark.parametrize("rounds", [2, 3, 4])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_consistency_under_two_face(self, rounds, seed):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=factory(rounds))
+        res = run(
+            factory(rounds), [0, 0, 1, 1, 0], max_faulty=2,
+            adversary=adversary, seed=seed,
+        )
+        check_proxcensus_consistency(
+            res.honest_outputs.values(), slots_after_rounds(rounds)
+        )
+
+    def test_validity_not_broken_by_two_face(self):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=factory(3))
+        res = run(factory(3), [1, 1, 1, 0, 0], max_faulty=2, adversary=adversary)
+        check_proxcensus_validity(res.honest_outputs.values(), 5, 1)
+
+    def test_crash_adversary(self):
+        res = run(
+            factory(3), [1, 1, 1, 1, 1], max_faulty=2,
+            adversary=CrashAdversary(victims=[3, 4], crash_round=2),
+        )
+        check_proxcensus_validity(res.honest_outputs.values(), 5, 1)
+
+    def test_malformed_adversary(self):
+        res = run(
+            factory(4), [0, 1, 0, 1, 1], max_faulty=2,
+            adversary=MalformedAdversary(victims=[4]),
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 7)
+
+    def test_equivocating_shares_cannot_forge_quorum(self):
+        """With 2 honest 0-voters, 1 honest 1-voter and 2 equivocators,
+        no quorum signature on value 1 can involve n-t=3 distinct signers
+        unless the equivocators both sign it — which they may; but then the
+        honest outputs must still be consistent."""
+        adversary = TwoFaceAdversary(
+            victims=[3, 4], factory=factory(3), low_input=0, high_input=1
+        )
+        res = run(factory(3), [0, 0, 1, 0, 1], max_faulty=2, adversary=adversary)
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)

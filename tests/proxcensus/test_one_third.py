@@ -1,0 +1,128 @@
+"""Tests for the t < n/3 Proxcensus (Corollary 1): Prox_{2^r + 1}."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    LastRoundCorruptionAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.proxcensus.base import (
+    check_proxcensus_consistency,
+    check_proxcensus_validity,
+    max_grade,
+)
+from repro.proxcensus.one_third import prox_one_third_program, slots_after_rounds
+
+from ..conftest import run
+
+
+def factory(rounds):
+    return lambda ctx, x: prox_one_third_program(ctx, x, rounds=rounds)
+
+
+class TestStatics:
+    @pytest.mark.parametrize("rounds,slots", [(0, 2), (1, 3), (2, 5), (3, 9), (6, 65)])
+    def test_slot_growth_formula(self, rounds, slots):
+        assert slots_after_rounds(rounds) == slots
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            slots_after_rounds(-1)
+
+    def test_resilience_guard(self):
+        with pytest.raises(ValueError):
+            run(factory(1), [0, 1, 0], max_faulty=1)  # n=3, t=1 violates 3t<n
+
+
+class TestHonestExecutions:
+    @pytest.mark.parametrize("rounds", [0, 1, 2, 3, 5])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_under_pre_agreement(self, rounds, bit):
+        res = run(factory(rounds), [bit] * 4, max_faulty=1)
+        check_proxcensus_validity(
+            res.outputs.values(), slots_after_rounds(rounds), bit
+        )
+
+    def test_rounds_consumed(self):
+        res = run(factory(4), [1, 0, 1, 0], max_faulty=1)
+        assert res.metrics.rounds == 4
+
+    def test_no_signatures_used(self):
+        """Corollary 1 is *perfectly secure*: zero signatures on the wire."""
+        res = run(factory(3), [1, 0, 1, 0], max_faulty=1)
+        assert res.metrics.total_signatures == 0
+
+    @given(
+        inputs=st.lists(st.integers(0, 1), min_size=4, max_size=7),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_consistency_any_inputs_no_adversary(self, inputs, rounds):
+        n = len(inputs)
+        t = (n - 1) // 3
+        res = run(factory(rounds), inputs, max_faulty=t)
+        check_proxcensus_consistency(
+            res.outputs.values(), slots_after_rounds(rounds)
+        )
+
+    def test_multivalued_domain(self):
+        res = run(factory(2), ["blue"] * 4, max_faulty=1)
+        check_proxcensus_validity(res.outputs.values(), 5, "blue")
+
+
+class TestAdversarialExecutions:
+    @pytest.mark.parametrize("rounds", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_consistency_under_two_face(self, rounds, seed):
+        adversary = TwoFaceAdversary(victims=[3], factory=factory(rounds))
+        res = run(
+            factory(rounds), [0, 0, 1, 1], max_faulty=1,
+            adversary=adversary, seed=seed,
+        )
+        check_proxcensus_consistency(
+            res.honest_outputs.values(), slots_after_rounds(rounds)
+        )
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_consistency_under_two_face_various_sizes(self, n, t):
+        victims = list(range(n - t, n))
+        adversary = TwoFaceAdversary(victims=victims, factory=factory(2))
+        inputs = [i % 2 for i in range(n)]
+        res = run(factory(2), inputs, max_faulty=t, adversary=adversary, seed=3)
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)
+
+    def test_validity_not_broken_by_two_face(self):
+        """Pre-agreement among honest parties must survive equivocation."""
+        adversary = TwoFaceAdversary(victims=[3], factory=factory(3))
+        res = run(factory(3), [1, 1, 1, 0], max_faulty=1, adversary=adversary)
+        check_proxcensus_validity(res.honest_outputs.values(), 9, 1)
+
+    def test_crash_adversary(self):
+        res = run(
+            factory(3), [1, 1, 1, 1], max_faulty=1,
+            adversary=CrashAdversary(victims=[2], crash_round=2),
+        )
+        check_proxcensus_validity(res.honest_outputs.values(), 9, 1)
+
+    def test_malformed_adversary(self):
+        res = run(
+            factory(3), [0, 1, 0, 1], max_faulty=1,
+            adversary=MalformedAdversary(victims=[3]),
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 9)
+
+    def test_adaptive_mid_protocol_corruption(self):
+        adversary = LastRoundCorruptionAdversary(victim=0, strike_round=2)
+        res = run(factory(3), [1, 1, 1, 1], max_faulty=1, adversary=adversary)
+        check_proxcensus_validity(res.honest_outputs.values(), 9, 1)
+
+    def test_grades_bounded_by_construction(self):
+        adversary = MalformedAdversary(victims=[3])
+        res = run(factory(4), [0, 1, 1, 0], max_faulty=1, adversary=adversary)
+        grades = max_grade(slots_after_rounds(4))
+        for output in res.honest_outputs.values():
+            assert 0 <= output.grade <= grades

@@ -1,0 +1,122 @@
+"""Tests for s-slot proxcast (Appendix A) and its player-replaceable variant."""
+
+import pytest
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.proxcensus.base import (
+    check_proxcensus_consistency,
+    max_grade,
+)
+from repro.proxcensus.proxcast import (
+    proxcast_player_replaceable_program,
+    proxcast_program,
+    rounds_for_slots,
+)
+
+from ..conftest import run
+
+
+def factory(slots, dealer=0):
+    return lambda ctx, x: proxcast_program(ctx, x, slots=slots, dealer=dealer)
+
+
+def pr_factory(slots, dealer=0):
+    return lambda ctx, x: proxcast_player_replaceable_program(
+        ctx, x, slots=slots, dealer=dealer
+    )
+
+
+class TestStatics:
+    @pytest.mark.parametrize("slots,rounds", [(2, 1), (3, 2), (5, 4), (8, 7)])
+    def test_round_cost(self, slots, rounds):
+        assert rounds_for_slots(slots) == rounds
+
+    def test_rejects_one_slot(self):
+        with pytest.raises(ValueError):
+            rounds_for_slots(1)
+
+    def test_invalid_dealer_rejected(self):
+        with pytest.raises(ValueError):
+            run(factory(3, dealer=9), ["x"] * 4, max_faulty=1)
+
+    def test_pr_variant_needs_honest_majority(self):
+        with pytest.raises(ValueError):
+            run(pr_factory(3), ["x", "y"], max_faulty=1)
+
+
+class TestHonestDealer:
+    @pytest.mark.parametrize("slots", [2, 3, 4, 5, 6, 9])
+    def test_validity_max_grade(self, slots):
+        res = run(factory(slots), ["blk"] * 4, max_faulty=3)
+        grades = max_grade(slots)
+        for output in res.outputs.values():
+            assert output.value == "blk" and output.grade == grades
+        assert res.metrics.rounds == rounds_for_slots(slots)
+
+    def test_validity_with_byzantine_relayers(self):
+        """t < n: even n-1 corrupted relayers cannot shake an honest dealer."""
+        res = run(
+            factory(5, dealer=0), ["blk"] * 4, max_faulty=3,
+            adversary=MalformedAdversary(victims=[1, 2, 3]),
+        )
+        assert res.honest_outputs[0].value == "blk"
+        assert res.honest_outputs[0].grade == max_grade(5)
+
+    def test_pr_variant_validity(self):
+        res = run(pr_factory(5), ["blk"] * 5, max_faulty=2)
+        for output in res.outputs.values():
+            assert output.value == "blk" and output.grade == max_grade(5)
+
+
+class TestEquivocatingDealer:
+    @pytest.mark.parametrize("slots", [3, 4, 5, 7])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consistency(self, slots, seed):
+        adversary = TwoFaceAdversary(
+            victims=[0], factory=factory(slots), low_input="a", high_input="b"
+        )
+        res = run(
+            factory(slots), ["a"] * 5, max_faulty=1,
+            adversary=adversary, seed=seed,
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), slots)
+
+    def test_silent_dealer_gives_grade_zero(self):
+        res = run(
+            factory(5), ["x"] * 4, max_faulty=1,
+            adversary=CrashAdversary(victims=[0], crash_round=1),
+        )
+        for output in res.honest_outputs.values():
+            assert output.grade == 0
+
+    def test_pr_variant_consistency_under_equivocation(self):
+        adversary = TwoFaceAdversary(
+            victims=[0], factory=pr_factory(5), low_input="a", high_input="b"
+        )
+        res = run(
+            pr_factory(5), ["a"] * 5, max_faulty=2, adversary=adversary, seed=2
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)
+
+    def test_late_equivocation_caps_grade(self):
+        """A dealer who reveals a second signature late can reduce grades,
+        but never break adjacency."""
+        slots = 7
+
+        def delayed_equivocator(ctx, x):
+            # A handmade dealer: signs 'a' for round 1, releases a signed
+            # 'b' from round 3 onward by acting as a two-face with delay.
+            return proxcast_program(ctx, x, slots=slots, dealer=0)
+
+        adversary = TwoFaceAdversary(
+            victims=[0], factory=delayed_equivocator,
+            low_input="a", high_input="b", low_group=set(range(5)),
+        )
+        res = run(
+            factory(slots), ["a"] * 5, max_faulty=1, adversary=adversary
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), slots)

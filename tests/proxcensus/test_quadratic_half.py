@@ -1,0 +1,137 @@
+"""Tests for the quadratic t < n/2 Proxcensus (Appendix B, Lemma 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from repro.proxcensus.base import (
+    check_proxcensus_consistency,
+    check_proxcensus_validity,
+)
+from repro.proxcensus.quadratic_half import (
+    condition_table,
+    prox_quadratic_half_program,
+    slots_after_rounds,
+    top_grade,
+)
+
+from ..conftest import run
+
+
+def factory(rounds):
+    return lambda ctx, x: prox_quadratic_half_program(ctx, x, rounds=rounds)
+
+
+class TestConditionTable:
+    @pytest.mark.parametrize(
+        "rounds,slots", [(3, 3), (4, 5), (5, 9), (6, 15), (7, 23)]
+    )
+    def test_slot_growth_formula(self, rounds, slots):
+        assert slots_after_rounds(rounds) == slots
+
+    def test_top_grade_consistent_with_slots(self):
+        for rounds in range(3, 10):
+            assert 2 * top_grade(rounds) + 1 == slots_after_rounds(rounds)
+
+    def test_rejects_fewer_than_three_rounds(self):
+        with pytest.raises(ValueError):
+            slots_after_rounds(2)
+
+    def test_matches_paper_table2(self):
+        """The r = 6 table printed in the paper (Table 2), value-0 side."""
+        table = condition_table(6)
+        assert table[7] == {1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6}
+        assert table[6] == {2: 1, 3: 2, 4: 3, 5: 4, 6: 5}
+        assert table[5] == {2: 1, 3: 2, 4: 3, 5: 4, 6: 4}
+        assert table[4] == {2: 1, 3: 2, 4: 3, 5: 3, 6: 4}
+        assert table[3] == {2: 1, 3: 2, 4: 3, 5: 3, 6: 3}
+        assert table[2] == {2: 1, 3: 2, 4: 2, 5: 3, 6: 3}
+        assert table[1] == {2: 1, 3: 2, 4: 2, 5: 2, 6: 3}
+
+    @given(rounds=st.integers(min_value=3, max_value=9))
+    @settings(max_examples=7, deadline=None)
+    def test_structural_invariants(self, rounds):
+        table = condition_table(rounds)
+        grades = top_grade(rounds)
+        assert set(table) == set(range(1, grades + 1))
+        # Every grade >= 1 requires Ω_3 somewhere (the paper's disjointness
+        # argument hinges on this) — except tiny instances without Ω_3.
+        if rounds >= 4:
+            for grade, per_round in table.items():
+                assert any(required >= 3 for required in per_round.values()), grade
+        # Conditions weaken monotonically with the grade: pointwise, a
+        # higher grade requires an at-least-as-late omega at each round.
+        for grade in range(1, grades):
+            for round_index in range(2, rounds + 1):
+                assert (
+                    table[grade][round_index] <= table[grade + 1][round_index]
+                )
+        # Adjacent grades' conditions are distinct (they define distinct
+        # slots).
+        for grade in range(1, grades):
+            assert table[grade] != table[grade + 1]
+
+
+class TestHonestExecutions:
+    @pytest.mark.parametrize("rounds", [3, 4, 5, 6])
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_validity_under_pre_agreement(self, rounds, bit):
+        res = run(factory(rounds), [bit] * 5, max_faulty=2)
+        check_proxcensus_validity(
+            res.outputs.values(), slots_after_rounds(rounds), bit
+        )
+
+    def test_rounds_consumed(self):
+        res = run(factory(5), [1, 0, 1, 0, 1], max_faulty=2)
+        assert res.metrics.rounds == 5
+
+    @given(
+        inputs=st.lists(st.integers(0, 1), min_size=3, max_size=6),
+        rounds=st.integers(min_value=3, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consistency_any_inputs_no_adversary(self, inputs, rounds):
+        n = len(inputs)
+        t = (n - 1) // 2
+        res = run(factory(rounds), inputs, max_faulty=t)
+        check_proxcensus_consistency(
+            res.outputs.values(), slots_after_rounds(rounds)
+        )
+
+
+class TestAdversarialExecutions:
+    @pytest.mark.parametrize("rounds", [3, 4, 5, 6])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consistency_under_two_face(self, rounds, seed):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=factory(rounds))
+        res = run(
+            factory(rounds), [0, 0, 1, 1, 0], max_faulty=2,
+            adversary=adversary, seed=seed,
+        )
+        check_proxcensus_consistency(
+            res.honest_outputs.values(), slots_after_rounds(rounds)
+        )
+
+    def test_validity_not_broken_by_two_face(self):
+        adversary = TwoFaceAdversary(victims=[3, 4], factory=factory(4))
+        res = run(factory(4), [1, 1, 1, 0, 0], max_faulty=2, adversary=adversary)
+        check_proxcensus_validity(res.honest_outputs.values(), 5, 1)
+
+    def test_crash_adversary(self):
+        res = run(
+            factory(4), [1, 1, 1, 1, 1], max_faulty=2,
+            adversary=CrashAdversary(victims=[3, 4], crash_round=3),
+        )
+        check_proxcensus_validity(res.honest_outputs.values(), 5, 1)
+
+    def test_malformed_adversary(self):
+        res = run(
+            factory(4), [0, 1, 0, 1, 1], max_faulty=2,
+            adversary=MalformedAdversary(victims=[4]),
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)

@@ -1,0 +1,43 @@
+"""Tests for the Proxcensus family registry."""
+
+import pytest
+
+from repro.proxcensus.registry import FAMILIES, family
+
+
+class TestRegistry:
+    def test_all_families_present(self):
+        assert set(FAMILIES) == {
+            "one_third",
+            "linear_half",
+            "quadratic_half",
+            "proxcast",
+        }
+
+    def test_unknown_family_raises_with_hint(self):
+        with pytest.raises(KeyError, match="linear_half"):
+            family("nope")
+
+    @pytest.mark.parametrize(
+        "name,rounds,slots",
+        [
+            ("one_third", 4, 17),
+            ("linear_half", 4, 7),
+            ("quadratic_half", 6, 15),
+            ("proxcast", 4, 5),
+        ],
+    )
+    def test_slot_formulas(self, name, rounds, slots):
+        assert family(name).slots_for_rounds(rounds) == slots
+
+    def test_growth_ordering_for_large_rounds(self):
+        """Asymptotics: exponential > quadratic > linear ~ proxcast."""
+        rounds = 20
+        one_third = family("one_third").slots_for_rounds(rounds)
+        quadratic = family("quadratic_half").slots_for_rounds(rounds)
+        linear = family("linear_half").slots_for_rounds(rounds)
+        proxcast = family("proxcast").slots_for_rounds(rounds)
+        assert one_third > quadratic > linear > proxcast
+
+    def test_grades_derived_from_slots(self):
+        assert family("one_third").grades_for_rounds(3) == 4

@@ -1,0 +1,198 @@
+"""White-box tests of the output-determination logic.
+
+These drive the protocol generators *by hand* with surgically crafted
+inboxes — no simulator, no adversary class — to pin down the exact
+decision boundaries of the paper's pseudocode:
+
+* the expansion's tie-break ("in case of a tie, the upper slot is
+  chosen"),
+* the quorum thresholds n-t / n-2t at their edges, and
+* the per-round deadlines of the linear t<n/2 Proxcensus (Table 1).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import CryptoSuite
+from repro.network.messages import Broadcast
+from repro.network.party import Context
+from repro.proxcensus.base import ProxOutput
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_expand_once_program
+
+from ..conftest import ideal_suite
+
+
+def make_context(n, t, party_id=0, session="wb"):
+    return Context(
+        party_id=party_id,
+        num_parties=n,
+        max_faulty=t,
+        session=session,
+        crypto=ideal_suite(n, t),
+        rng=random.Random(7),
+    )
+
+
+def finish(generator, inbox):
+    """Send the final inbox; return the StopIteration value."""
+    try:
+        generator.send(inbox)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator did not finish")
+
+
+def own_payload(outbox):
+    assert isinstance(outbox, Broadcast)
+    return outbox.payload
+
+
+class TestExpansionDecisionBoundaries:
+    """Prox_5 -> Prox_9 style single expansions; n = 4, t = 1 so the
+    quorums are n-t = 3 and n-2t = 2."""
+
+    def expand(self, my_pair, received_pairs, inner_slots=5):
+        ctx = make_context(4, 1)
+        generator = prox_expand_once_program(ctx, my_pair[0], my_pair[1], inner_slots)
+        outbox = next(generator)
+        inbox = {0: own_payload(outbox)}
+        for sender, pair in enumerate(received_pairs, start=1):
+            if pair is not None:
+                inbox[sender] = {"prox13": pair}
+        return finish(generator, inbox)
+
+    def test_tie_breaks_to_the_upper_slot(self):
+        """Band (1,2) with n-2t echoes on BOTH grades: the paper picks the
+        upper slot — grade 2g+2-b = 3 (not 2)."""
+        result = self.expand((1, 1), [(1, 1), (1, 2), (1, 2)])
+        assert result == ProxOutput(1, 3)
+
+    def test_lower_side_quorum_gives_lower_slot(self):
+        """Band (1,2) with only the lower grade at n-2t: grade 2g+1-b = 2."""
+        result = self.expand((1, 1), [(1, 1), (1, 2), None])
+        assert result == ProxOutput(1, 2)
+
+    def test_full_top_quorum_gives_max_grade(self):
+        result = self.expand((1, 2), [(1, 2), (1, 2), None])
+        assert result == ProxOutput(1, 4)  # 2G+1-b with G=2, b=1
+
+    def test_one_vote_short_of_union_quorum_defaults(self):
+        """|S(1,1) ∪ S(1,2)| = 2 < n-t: no slot condition fires."""
+        result = self.expand((1, 1), [(1, 2), None, None])
+        assert result == ProxOutput(0, 0)
+
+    def test_grade_zero_pool_feeds_the_lowest_band(self):
+        """Odd s special case: |S_0 ∪ S(z,1)| >= n-t with |S(z,1)| >= n-2t."""
+        result = self.expand((1, 1), [(1, 1), (0, 0), None])
+        assert result == ProxOutput(1, 1)
+
+    def test_grade_zero_pool_value_is_irrelevant(self):
+        """The grade-0 echoes count for any candidate (center is valueless
+        for odd s) — even when their value field disagrees."""
+        result = self.expand((1, 1), [(1, 1), ("junk", 0), None])
+        assert result == ProxOutput(1, 1)
+
+    def test_out_of_range_inner_grades_ignored(self):
+        result = self.expand((1, 2), [(1, 99), (1, -1), (1, True)])
+        # only our own echo counts: nothing reaches a quorum
+        assert result == ProxOutput(0, 0)
+
+
+class TestLinearHalfDeadlines:
+    """Drive the 3-round Prox_5 of Lemma 3 by hand; n = 5, t = 2."""
+
+    def drive(self, my_value, round1_shares, round2_bodies, round3_bodies):
+        """round1_shares: list of (sender, value) to sign-and-deliver;
+        round{2,3}_bodies: {sender: plh-body-dict} extra deliveries."""
+        ctx = make_context(5, 2)
+        scheme = ctx.crypto.quorum
+        generator = prox_linear_half_program(ctx, my_value, rounds=3)
+
+        outbox = next(generator)
+        inbox = {0: own_payload(outbox)}
+        for sender, value in round1_shares:
+            message = ("plh", ctx.session, "sigma", value)
+            inbox[sender] = {
+                "plh": {"value": value, "share": scheme.sign_share(sender, message)}
+            }
+        outbox = generator.send(inbox)
+        inbox = {0: own_payload(outbox)}
+        for sender, body in round2_bodies.items():
+            inbox[sender] = {"plh": body}
+        outbox = generator.send(inbox)
+        inbox = {0: own_payload(outbox)}
+        for sender, body in round3_bodies.items():
+            inbox[sender] = {"plh": body}
+        return finish(generator, inbox), ctx, scheme
+
+    def sigma(self, ctx, scheme, value):
+        message = ("plh", ctx.session, "sigma", value)
+        return scheme.combine(
+            [(i, scheme.sign_share(i, message)) for i in range(3)], message
+        )
+
+    def omega_share(self, ctx, scheme, signer, value):
+        return scheme.sign_share(signer, ("plh", ctx.session, "omega", value))
+
+    def test_pre_agreement_reaches_grade_two(self):
+        ctx = make_context(5, 2)
+        scheme = ctx.crypto.quorum
+        omega = lambda sender: {
+            "sigmas": [], "omegas": [],
+            "omega_share": (1, self.omega_share(ctx, scheme, sender, 1)),
+        }
+        result, _, _ = self.drive(
+            1,
+            [(1, 1), (2, 1), (3, 1), (4, 1)],
+            {1: omega(1), 2: omega(2)},
+            {},
+        )
+        assert result == ProxOutput(1, 2)
+
+    def test_sigma_arriving_in_round_two_caps_grade_at_one(self):
+        """Table 1 column (v,1): Σ by round 2 (not 1) + Ω by round 3."""
+        ctx = make_context(5, 2)
+        scheme = ctx.crypto.quorum
+        sigma_1 = self.sigma(ctx, scheme, 1)
+        omega_message = ("plh", ctx.session, "omega", 1)
+        omega = scheme.combine(
+            [(i, scheme.sign_share(i, omega_message)) for i in range(3)],
+            omega_message,
+        )
+        result, _, _ = self.drive(
+            0,                                  # our own vote is for 0!
+            [],                                 # no quorum in round 1
+            {1: {"sigmas": [(1, sigma_1)], "omegas": []}},
+            {2: {"sigmas": [], "omegas": [(1, omega)]}},
+        )
+        # Σ_1@2, Ω_1@3, no Σ_0 ever (only our own share) -> (1, 1)
+        assert result == ProxOutput(1, 1)
+
+    def test_conflicting_sigma_by_round_two_kills_grade_one(self):
+        """The 'no other value by round g+1' deadline."""
+        ctx = make_context(5, 2)
+        scheme = ctx.crypto.quorum
+        sigma_1 = self.sigma(ctx, scheme, 1)
+        sigma_0 = self.sigma(ctx, scheme, 0)
+        result, _, _ = self.drive(
+            0,
+            [],
+            {
+                1: {"sigmas": [(1, sigma_1)], "omegas": []},
+                2: {"sigmas": [(0, sigma_0)], "omegas": []},
+            },
+            {},
+        )
+        assert result == ProxOutput(0, 0)
+
+    def test_omega_missing_means_grade_zero(self):
+        """Σ alone never grades: the Ω proof is mandatory (Table 1)."""
+        ctx = make_context(5, 2)
+        scheme = ctx.crypto.quorum
+        sigma_1 = self.sigma(ctx, scheme, 1)
+        result, _, _ = self.drive(
+            0, [], {1: {"sigmas": [(1, sigma_1)], "omegas": []}}, {},
+        )
+        assert result == ProxOutput(0, 0)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRun:
+    def test_basic_run_agrees(self, capsys):
+        code = main(
+            ["run", "--protocol", "one_third", "--kappa", "4",
+             "--inputs", "1,0,1,0", "--t", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement  : True" in out
+        assert "rounds     : 5" in out
+
+    def test_run_with_straddle_alias(self, capsys):
+        code = main(
+            ["run", "--protocol", "one_half", "--kappa", "4",
+             "--inputs", "1,0,1,0,1", "--t", "2", "--adversary", "straddle"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # worst-case attack may win at kappa=4 rarely
+        assert "corrupted  : [3, 4]" in out
+
+    def test_run_with_trace(self, capsys):
+        main(
+            ["run", "--protocol", "one_third", "--kappa", "2",
+             "--inputs", "1,1,1,1", "--t", "1", "--trace"]
+        )
+        out = capsys.readouterr().out
+        assert "transcript:" in out and "── round 1" in out
+
+    def test_dolev_strong(self, capsys):
+        code = main(
+            ["run", "--protocol", "dolev_strong",
+             "--inputs", "1,1,1,0", "--t", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rounds     : 2" in out
+
+    def test_crash_and_malformed_adversaries(self, capsys):
+        for adversary in ("crash", "malformed", "two_face"):
+            code = main(
+                ["run", "--protocol", "one_third", "--kappa", "4",
+                 "--inputs", "1,1,1,1", "--t", "1", "--adversary", adversary]
+            )
+            assert code == 0, capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table_printed(self, capsys):
+        assert main(["compare", "--kappas", "4,8"]) == 0
+        out = capsys.readouterr().out
+        assert "ours t<n/3" in out
+        assert " 5" in out and " 9" in out  # kappa+1 column
+
+
+class TestTables:
+    @pytest.mark.parametrize("which,needle", [
+        ("table1", "Σ0"),
+        ("table2", "Ω6"),
+        ("fig3", "c=9"),
+    ])
+    def test_each_table(self, which, needle, capsys):
+        assert main(["tables", "--which", which]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_all(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table2" in out and "fig3" in out
+
+
+class TestErrorSweep:
+    def test_sweep_prints_rates(self, capsys):
+        assert main(
+            ["error-sweep", "--protocol", "one_third",
+             "--kappas", "1", "--trials", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bound 2^-k" in out
+
+
+class TestLedger:
+    def test_identical_logs_and_exit_zero(self, capsys):
+        code = main(
+            ["ledger", "--queues", "a+b;a;a+b;a", "--slots", "2",
+             "--kappa", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "forked   : False" in out
+        assert out.count("'a'") >= 4  # committed at every replica
+
+    def test_local_proposer_policy(self, capsys):
+        code = main(
+            ["ledger", "--queues", "x;x;x;x", "--slots", "1",
+             "--proposer", "local", "--kappa", "4"]
+        )
+        assert code == 0
+        assert "'x'" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_bad_int_list_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--inputs", "1,x,0"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

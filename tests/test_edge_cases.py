@@ -1,0 +1,127 @@
+"""Assorted edge-case coverage across modules."""
+
+import pytest
+
+from repro.adversary.base import Adversary, RoundDecision
+from repro.adversary.strategies import EavesdropCoinAdversary, TwoFaceAdversary
+from repro.core.ba import ba_one_third_program
+from repro.network.errors import SimulationError
+from repro.proxcensus.base import check_proxcensus_consistency
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_one_third_program
+from repro.proxcensus.quadratic_half import prox_quadratic_half_program
+
+from .conftest import run
+
+
+class TestSimulatorEdges:
+    def test_adaptive_corruption_of_unknown_party_rejected(self):
+        class Confused(Adversary):
+            def decide(self, view):
+                return RoundDecision(corrupt={17: None})
+
+        def echo(ctx, v):
+            yield ctx.broadcast({"v": v})
+            return v
+
+        with pytest.raises(SimulationError):
+            run(echo, [1, 2, 3], 1, adversary=Confused())
+
+    def test_corrupting_a_finished_party_is_harmless(self):
+        class LateStriker(Adversary):
+            def decide(self, view):
+                if view.round_index == 2:
+                    return RoundDecision(corrupt={0: None})
+                return RoundDecision()
+
+        def quick_then_slow(ctx, v):
+            yield ctx.broadcast({"v": v})
+            if ctx.party_id != 0:
+                yield ctx.broadcast({"v": v})
+            return v
+
+        res = run(quick_then_slow, [1, 2, 3], 1, adversary=LateStriker())
+        assert res.outputs[1] == 2 and res.outputs[2] == 3
+        assert 0 in res.corrupted
+
+    def test_zero_faults_network(self):
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa=4),
+            [1, 0, 1], 0, session="zf",
+        )
+        assert res.honest_agree()
+
+
+class TestEavesdropAgainstOneThird:
+    def test_opens_the_single_coin_in_its_round(self):
+        kappa = 4
+        adversary = EavesdropCoinAdversary([3], coin_low=1, coin_high=2 ** kappa)
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa),
+            [0, 1, 0, 1], 1, adversary=adversary, session="ev13",
+        )
+        assert res.honest_agree()
+        opened = {
+            index: at for (session, index), at in adversary.opened.items()
+        }
+        assert ("ba13", kappa) in opened
+        strike_round, value = opened[("ba13", kappa)]
+        assert strike_round == kappa + 1  # the coin round itself
+        assert 1 <= value <= 2 ** kappa
+
+
+class TestMultivaluedDomainsProperty:
+    """Definition 2 holds over arbitrary finite domains, not just bits."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    domain_inputs = st.lists(
+        st.sampled_from(["α", "β", "γ", 42, ("nested", 1)]),
+        min_size=4, max_size=7,
+    )
+
+    @given(inputs=domain_inputs, seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_one_third_any_domain(self, inputs, seed):
+        n = len(inputs)
+        t = (n - 1) // 3
+        res = run(
+            lambda c, x: prox_one_third_program(c, x, rounds=2),
+            inputs, t, seed=seed, session=f"md13-{seed}",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 5)
+
+    @given(inputs=domain_inputs, seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_half_any_domain(self, inputs, seed):
+        n = len(inputs)
+        t = (n - 1) // 2
+        res = run(
+            lambda c, x: prox_linear_half_program(c, x, rounds=3),
+            inputs, t, seed=seed, session=f"mdlh-{seed}",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 5)
+
+
+class TestMultivaluedProxUnderAttack:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_linear_half_ternary_domain(self, seed):
+        factory = lambda c, x: prox_linear_half_program(c, x, rounds=3)
+        adversary = TwoFaceAdversary(
+            victims=[4], factory=factory, low_input="red", high_input="blue"
+        )
+        res = run(
+            factory, ["red", "red", "blue", "green", "red"], 2,
+            adversary=adversary, seed=seed, session=f"mp{seed}",
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)
+
+    def test_quadratic_ternary_domain(self):
+        factory = lambda c, x: prox_quadratic_half_program(c, x, rounds=4)
+        res = run(
+            factory, ["a", "a", "a", "b", "c"], 2, session="mq",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 5)
+        # 'a' has n-t = 3 supporters: it must reach the top grade
+        assert all(tuple(o) == ("a", 2) for o in res.outputs.values())

@@ -1,0 +1,93 @@
+"""Slow tests: the whole protocol family over real cryptography.
+
+These exercise every protocol against the Shoup threshold-RSA / RSA-FDH
+backend end to end (key generation dominates; run with ``-m slow``).
+Protocol-level behaviour — rounds, agreement, grades — must be identical
+to the idealized backend, which is the DESIGN.md substitution claim.
+"""
+
+import random
+
+import pytest
+
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.core.ba import ba_one_third_program
+from repro.core.dolev_strong import dolev_strong_broadcast_program
+from repro.core.feldman_micali import feldman_micali_program
+from repro.crypto.keys import CryptoSuite
+from repro.proxcensus.base import check_proxcensus_consistency
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.proxcast import proxcast_program
+from repro.proxcensus.quadratic_half import prox_quadratic_half_program
+
+from .conftest import run
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def real_crypto_5_2():
+    return CryptoSuite.real(5, 2, random.Random(1001), bits=128)
+
+
+@pytest.fixture(scope="module")
+def real_crypto_4_1():
+    return CryptoSuite.real(4, 1, random.Random(1002), bits=128)
+
+
+class TestProxcensusOverRealCrypto:
+    def test_linear_half(self, real_crypto_5_2):
+        res = run(
+            lambda c, x: prox_linear_half_program(c, x, rounds=3),
+            [1, 0, 1, 0, 1], 2, crypto=real_crypto_5_2, session="rl",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 5)
+
+    def test_quadratic_half(self, real_crypto_5_2):
+        res = run(
+            lambda c, x: prox_quadratic_half_program(c, x, rounds=4),
+            [1] * 5, 2, crypto=real_crypto_5_2, session="rq",
+        )
+        assert all(tuple(o) == (1, 2) for o in res.outputs.values())
+
+    def test_proxcast(self, real_crypto_5_2):
+        res = run(
+            lambda c, x: proxcast_program(c, x, slots=4, dealer=0),
+            ["blk"] * 5, 2, crypto=real_crypto_5_2, session="rp",
+        )
+        assert all(o.value == "blk" and o.grade == 1 for o in res.outputs.values())
+
+    def test_linear_half_under_equivocation(self, real_crypto_5_2):
+        factory = lambda c, x: prox_linear_half_program(c, x, rounds=3)
+        res = run(
+            factory, [0, 0, 1, 1, 1], 2,
+            adversary=TwoFaceAdversary([3, 4], factory=factory),
+            crypto=real_crypto_5_2, session="rle",
+        )
+        check_proxcensus_consistency(res.honest_outputs.values(), 5)
+
+
+class TestBAOverRealCrypto:
+    def test_feldman_micali(self, real_crypto_4_1):
+        res = run(
+            lambda c, b: feldman_micali_program(c, b, kappa=2),
+            [1, 0, 1, 0], 1, crypto=real_crypto_4_1, session="rf",
+        )
+        assert res.honest_agree()
+        assert res.metrics.rounds == 4
+
+    def test_ba_one_third_with_crash(self, real_crypto_4_1):
+        res = run(
+            lambda c, b: ba_one_third_program(c, b, kappa=3),
+            [1, 1, 1, 1], 1,
+            adversary=CrashAdversary([3], crash_round=2),
+            crypto=real_crypto_4_1, session="rb",
+        )
+        assert all(v == 1 for v in res.honest_outputs.values())
+
+    def test_dolev_strong(self, real_crypto_4_1):
+        res = run(
+            lambda c, v: dolev_strong_broadcast_program(c, v, dealer=0),
+            ["blk", "?", "?", "?"], 1, crypto=real_crypto_4_1, session="rd",
+        )
+        assert all(v == "blk" for v in res.outputs.values())

@@ -1,0 +1,92 @@
+"""Larger-configuration integration tests (bigger n, deeper protocols)."""
+
+import pytest
+
+from repro.adversary.strategies import CrashAdversary, TwoFaceAdversary
+from repro.core.ba import ba_one_half_program, ba_one_third_program
+from repro.proxcensus.base import check_proxcensus_consistency
+from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.proxcensus.one_third import prox_one_third_program
+from repro.proxcensus.quadratic_half import (
+    prox_quadratic_half_program,
+    slots_after_rounds,
+)
+
+from .conftest import run
+
+
+class TestLargerNetworks:
+    def test_one_third_n13(self):
+        n, t = 13, 4
+        inputs = [i % 2 for i in range(n)]
+        factory = lambda c, b: ba_one_third_program(c, b, kappa=6)
+        adversary = TwoFaceAdversary(victims=list(range(n - t, n)), factory=factory)
+        res = run(factory, inputs, t, adversary=adversary, session="big13")
+        assert res.honest_agree()
+
+    def test_one_half_n11(self):
+        n, t = 11, 5
+        inputs = [i % 2 for i in range(n)]
+        factory = lambda c, b: ba_one_half_program(c, b, kappa=6)
+        adversary = CrashAdversary(victims=list(range(n - t, n)), crash_round=2)
+        res = run(factory, inputs, t, adversary=adversary, session="big12")
+        assert res.honest_agree()
+
+    def test_max_corruption_boundary_one_third(self):
+        """n = 3t + 1 exactly — the resilience optimum of [15]."""
+        for t in (1, 2, 3):
+            n = 3 * t + 1
+            inputs = [1] * n
+            adversary = CrashAdversary(victims=list(range(n - t, n)), crash_round=1)
+            res = run(
+                lambda c, b: ba_one_third_program(c, b, kappa=4),
+                inputs, t, adversary=adversary, session=f"edge{t}",
+            )
+            assert all(v == 1 for v in res.honest_outputs.values())
+
+    def test_max_corruption_boundary_one_half(self):
+        """n = 2t + 1 exactly — a single honest party beyond the corrupt."""
+        for t in (1, 2, 3):
+            n = 2 * t + 1
+            inputs = [0] * n
+            adversary = CrashAdversary(victims=list(range(n - t, n)), crash_round=1)
+            res = run(
+                lambda c, b: ba_one_half_program(c, b, kappa=4),
+                inputs, t, adversary=adversary, session=f"edgeh{t}",
+            )
+            assert all(v == 0 for v in res.honest_outputs.values())
+
+
+class TestDeeperProxcensus:
+    def test_one_third_eight_rounds(self):
+        """257 slots; grades up to 128."""
+        res = run(
+            lambda c, x: prox_one_third_program(c, x, rounds=8),
+            [1, 0, 1, 0], 1, session="deep13",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 257)
+
+    def test_linear_half_eight_rounds(self):
+        res = run(
+            lambda c, x: prox_linear_half_program(c, x, rounds=8),
+            [1, 0, 1, 0, 1], 2, session="deeplh",
+        )
+        check_proxcensus_consistency(res.outputs.values(), 15)
+
+    @pytest.mark.parametrize("rounds", [7, 8])
+    def test_quadratic_deep(self, rounds):
+        res = run(
+            lambda c, x: prox_quadratic_half_program(c, x, rounds=rounds),
+            [1, 0, 1, 0, 1], 2, session=f"deepq{rounds}",
+        )
+        check_proxcensus_consistency(
+            res.outputs.values(), slots_after_rounds(rounds)
+        )
+
+    def test_quadratic_deep_validity(self):
+        res = run(
+            lambda c, x: prox_quadratic_half_program(c, x, rounds=8),
+            [1] * 5, 2, session="deepqv",
+        )
+        grades = {o.grade for o in res.outputs.values()}
+        assert grades == {(slots_after_rounds(8) - 1) // 2}
