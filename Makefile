@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-fast bench examples experiments clean
+.PHONY: install test test-fast bench bench-quick examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,10 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Fast engine sanity sweep: serial-vs-parallel bit-identity + timings.
+bench-quick:
+	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 --workers 2
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -13,6 +13,10 @@ Paper claims reproduced:
 
 "Shape" checks: quadrupling-with-n (n → 2n multiplies honest messages by
 ~4 for n²-protocols) and linear growth in r / κ.
+
+Executions go through the experiment engine's single-trial path
+(:func:`repro.engine.run_trial`) with signature tallies ON — this is the
+one experiment family whose *measurement* is the signature count.
 """
 
 from __future__ import annotations
@@ -20,18 +24,20 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.ba import ba_one_half_program, ba_one_third_program
-from repro.core.micali_vaikuntanathan import micali_vaikuntanathan_program, mv_pki_program
-from repro.proxcensus.linear_half import prox_linear_half_program
-from repro.proxcensus.one_third import prox_one_third_program
-from repro.proxcensus.quadratic_half import prox_quadratic_half_program
-
-from .conftest import run
+from repro.engine import TrialSpec, run_trial
 
 
-def _measure(factory, n, t, session):
-    inputs = [i % 2 for i in range(n)]
-    res = run(factory, inputs, t, session=session)
+def _measure(protocol, params, n, t, session):
+    spec = TrialSpec(
+        protocol=protocol,
+        inputs=tuple(i % 2 for i in range(n)),
+        max_faulty=t,
+        params=tuple(sorted(params.items())),
+        seed=0,
+        session=session,
+        setup_seed=n * 31 + t,
+    )
+    res = run_trial(spec)
     return res.metrics
 
 
@@ -40,38 +46,31 @@ def test_proxcensus_message_complexity_is_r_n_squared(benchmark, report_sink):
 
     def sweep():
         rows.clear()  # benchmark() re-runs this callable
-        for family, factory_for, t_of in (
-            (
-                "one_third (Cor. 1)",
-                lambda r: (lambda c, x: prox_one_third_program(c, x, rounds=r)),
-                lambda n: (n - 1) // 3,
-            ),
-            (
-                "linear_half (Lem. 3)",
-                lambda r: (lambda c, x: prox_linear_half_program(c, x, rounds=r)),
-                lambda n: (n - 1) // 2,
-            ),
+        for family, protocol, t_of in (
+            ("one_third (Cor. 1)", "prox_one_third", lambda n: (n - 1) // 3),
+            ("linear_half (Lem. 3)", "prox_linear_half", lambda n: (n - 1) // 2),
             (
                 "quadratic_half (Lem. 7)",
-                lambda r: (lambda c, x: prox_quadratic_half_program(c, x, rounds=r)),
+                "prox_quadratic_half",
                 lambda n: (n - 1) // 2,
             ),
         ):
             base_rounds = 3
             for n in (4, 8):
                 m = _measure(
-                    factory_for(base_rounds), n, t_of(n), f"cm-{family}-{n}"
+                    protocol, {"rounds": base_rounds}, n, t_of(n),
+                    f"cm-{family}-{n}",
                 )
                 rows.append(
                     [family, n, base_rounds, m.honest_messages, m.honest_signatures]
                 )
             # message growth with n: ~ (8/4)^2 = 4x (honest-only counts).
-            small = _measure(factory_for(3), 4, t_of(4), f"cs-{family}")
-            large = _measure(factory_for(3), 8, t_of(8), f"cl-{family}")
+            small = _measure(protocol, {"rounds": 3}, 4, t_of(4), f"cs-{family}")
+            large = _measure(protocol, {"rounds": 3}, 8, t_of(8), f"cl-{family}")
             ratio = large.honest_messages / small.honest_messages
             assert 2.5 <= ratio <= 5.5, (family, ratio)
             # message growth with r is linear-ish: r=6 <= 2.6x of r=3.
-            deep = _measure(factory_for(6), 4, t_of(4), f"cd-{family}")
+            deep = _measure(protocol, {"rounds": 6}, 4, t_of(4), f"cd-{family}")
             assert deep.honest_messages <= 2.6 * small.honest_messages
         return True
 
@@ -84,9 +83,7 @@ def test_proxcensus_message_complexity_is_r_n_squared(benchmark, report_sink):
 
 def test_one_third_proxcensus_is_signature_free(benchmark, report_sink):
     metrics = benchmark(
-        lambda: _measure(
-            lambda c, x: prox_one_third_program(c, x, rounds=4), 4, 1, "cm0"
-        )
+        lambda: _measure("prox_one_third", {"rounds": 4}, 4, 1, "cm0")
     )
     assert metrics.total_signatures == 0
     report_sink.append(
@@ -99,23 +96,15 @@ def test_ba_cost_is_kappa_n_squared(benchmark, report_sink):
 
     def sweep():
         rows.clear()  # benchmark() re-runs this callable
-        for name, factory_for, n, t in (
-            (
-                "ours t<n/3",
-                lambda k: (lambda c, b: ba_one_third_program(c, b, k)),
-                4, 1,
-            ),
-            (
-                "ours t<n/2",
-                lambda k: (lambda c, b: ba_one_half_program(c, b, k)),
-                5, 2,
-            ),
+        for name, protocol, n, t in (
+            ("ours t<n/3", "ba_one_third", 4, 1),
+            ("ours t<n/2", "ba_one_half", 5, 2),
         ):
             for kappa in (4, 8):
-                m = _measure(factory_for(kappa), n, t, f"cb-{name}-{kappa}")
+                m = _measure(protocol, {"kappa": kappa}, n, t, f"cb-{name}-{kappa}")
                 rows.append([name, kappa, n, m.honest_messages, m.honest_signatures])
-            small = _measure(factory_for(4), n, t, f"cb2-{name}")
-            large = _measure(factory_for(8), n, t, f"cb3-{name}")
+            small = _measure(protocol, {"kappa": 4}, n, t, f"cb2-{name}")
+            large = _measure(protocol, {"kappa": 8}, n, t, f"cb3-{name}")
             # linear in kappa: doubling kappa at most ~doubles messages.
             assert large.honest_messages <= 2.4 * small.honest_messages
         return True
@@ -136,9 +125,9 @@ def test_pki_mode_costs_factor_n_more_signatures(benchmark, report_sink):
         for n in (5, 9, 13):
             t = (n - 1) // 2
             threshold = _measure(
-                lambda c, b: micali_vaikuntanathan_program(c, b, 3), n, t, f"ct{n}"
+                "micali_vaikuntanathan", {"kappa": 3}, n, t, f"ct{n}"
             )
-            pki = _measure(lambda c, b: mv_pki_program(c, b, 3), n, t, f"cp{n}")
+            pki = _measure("mv_pki", {"kappa": 3}, n, t, f"cp{n}")
             ratio = pki.honest_signatures / threshold.honest_signatures
             ratios.append(ratio)
             rows.append(

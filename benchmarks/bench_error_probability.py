@@ -9,49 +9,61 @@ Paper claims reproduced here:
 2. **Exponential decay with κ** (Corollary 2): the measured end-to-end
    failure of the t<n/3 protocol halves per extra round; the t<n/2
    protocol gains 2 bits per 3-round iteration.  Both track ``2^-κ``.
+
+The Monte-Carlo loops run through the parallel experiment engine
+(:mod:`repro.engine`) with the historical seed schedule, so the measured
+rates are identical to the legacy serial harness; set
+``REPRO_BENCH_WORKERS=<n>`` to fan trials across processes (results are
+bit-identical regardless — see ``tests/engine/test_determinism.py``).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.adversary.straddle import (
-    LinearHalfStraddleAdversary,
-    OneThirdStraddleAdversary,
-)
-from repro.adversary.strategies import TwoFaceAdversary
-from repro.analysis.experiments import (
-    ExperimentSetup,
-    disagreement_rate,
-    run_trials,
-)
 from repro.analysis.curves import log_sparkline
 from repro.analysis.report import format_table
 from repro.analysis.theory import per_iteration_failure
-from repro.core.ba import ba_one_half_program, ba_one_third_program
+from repro.engine import ParallelRunner, TrialPlan
 
 TRIALS = 300
 
+_RUNNER = ParallelRunner(workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
 
-def one_third_failure(kappa, adversary_factory, trials=TRIALS, seed=0):
-    setup = ExperimentSetup(num_parties=4, max_faulty=1)
-    factory = lambda c, b: ba_one_third_program(c, b, kappa=kappa)
-    return disagreement_rate(
-        run_trials(
-            setup, factory, [0, 0, 1, 1], trials=trials,
-            adversary_factory=adversary_factory, seed=seed + kappa,
-        )
+
+def _failure_rate(
+    protocol, inputs, max_faulty, kappa, adversary, victims,
+    trials=TRIALS, seed=0,
+):
+    plan = TrialPlan.monte_carlo(
+        name=f"{protocol}-k{kappa}",
+        protocol=protocol,
+        inputs=inputs,
+        max_faulty=max_faulty,
+        trials=trials,
+        params={"kappa": kappa},
+        adversary=adversary,
+        adversary_params={"victims": victims},
+        seed=seed,
+        # Agreement rates don't need signature tallies; skip the walk.
+        collect_signatures=False,
+    )
+    return _RUNNER.run(plan).disagreement_rate()
+
+
+def one_third_failure(kappa, adversary="straddle13", trials=TRIALS, seed=0):
+    return _failure_rate(
+        "ba_one_third", (0, 0, 1, 1), 1, kappa, adversary, (3,),
+        trials=trials, seed=seed + kappa,
     )
 
 
-def one_half_failure(kappa, adversary_factory, trials=TRIALS, seed=0):
-    setup = ExperimentSetup(num_parties=5, max_faulty=2)
-    factory = lambda c, b: ba_one_half_program(c, b, kappa=kappa)
-    return disagreement_rate(
-        run_trials(
-            setup, factory, [0, 0, 1, 1, 1], trials=trials,
-            adversary_factory=adversary_factory, seed=seed + 100 + kappa,
-        )
+def one_half_failure(kappa, adversary="straddle12", trials=TRIALS, seed=0):
+    return _failure_rate(
+        "ba_one_half", (0, 0, 1, 1, 1), 2, kappa, adversary, (3, 4),
+        trials=trials, seed=seed + 100 + kappa,
     )
 
 
@@ -67,9 +79,7 @@ def test_theorem1_bound_is_met_and_tight_one_third(benchmark, report_sink):
     for kappa in (1, 2, 3, 4):
         slots = 2 ** kappa + 1
         bound = float(per_iteration_failure(slots))
-        rate = one_third_failure(
-            kappa, lambda: OneThirdStraddleAdversary([3])
-        )
+        rate = one_third_failure(kappa)
         assert rate <= bound + 4 * _sigma(bound, TRIALS), (kappa, rate, bound)
         assert rate >= bound - 4 * _sigma(bound, TRIALS), (
             "straddle adversary should realize the bound",
@@ -81,45 +91,31 @@ def test_theorem1_bound_is_met_and_tight_one_third(benchmark, report_sink):
         "adversary (Theorem 1 tight)\n"
         + format_table(["slots s", "bound 1/(s-1)", "measured", "trials"], rows)
     )
-    benchmark(
-        lambda: one_third_failure(2, lambda: OneThirdStraddleAdversary([3]), trials=20)
-    )
+    benchmark(lambda: one_third_failure(2, trials=20))
 
 
 def test_theorem1_bound_is_met_and_tight_one_half(benchmark, report_sink):
     """t<n/2: one 3-round Prox_5 iteration fails with probability 1/4."""
     bound = float(per_iteration_failure(5))
-    rate = one_half_failure(2, lambda: LinearHalfStraddleAdversary([3, 4]))
+    rate = one_half_failure(2)
     assert abs(rate - bound) <= 4 * _sigma(bound, TRIALS), (rate, bound)
     report_sink.append(
         f"FIG-ERR (b)  t<n/2 single Prox_5 iteration vs straddle adversary: "
         f"measured {rate:.4f}, bound {bound:.4f}"
     )
-    benchmark(
-        lambda: one_half_failure(
-            2, lambda: LinearHalfStraddleAdversary([3, 4]), trials=20
-        )
-    )
+    benchmark(lambda: one_half_failure(2, trials=20))
 
 
 def test_end_to_end_error_decays_exponentially(benchmark, report_sink):
     rows = []
     curves = {}
-    for protocol, runner, adversary_factory in (
-        (
-            "one_third",
-            one_third_failure,
-            lambda: OneThirdStraddleAdversary([3]),
-        ),
-        (
-            "one_half",
-            one_half_failure,
-            lambda: LinearHalfStraddleAdversary([3, 4]),
-        ),
+    for protocol, runner in (
+        ("one_third", one_third_failure),
+        ("one_half", one_half_failure),
     ):
         rates = {}
         for kappa in (1, 2, 4, 6, 8):
-            rates[kappa] = runner(kappa, adversary_factory)
+            rates[kappa] = runner(kappa)
             bound = 2.0 ** -kappa
             assert rates[kappa] <= bound + 4 * _sigma(bound, TRIALS), (
                 protocol, kappa, rates[kappa], bound,
@@ -137,11 +133,7 @@ def test_end_to_end_error_decays_exponentially(benchmark, report_sink):
             for name, series in curves.items()
         )
     )
-    benchmark(
-        lambda: one_third_failure(
-            2, lambda: OneThirdStraddleAdversary([3]), trials=20
-        )
-    )
+    benchmark(lambda: one_third_failure(2, trials=20))
 
 
 def test_generic_equivocation_stays_below_bound(benchmark, report_sink):
@@ -150,12 +142,8 @@ def test_generic_equivocation_stays_below_bound(benchmark, report_sink):
     dedicated straddle adversaries exist)."""
     rows = []
     for kappa in (1, 3):
-        factory = lambda c, b: ba_one_third_program(c, b, kappa=kappa)
         rate = one_third_failure(
-            kappa,
-            lambda: TwoFaceAdversary(victims=[3], factory=factory),
-            trials=100,
-            seed=31,
+            kappa, adversary="two_face", trials=100, seed=31,
         )
         bound = 2.0 ** -kappa
         assert rate <= bound + 4 * _sigma(bound, 100)
@@ -165,13 +153,5 @@ def test_generic_equivocation_stays_below_bound(benchmark, report_sink):
         + format_table(["kappa", "bound", "measured"], rows)
     )
     benchmark(
-        lambda: one_third_failure(
-            1,
-            lambda: TwoFaceAdversary(
-                victims=[3],
-                factory=lambda c, b: ba_one_third_program(c, b, kappa=1),
-            ),
-            trials=20,
-            seed=32,
-        )
+        lambda: one_third_failure(1, adversary="two_face", trials=20, seed=32)
     )

@@ -54,6 +54,7 @@ from .core import (
     turpin_coan_classic_program,
 )
 from .crypto import CryptoSuite, IdealCoin
+from .engine import ParallelRunner, PlanResult, TrialPlan, TrialSpec
 from .network import (
     ExecutionResult,
     RunMetrics,
@@ -87,9 +88,13 @@ __all__ = [
     "MalformedAdversary",
     "NO_OP",
     "OneThirdStraddleAdversary",
+    "ParallelRunner",
     "PassiveAdversary",
+    "PlanResult",
     "ProxOutput",
     "RunMetrics",
+    "TrialPlan",
+    "TrialSpec",
     "SyncSimulator",
     "Tracer",
     "TwoFaceAdversary",

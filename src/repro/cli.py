@@ -12,6 +12,11 @@ Subcommands
 ``error-sweep``
     Monte-Carlo disagreement rates vs the 2^-κ bound under the worst-case
     straddle adversaries.
+``bench``
+    The same sweep through the parallel experiment engine: runs it
+    serially and with ``--workers`` processes, checks the two are
+    bit-identical, reports wall times (optionally vs the pre-optimization
+    baseline) and writes a machine-readable ``BENCH_engine.json``.
 
 Examples::
 
@@ -21,6 +26,7 @@ Examples::
     python -m repro compare --kappas 4,8,16,32
     python -m repro tables --which table2
     python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
+    python -m repro bench --workers 4 --trials 300 --json BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -66,6 +72,16 @@ def _parse_int_list(text: str) -> List[int]:
         return [int(part) for part in text.split(",") if part != ""]
     except ValueError:
         raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_adversary(name: str, victims: List[int], factory) -> Optional[Adversary]:
@@ -187,6 +203,165 @@ def _cmd_error_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_sweep_plan(args: argparse.Namespace):
+    """The error-probability sweep as one engine plan (see `bench`)."""
+    from .engine import TrialPlan
+
+    configs = []
+    if args.protocol in ("one_third", "both"):
+        configs.append(
+            ("ba_one_third", (0, 0, 1, 1), 1, "straddle13", {"victims": (3,)})
+        )
+    if args.protocol in ("one_half", "both"):
+        configs.append(
+            ("ba_one_half", (0, 0, 1, 1, 1), 2, "straddle12", {"victims": (3, 4)})
+        )
+    plans = []
+    for protocol, inputs, max_faulty, adversary, adversary_params in configs:
+        for kappa in args.kappas:
+            plans.append(
+                TrialPlan.monte_carlo(
+                    name=f"{protocol}-k{kappa}",
+                    protocol=protocol,
+                    inputs=inputs,
+                    max_faulty=max_faulty,
+                    trials=args.trials,
+                    params={"kappa": kappa},
+                    adversary=adversary,
+                    adversary_params=adversary_params,
+                    seed=args.seed + kappa,
+                    # Disagreement rates don't need signature tallies:
+                    # skip the per-payload walk on this hot path.
+                    collect_signatures=False,
+                )
+            )
+    return TrialPlan.concat(f"error-sweep-{args.protocol}", plans)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .crypto.ideal import set_tag_memoization
+    from .engine import ParallelRunner
+
+    plan = _build_sweep_plan(args)
+    per_config = args.trials
+    if not len(plan):
+        print("nothing to run: --kappas is empty")
+        return 2
+
+    serial = ParallelRunner(workers=1).run(plan)
+    parallel = None
+    if args.workers > 1:
+        parallel = ParallelRunner(workers=args.workers).run(plan)
+        if parallel.results != serial.results:
+            print("DETERMINISM VIOLATION: parallel results differ from serial")
+            return 2
+
+    baseline = None
+    if args.compare_baseline:
+        # Pre-optimization reference: legacy per-message signature walk,
+        # tag memoization off — what every run cost before the engine.
+        previous = set_tag_memoization(False)
+        try:
+            baseline = ParallelRunner(workers=1, legacy_metrics=True).run(plan)
+        finally:
+            set_tag_memoization(previous)
+
+    rows = []
+    for start in range(0, len(plan), per_config):
+        specs = plan.trials[start : start + per_config]
+        results = serial.results[start : start + per_config]
+        kappa = specs[0].param_dict["kappa"]
+        failures = sum(1 for result in results if not result.honest_agree())
+        rows.append(
+            [
+                specs[0].protocol,
+                kappa,
+                f"{2.0 ** -kappa:.4f}",
+                f"{failures / len(results):.4f}",
+            ]
+        )
+    print(
+        f"error-probability sweep through the engine "
+        f"({len(plan)} trials, {per_config} per config)\n"
+    )
+    print(format_table(["protocol", "kappa", "bound 2^-k", "measured"], rows))
+
+    timings = [("engine serial (1 worker)", serial.wall_seconds)]
+    if parallel is not None:
+        timings.append(
+            (f"engine parallel ({args.workers} workers)", parallel.wall_seconds)
+        )
+    if baseline is not None:
+        timings.insert(0, ("pre-engine baseline (serial)", baseline.wall_seconds))
+    print()
+    for label, seconds in timings:
+        print(f"{label:32s}: {seconds:8.3f}s")
+    if parallel is not None:
+        print(
+            f"{'parallel vs serial':32s}: "
+            f"{serial.wall_seconds / parallel.wall_seconds:8.2f}x"
+        )
+    if baseline is not None:
+        best = min(serial.wall_seconds, parallel.wall_seconds if parallel else serial.wall_seconds)
+        print(f"{'best vs baseline':32s}: {baseline.wall_seconds / best:8.2f}x")
+    if parallel is not None and parallel.results == serial.results:
+        print(f"{'serial == parallel':32s}:       OK (bit-identical)")
+
+    if args.json:
+        payload = {
+            "plan": plan.describe(),
+            "trials_per_config": per_config,
+            "kappas": list(args.kappas),
+            "workers": args.workers,
+            "cpu_count": os.cpu_count(),
+            "chunk_size": parallel.chunk_size if parallel else None,
+            "serial_seconds": round(serial.wall_seconds, 4),
+            "parallel_seconds": (
+                round(parallel.wall_seconds, 4) if parallel else None
+            ),
+            "speedup_parallel_vs_serial": (
+                round(serial.wall_seconds / parallel.wall_seconds, 3)
+                if parallel
+                else None
+            ),
+            "baseline_seconds": (
+                round(baseline.wall_seconds, 4) if baseline else None
+            ),
+            "speedup_vs_baseline": (
+                round(
+                    baseline.wall_seconds
+                    / min(
+                        serial.wall_seconds,
+                        parallel.wall_seconds if parallel else serial.wall_seconds,
+                    ),
+                    3,
+                )
+                if baseline
+                else None
+            ),
+            "identical_serial_parallel": (
+                parallel.results == serial.results if parallel else None
+            ),
+            "rates": [
+                {
+                    "protocol": row[0],
+                    "kappa": row[1],
+                    "bound": float(row[2]),
+                    "measured": float(row[3]),
+                }
+                for row in rows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     from .applications.ledger import NO_OP, replicated_log_program, rounds_per_slot
 
@@ -282,6 +457,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--trials", type=int, default=100)
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.set_defaults(handler=_cmd_error_sweep)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="error-probability sweep through the parallel experiment engine",
+    )
+    bench_parser.add_argument(
+        "--protocol", choices=["one_third", "one_half", "both"], default="both"
+    )
+    bench_parser.add_argument(
+        "--kappas", type=_parse_int_list, default=[1, 2, 4, 6, 8]
+    )
+    bench_parser.add_argument("--trials", type=_positive_int, default=300)
+    bench_parser.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="process count for the parallel leg (1 = serial only)",
+    )
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write machine-readable timings/rates (BENCH_engine.json)",
+    )
+    bench_parser.add_argument(
+        "--compare-baseline", action="store_true",
+        help="also time the pre-optimization serial path "
+        "(reference signature walk, tag memoization off)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     ledger_parser = subparsers.add_parser(
         "ledger", help="replicated log over sequential multivalued BA"

@@ -30,11 +30,107 @@ from typing import Sequence
 from .interfaces import CryptoError, SignatureScheme, ThresholdSignatureScheme
 from .random_oracle import Term, encode_term
 
-__all__ = ["IdealSignatureScheme", "IdealThresholdScheme"]
+__all__ = ["IdealSignatureScheme", "IdealThresholdScheme", "set_tag_memoization"]
 
 
 def _tag(key: bytes, *parts: Term) -> bytes:
     return hmac.new(key, encode_term(tuple(parts)), hashlib.sha256).digest()
+
+
+# Tag memoization.  Signing and verifying are pure functions of
+# (registry key, domain, signer, message); in a simulated run the same
+# few tags are recomputed constantly — every share is verified by all n
+# parties, and every combine re-verifies its inputs — so each scheme
+# instance memoizes tags it has already derived.  The memo is an
+# implementation detail: results are bit-identical with it disabled
+# (`set_tag_memoization(False)`, used by `repro bench --compare-baseline`).
+_MEMO_ENABLED = True
+_MEMO_LIMIT = 1 << 14  # per scheme instance; cleared wholesale when full
+
+
+def set_tag_memoization(enabled: bool) -> bool:
+    """Globally enable/disable tag memoization; returns the old setting."""
+    global _MEMO_ENABLED
+    previous = _MEMO_ENABLED
+    _MEMO_ENABLED = enabled
+    return previous
+
+
+def _memo_key(term):
+    """Type-tagged mirror of a term, equal iff the canonical encodings are.
+
+    Plain tuple keys would conflate ``0``/``False`` (equal as dict keys,
+    distinct under :func:`encode_term`); tagging nodes with their exact
+    type restores injectivity.  ``str``/``bytes`` stay bare — they never
+    compare equal to any other builtin — and tuples map to bare tuples of
+    mapped children (a mapped node is never a bare type object, so the
+    2-tuple wrappers cannot collide with mapped 2-element terms).
+    """
+    tp = term.__class__
+    if tp is tuple:
+        return tuple([_memo_key(part) for part in term])
+    if tp is str or tp is bytes:
+        return term
+    return (tp, term)
+
+
+class _TagMemo:
+    """Bounded memo of HMAC tags for one registry key.
+
+    Two layers: a structural memo (term key → tag bytes) shared by all
+    callers, and an identity cache (id of a live message object → its
+    structural key) so call sites that reuse one message object across
+    many sign/verify calls pay the key walk once.  The identity cache
+    holds strong references to its messages, which is what keeps the
+    ``id()`` keys valid.
+    """
+
+    __slots__ = ("_key", "_memo", "_message_keys")
+
+    _MESSAGE_KEY_LIMIT = 512
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+        self._memo: dict = {}
+        self._message_keys: dict = {}
+
+    def _message_key(self, message: Term):
+        cache = self._message_keys
+        entry = cache.get(id(message))
+        if entry is not None and entry[0] is message:
+            return entry[1]
+        key = _memo_key(message)
+        if len(cache) >= self._MESSAGE_KEY_LIMIT:
+            cache.clear()
+        cache[id(message)] = (message, key)
+        return key
+
+    def _lookup(self, key, *parts: Term) -> bytes:
+        memo = self._memo
+        try:
+            cached = memo.get(key)
+        except TypeError:  # unhashable part: compute directly (and let
+            return _tag(self._key, *parts)  # encode_term raise if non-Term)
+        if cached is None:
+            cached = _tag(self._key, *parts)
+            if len(memo) >= _MEMO_LIMIT:
+                memo.clear()
+            memo[key] = cached
+        return cached
+
+    def signer_tag(self, domain: str, signer, message: Term) -> bytes:
+        """Tag over (domain, signer, message) — plain signatures and shares."""
+        if not _MEMO_ENABLED:
+            return _tag(self._key, domain, signer, message)
+        key = (domain, signer.__class__, signer, self._message_key(message))
+        return self._lookup(key, domain, signer, message)
+
+    def combined_tag(self, domain: str, message: Term) -> bytes:
+        """Tag over (domain, message) — combined threshold signatures."""
+        if not _MEMO_ENABLED:
+            return _tag(self._key, domain, message)
+        key = (domain, self._message_key(message))
+        return self._lookup(key, domain, message)
 
 
 @dataclass(frozen=True)
@@ -56,6 +152,7 @@ class IdealSignatureScheme(SignatureScheme):
             raise CryptoError("need at least one party")
         self._n = num_parties
         self._key = rng.getrandbits(256).to_bytes(32, "big")
+        self._tags = _TagMemo(self._key)
 
     @property
     def num_parties(self) -> int:
@@ -63,7 +160,7 @@ class IdealSignatureScheme(SignatureScheme):
 
     def sign(self, signer: int, message: Term) -> _IdealSignature:
         self._check_signer(signer)
-        return _IdealSignature(_tag(self._key, "plain", signer, message))
+        return _IdealSignature(self._tags.signer_tag("plain", signer, message))
 
     def verify(self, signer: int, signature, message: Term) -> bool:
         if not isinstance(signature, _IdealSignature):
@@ -71,7 +168,7 @@ class IdealSignatureScheme(SignatureScheme):
         if not isinstance(signer, int) or not (0 <= signer < self._n):
             return False
         try:
-            expected = _tag(self._key, "plain", signer, message)
+            expected = self._tags.signer_tag("plain", signer, message)
         except TypeError:
             return False
         return hmac.compare_digest(signature.tag, expected)
@@ -92,6 +189,7 @@ class IdealThresholdScheme(ThresholdSignatureScheme):
         self._n = num_parties
         self._threshold = threshold
         self._key = rng.getrandbits(256).to_bytes(32, "big")
+        self._tags = _TagMemo(self._key)
 
     @property
     def num_parties(self) -> int:
@@ -104,7 +202,7 @@ class IdealThresholdScheme(ThresholdSignatureScheme):
     def sign_share(self, signer: int, message: Term) -> _IdealShare:
         if not (0 <= signer < self._n):
             raise CryptoError(f"no such signer {signer}")
-        return _IdealShare(signer, _tag(self._key, "share", signer, message))
+        return _IdealShare(signer, self._tags.signer_tag("share", signer, message))
 
     def verify_share(self, signer: int, share, message: Term) -> bool:
         if not isinstance(share, _IdealShare) or share.signer != signer:
@@ -112,7 +210,7 @@ class IdealThresholdScheme(ThresholdSignatureScheme):
         if not isinstance(signer, int) or not (0 <= signer < self._n):
             return False
         try:
-            expected = _tag(self._key, "share", signer, message)
+            expected = self._tags.signer_tag("share", signer, message)
         except TypeError:
             return False
         return hmac.compare_digest(share.tag, expected)
@@ -130,13 +228,13 @@ class IdealThresholdScheme(ThresholdSignatureScheme):
             raise CryptoError(
                 f"need {self._threshold} distinct valid shares, got {len(distinct)}"
             )
-        return _IdealSignature(_tag(self._key, "combined", message))
+        return _IdealSignature(self._tags.combined_tag("combined", message))
 
     def verify(self, signature, message: Term) -> bool:
         if not isinstance(signature, _IdealSignature):
             return False
         try:
-            expected = _tag(self._key, "combined", message)
+            expected = self._tags.combined_tag("combined", message)
         except TypeError:
             return False
         return hmac.compare_digest(signature.tag, expected)

@@ -1,0 +1,33 @@
+"""Parallel Monte-Carlo experiment engine.
+
+The repo's experiments are hundreds of independent simulated executions;
+this package turns them from ad-hoc serial loops into declarative
+:class:`TrialPlan`s executed by a :class:`ParallelRunner` — serially or
+fanned out across worker processes, with byte-identical results either
+way.  See ``docs/performance.md`` for the architecture and determinism
+guarantees, and ``repro bench`` for the CLI entry point.
+"""
+
+from .plan import TrialPlan, TrialSpec, derive_trial_seed, derive_trial_session
+from .registry import (
+    adversary_names,
+    protocol_names,
+    register_adversary,
+    register_protocol,
+)
+from .runner import ParallelRunner, PlanResult, default_workers, run_trial
+
+__all__ = [
+    "ParallelRunner",
+    "PlanResult",
+    "TrialPlan",
+    "TrialSpec",
+    "adversary_names",
+    "default_workers",
+    "derive_trial_seed",
+    "derive_trial_session",
+    "protocol_names",
+    "register_adversary",
+    "register_protocol",
+    "run_trial",
+]

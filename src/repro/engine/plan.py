@@ -1,0 +1,197 @@
+"""Trial plans: declarative, picklable Monte-Carlo experiment descriptions.
+
+A :class:`TrialSpec` is one simulated execution, fully determined by plain
+data — protocol name + params, inputs, corruption budget, adversary name +
+params, seeds, session tag.  A :class:`TrialPlan` is an ordered collection
+of specs.  Both are frozen and picklable, which is what lets the
+:class:`~repro.engine.runner.ParallelRunner` ship them to worker
+processes.
+
+Determinism is the load-bearing property:
+
+* Per-trial seeds come from :func:`derive_trial_seed` — a pure function of
+  ``(base seed, trial index)``, the same affine map
+  :func:`repro.analysis.experiments.run_trials` has always used, so
+  engine trials are bit-identical to the legacy serial harness.
+* Per-trial sessions come from :func:`derive_trial_session`.  Distinct
+  sessions per trial are **mandatory**: coin values are deterministic in
+  (key material, session, index), and session reuse would replay
+  identical coins across trials.
+* Key material derives from ``setup_seed`` alone (dealt as
+  ``random.Random(setup_seed + 0x5E7)``, the ``ExperimentSetup``
+  convention), so every worker deals the same keys without shipping
+  key material across process boundaries.
+
+Nothing here depends on the executing process: running a plan with 1
+worker or 16 yields byte-identical results (see
+``tests/engine/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "TrialPlan",
+    "TrialSpec",
+    "derive_trial_seed",
+    "derive_trial_session",
+]
+
+# The affine seed schedule of the legacy serial harness (run_trials).
+# 1_000_003 is prime and far larger than any trial count in use, so
+# per-base-seed streams never collide for trials < 1_000_003.
+_SEED_STRIDE = 1_000_003
+
+
+def derive_trial_seed(base_seed: int, index: int) -> int:
+    """Simulator seed for trial ``index`` of a plan seeded ``base_seed``."""
+    return base_seed * _SEED_STRIDE + index
+
+
+def derive_trial_session(base_seed: int, index: int) -> str:
+    """Session tag for trial ``index`` (unique per trial — coins depend on it)."""
+    return f"exp{base_seed}/{index}"
+
+
+def _freeze_params(params: Optional[Dict[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical, hashable form of a params dict (sorted key/value pairs)."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One simulated execution, described by plain picklable data."""
+
+    protocol: str
+    inputs: Tuple[Any, ...]
+    max_faulty: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+    adversary: Optional[str] = None
+    adversary_params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+    session: str = "trial"
+    setup_seed: int = 0
+    backend: str = "ideal"
+    max_rounds: int = 4096
+    collect_signatures: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inputs, tuple):
+            object.__setattr__(self, "inputs", tuple(self.inputs))
+        if self.backend not in ("ideal", "real"):
+            raise ValueError(f"unknown crypto backend {self.backend!r}")
+        if not (0 <= self.max_faulty < len(self.inputs)):
+            raise ValueError(
+                f"need 0 <= t < n, got t={self.max_faulty}, n={len(self.inputs)}"
+            )
+
+    @property
+    def num_parties(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def adversary_param_dict(self) -> Dict[str, Any]:
+        return dict(self.adversary_params)
+
+    @property
+    def suite_key(self) -> Tuple[str, int, int, int]:
+        """Cache key for dealt key material — all trials sharing it reuse
+        one :class:`~repro.crypto.keys.CryptoSuite` per worker process."""
+        return (self.backend, self.num_parties, self.max_faulty, self.setup_seed)
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """An ordered, immutable batch of independent trials."""
+
+    name: str
+    trials: Tuple[TrialSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trials, tuple):
+            object.__setattr__(self, "trials", tuple(self.trials))
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    @classmethod
+    def monte_carlo(
+        cls,
+        name: str,
+        protocol: str,
+        inputs: Sequence[Any],
+        max_faulty: int,
+        trials: int,
+        params: Optional[Dict[str, Any]] = None,
+        adversary: Optional[str] = None,
+        adversary_params: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        setup_seed: int = 0,
+        backend: str = "ideal",
+        max_rounds: int = 4096,
+        collect_signatures: bool = True,
+    ) -> "TrialPlan":
+        """``trials`` independent repetitions of one configuration.
+
+        Seeds and sessions follow the legacy ``run_trials`` schedule (see
+        module docstring), so a monte-carlo plan executed serially
+        reproduces the historical experiment numbers exactly.
+        """
+        if trials < 1:
+            raise ValueError("need at least one trial")
+        template = TrialSpec(
+            protocol=protocol,
+            inputs=tuple(inputs),
+            max_faulty=max_faulty,
+            params=_freeze_params(params),
+            adversary=adversary,
+            adversary_params=_freeze_params(adversary_params),
+            setup_seed=setup_seed,
+            backend=backend,
+            max_rounds=max_rounds,
+            collect_signatures=collect_signatures,
+        )
+        return cls(
+            name=name,
+            trials=tuple(
+                replace(
+                    template,
+                    seed=derive_trial_seed(seed, index),
+                    session=derive_trial_session(seed, index),
+                )
+                for index in range(trials)
+            ),
+        )
+
+    @classmethod
+    def concat(cls, name: str, plans: Iterable["TrialPlan"]) -> "TrialPlan":
+        """Fuse several plans into one (e.g. a κ-sweep of monte-carlo plans)."""
+        trials: Tuple[TrialSpec, ...] = ()
+        for plan in plans:
+            trials += plan.trials
+        return cls(name=name, trials=trials)
+
+    def describe(self) -> Dict[str, Any]:
+        """Human/JSON-facing summary (protocols, adversaries, sizes)."""
+        protocols = sorted({spec.protocol for spec in self.trials})
+        adversaries = sorted(
+            {spec.adversary for spec in self.trials if spec.adversary is not None}
+        )
+        return {
+            "name": self.name,
+            "trials": len(self.trials),
+            "protocols": protocols,
+            "adversaries": adversaries,
+            "num_parties": sorted({spec.num_parties for spec in self.trials}),
+        }

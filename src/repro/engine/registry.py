@@ -1,0 +1,189 @@
+"""Name → builder registries for picklable trial specifications.
+
+A :class:`~repro.engine.plan.TrialSpec` must cross a process boundary, so
+it cannot carry closures.  Instead it names its protocol and adversary;
+worker processes resolve the names through these registries and build the
+actual program factory / adversary instance locally.
+
+Both registries are extensible: library users register their own programs
+with :func:`register_protocol` / :func:`register_adversary` before
+building a plan.  (With ``fork``-start process pools the registrations are
+inherited by workers; under ``spawn``, register at module import time.)
+
+Protocol builders have signature ``builder(**params) -> ProgramFactory``.
+Adversary builders have signature ``builder(factory, **params) ->
+Adversary`` — the resolved protocol factory is passed in because generic
+adversaries like ``two_face`` simulate honest behavior and need it; most
+builders ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..adversary.base import Adversary
+from ..adversary.straddle import (
+    LinearHalfStraddleAdversary,
+    OneThirdStraddleAdversary,
+)
+from ..adversary.strategies import (
+    CrashAdversary,
+    MalformedAdversary,
+    TwoFaceAdversary,
+)
+from ..core.ba import ba_one_half_program, ba_one_third_program
+from ..core.dolev_strong import dolev_strong_ba_program
+from ..core.feldman_micali import feldman_micali_program
+from ..core.micali_vaikuntanathan import (
+    micali_vaikuntanathan_program,
+    mv_pki_program,
+)
+from ..network.party import ProgramFactory
+from ..proxcensus.linear_half import prox_linear_half_program
+from ..proxcensus.one_third import prox_one_third_program
+from ..proxcensus.quadratic_half import prox_quadratic_half_program
+
+__all__ = [
+    "build_adversary",
+    "build_protocol_factory",
+    "protocol_names",
+    "adversary_names",
+    "register_adversary",
+    "register_protocol",
+]
+
+ProtocolBuilder = Callable[..., ProgramFactory]
+AdversaryBuilder = Callable[..., Adversary]
+
+_PROTOCOLS: Dict[str, ProtocolBuilder] = {}
+_ADVERSARIES: Dict[str, AdversaryBuilder] = {}
+
+
+def register_protocol(name: str, builder: ProtocolBuilder) -> None:
+    """Register ``builder(**params) -> factory(ctx, value)`` under ``name``."""
+    if not callable(builder):
+        raise TypeError(f"protocol builder for {name!r} is not callable")
+    _PROTOCOLS[name] = builder
+
+
+def register_adversary(name: str, builder: AdversaryBuilder) -> None:
+    """Register ``builder(factory, **params) -> Adversary`` under ``name``."""
+    if not callable(builder):
+        raise TypeError(f"adversary builder for {name!r} is not callable")
+    _ADVERSARIES[name] = builder
+
+
+def protocol_names() -> list:
+    """Registered protocol names, sorted."""
+    return sorted(_PROTOCOLS)
+
+
+def adversary_names() -> list:
+    """Registered adversary names, sorted."""
+    return sorted(_ADVERSARIES)
+
+
+def build_protocol_factory(name: str, params: Dict[str, Any]) -> ProgramFactory:
+    """Resolve a protocol name to a ``factory(ctx, value)`` callable."""
+    try:
+        builder = _PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; registered: {protocol_names()}"
+        ) from None
+    return builder(**params)
+
+
+def build_adversary(
+    name: Optional[str], params: Dict[str, Any], factory: ProgramFactory
+) -> Optional[Adversary]:
+    """Resolve an adversary name (or ``None``) to a fresh instance."""
+    if name is None:
+        return None
+    try:
+        builder = _ADVERSARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adversary {name!r}; registered: {adversary_names()}"
+        ) from None
+    return builder(factory, **params)
+
+
+# ── Built-in protocols ───────────────────────────────────────────────────
+# Every program the stock benchmarks sweep.  Builders close over only
+# module-level callables, so the returned factories are fork-safe.
+
+register_protocol(
+    "ba_one_third",
+    lambda kappa: (lambda ctx, bit: ba_one_third_program(ctx, bit, kappa)),
+)
+register_protocol(
+    "ba_one_half",
+    lambda kappa: (lambda ctx, bit: ba_one_half_program(ctx, bit, kappa)),
+)
+register_protocol(
+    "feldman_micali",
+    lambda kappa: (lambda ctx, bit: feldman_micali_program(ctx, bit, kappa)),
+)
+register_protocol(
+    "micali_vaikuntanathan",
+    lambda kappa: (
+        lambda ctx, bit: micali_vaikuntanathan_program(ctx, bit, kappa)
+    ),
+)
+register_protocol(
+    "mv_pki",
+    lambda kappa: (lambda ctx, bit: mv_pki_program(ctx, bit, kappa)),
+)
+register_protocol(
+    "dolev_strong",
+    lambda: (lambda ctx, value: dolev_strong_ba_program(ctx, value)),
+)
+register_protocol(
+    "prox_one_third",
+    lambda rounds: (
+        lambda ctx, value: prox_one_third_program(ctx, value, rounds=rounds)
+    ),
+)
+register_protocol(
+    "prox_linear_half",
+    lambda rounds: (
+        lambda ctx, value: prox_linear_half_program(ctx, value, rounds=rounds)
+    ),
+)
+register_protocol(
+    "prox_quadratic_half",
+    lambda rounds: (
+        lambda ctx, value: prox_quadratic_half_program(ctx, value, rounds=rounds)
+    ),
+)
+
+
+# ── Built-in adversaries ─────────────────────────────────────────────────
+
+register_adversary(
+    "straddle13",
+    lambda factory, victims, down_group=None: OneThirdStraddleAdversary(
+        list(victims), set(down_group) if down_group is not None else None
+    ),
+)
+register_adversary(
+    "straddle12",
+    lambda factory, victims, iteration_rounds=3: LinearHalfStraddleAdversary(
+        list(victims), iteration_rounds
+    ),
+)
+register_adversary(
+    "crash",
+    lambda factory, victims, crash_round=1: CrashAdversary(
+        list(victims), crash_round
+    ),
+)
+register_adversary(
+    "malformed",
+    lambda factory, victims: MalformedAdversary(list(victims)),
+)
+register_adversary(
+    "two_face",
+    lambda factory, victims: TwoFaceAdversary(list(victims), factory=factory),
+)

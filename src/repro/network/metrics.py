@@ -6,35 +6,115 @@ payload and counts embedded signature-ish objects — anything constructed by
 :mod:`repro.crypto` (shares, combined signatures, plain signatures).  That
 makes the measured numbers directly comparable to the paper's
 ``O(r n²)`` / ``O(κ n²)`` claims without instrumenting every protocol.
+
+The walk is the hottest non-protocol code in every simulated execution
+(it runs on every delivered message), so it is driven by a per-*type*
+dispatch cache: the dataclass-reflection questions (is this a dataclass?
+which module defines it? what are its fields?) are answered once per
+distinct payload type, not once per payload.  The uncached reference walk
+is kept as :func:`count_signatures_reference`; the regression tests in
+``tests/network/test_metrics.py`` prove the two always agree.
+
+Scope of the count, explicitly: containers recognized as traversable are
+dataclasses, ``dict`` and ``list``/``tuple``/``set``/``frozenset``
+(including subclasses).  *Any other type counts as zero* — generators,
+iterators, and custom non-dataclass classes are NOT traversed, because
+consuming a generator would be destructive and walking arbitrary
+``__dict__``s would double-count via back-references.  Protocol payloads
+that want their signatures counted must therefore be built from the
+recognized containers (all in-tree protocols are).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
-__all__ = ["RoundStats", "RunMetrics", "count_signatures"]
+__all__ = [
+    "RoundStats",
+    "RunMetrics",
+    "count_signatures",
+    "count_signatures_reference",
+]
 
 
-def count_signatures(payload: Any) -> int:
-    """Count signature objects (shares, combined, plain) inside a payload."""
+def count_signatures_reference(payload: Any) -> int:
+    """Uncached reference walk — the specification ``count_signatures``
+    must match.  Kept for regression tests and baseline benchmarking."""
     if payload is None or isinstance(payload, (int, str, bytes, bool, float)):
         return 0
     if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
         if type(payload).__module__.startswith("repro.crypto"):
             return 1
         return sum(
-            count_signatures(getattr(payload, f.name))
+            count_signatures_reference(getattr(payload, f.name))
             for f in dataclasses.fields(payload)
         )
     if isinstance(payload, dict):
-        return sum(count_signatures(v) for v in payload.values()) + sum(
-            count_signatures(k) for k in payload.keys()
+        return sum(count_signatures_reference(v) for v in payload.values()) + sum(
+            count_signatures_reference(k) for k in payload.keys()
         )
     if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(count_signatures(item) for item in payload)
+        return sum(count_signatures_reference(item) for item in payload)
     return 0
+
+
+# Per-type dispatch kinds.  Classification mirrors the reference walk's
+# check order exactly (scalars before dataclasses: a dataclass subclassing
+# int is a scalar there too).
+_KIND_ZERO = 0  # scalars, None, and unrecognized types
+_KIND_SIGNATURE = 1  # dataclasses defined in repro.crypto.*
+_KIND_DATACLASS = 2  # other dataclasses: recurse into fields
+_KIND_DICT = 3
+_KIND_SEQUENCE = 4
+
+_TYPE_KINDS: Dict[type, int] = {}
+_DATACLASS_FIELDS: Dict[type, Tuple[str, ...]] = {}
+
+
+def _classify(tp: type) -> int:
+    if issubclass(tp, (int, str, bytes, bool, float)) or tp is type(None):
+        return _KIND_ZERO
+    if dataclasses.is_dataclass(tp):
+        if tp.__module__.startswith("repro.crypto"):
+            return _KIND_SIGNATURE
+        _DATACLASS_FIELDS[tp] = tuple(f.name for f in dataclasses.fields(tp))
+        return _KIND_DATACLASS
+    if issubclass(tp, dict):
+        return _KIND_DICT
+    if issubclass(tp, (list, tuple, set, frozenset)):
+        return _KIND_SEQUENCE
+    return _KIND_ZERO
+
+
+def count_signatures(payload: Any) -> int:
+    """Count signature objects (shares, combined, plain) inside a payload.
+
+    Equivalent to :func:`count_signatures_reference`, but dataclass
+    reflection runs once per distinct payload *type* instead of once per
+    payload.  Unrecognized container types count as 0 — see the module
+    docstring for the exact traversal scope.
+    """
+    tp = payload.__class__
+    kind = _TYPE_KINDS.get(tp)
+    if kind is None:
+        kind = _classify(tp)
+        _TYPE_KINDS[tp] = kind
+    if kind == _KIND_ZERO:
+        return 0
+    if kind == _KIND_SIGNATURE:
+        return 1
+    if kind == _KIND_DATACLASS:
+        return sum(
+            count_signatures(getattr(payload, name))
+            for name in _DATACLASS_FIELDS[tp]
+        )
+    if kind == _KIND_DICT:
+        return sum(map(count_signatures, payload.values())) + sum(
+            map(count_signatures, payload.keys())
+        )
+    return sum(map(count_signatures, payload))
 
 
 @dataclass
@@ -46,6 +126,13 @@ class RoundStats:
     honest_signatures: int = 0
     corrupt_signatures: int = 0
 
+    def add(self, other: "RoundStats") -> None:
+        """Accumulate another round's tallies into this one."""
+        self.honest_messages += other.honest_messages
+        self.corrupt_messages += other.corrupt_messages
+        self.honest_signatures += other.honest_signatures
+        self.corrupt_signatures += other.corrupt_signatures
+
 
 @dataclass
 class RunMetrics:
@@ -54,15 +141,46 @@ class RunMetrics:
     rounds: int = 0
     per_round: Dict[int, RoundStats] = field(default_factory=dict)
 
+    def round_stats(self, round_index: int) -> RoundStats:
+        """The (created-on-demand) tally object for one round.
+
+        The simulator fetches this once per round and increments its
+        fields directly — the hot delivery loop must not pay a dict
+        lookup per message.
+        """
+        stats = self.per_round.get(round_index)
+        if stats is None:
+            stats = self.per_round[round_index] = RoundStats()
+        return stats
+
     def record(self, round_index: int, honest: bool, signature_count: int) -> None:
         """Tally one delivered message."""
-        stats = self.per_round.setdefault(round_index, RoundStats())
+        stats = self.round_stats(round_index)
         if honest:
             stats.honest_messages += 1
             stats.honest_signatures += signature_count
         else:
             stats.corrupt_messages += 1
             stats.corrupt_signatures += signature_count
+
+    def merge(self, other: "RunMetrics") -> None:
+        """Fold another execution's metrics into this aggregate.
+
+        ``rounds`` accumulates (total simulated rounds across the merged
+        runs); per-round tallies add up index-wise, so aggregated
+        per-round shapes stay meaningful for same-protocol trials.
+        """
+        self.rounds += other.rounds
+        for round_index, stats in other.per_round.items():
+            self.round_stats(round_index).add(stats)
+
+    @classmethod
+    def merged(cls, metrics_list) -> "RunMetrics":
+        """Aggregate many executions' metrics into one (see :meth:`merge`)."""
+        total = cls()
+        for metrics in metrics_list:
+            total.merge(metrics)
+        return total
 
     @property
     def honest_messages(self) -> int:

@@ -14,14 +14,14 @@ bit-for-bit.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
 from ..adversary.base import Adversary, AdversaryEnv, RoundDecision, RoundView
 from ..crypto.keys import CryptoSuite
 from .errors import AdversaryBudgetError, RoundLimitError, SimulationError
 from .messages import Outbox, normalize_outbox
-from .metrics import RunMetrics, count_signatures
+from .metrics import RunMetrics, count_signatures, count_signatures_reference
 from .party import Context, ProgramFactory
 from .trace import Tracer
 
@@ -40,11 +40,7 @@ class ExecutionResult:
     # Fixed-round protocols finish everyone in the same round; protocols
     # with probabilistic termination visibly do not — see
     # repro.core.probabilistic.
-    finish_rounds: Dict[int, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.finish_rounds is None:
-            self.finish_rounds = {}
+    finish_rounds: Dict[int, int] = field(default_factory=dict)
 
     @property
     def honest_parties(self) -> List[int]:
@@ -79,6 +75,8 @@ class SyncSimulator:
         session: str = "run",
         max_rounds: int = 4096,
         tracer: Optional[Tracer] = None,
+        collect_signatures: bool = True,
+        legacy_metrics: bool = False,
     ) -> None:
         if crypto.num_parties != num_parties:
             raise SimulationError(
@@ -95,6 +93,14 @@ class SyncSimulator:
         self.session = session
         self.max_rounds = max_rounds
         self.tracer = tracer
+        # collect_signatures=False skips the per-payload signature walk
+        # entirely (message/round tallies stay exact, signature tallies
+        # read 0) — the right setting for agreement-rate sweeps, where
+        # the walk is pure overhead.  legacy_metrics=True restores the
+        # pre-optimization per-message reference walk; it exists solely
+        # so `repro bench --compare-baseline` can measure the win.
+        self.collect_signatures = collect_signatures
+        self.legacy_metrics = legacy_metrics
 
     def run(self, factory: ProgramFactory, inputs: Sequence[Any]) -> ExecutionResult:
         """Execute ``factory(ctx_i, inputs[i])`` for every party to completion."""
@@ -175,17 +181,10 @@ class SyncSimulator:
                 self.tracer.record_corruptions(round_index, corrupted)
 
             inboxes: Dict[int, Dict[int, Any]] = {pid: {} for pid in range(n)}
-            for sender in range(n):
-                sender_honest = sender not in corrupted
-                for recipient, payload in normalized[sender].items():
-                    inboxes[recipient][sender] = payload
-                    metrics.record(
-                        round_index, sender_honest, count_signatures(payload)
-                    )
-                    if self.tracer is not None:
-                        self.tracer.record_message(
-                            round_index, sender, recipient, payload, sender_honest
-                        )
+            if self.legacy_metrics:
+                self._deliver_legacy(round_index, normalized, corrupted, inboxes, metrics)
+            else:
+                self._deliver(round_index, normalized, corrupted, inboxes, metrics)
 
             self.adversary.observe(
                 round_index, {pid: inboxes[pid] for pid in corrupted}
@@ -215,6 +214,89 @@ class SyncSimulator:
             inputs=input_map,
             finish_rounds=finish_rounds,
         )
+
+    def _deliver(
+        self,
+        round_index: int,
+        normalized: Dict[int, Dict[int, Any]],
+        corrupted: Set[int],
+        inboxes: Dict[int, Dict[int, Any]],
+        metrics: RunMetrics,
+    ) -> None:
+        """Deliver one round's messages and tally metrics (the hot loop).
+
+        Restructured for throughput: the round's tally object is fetched
+        once, the tracer check is hoisted out of the per-message loop, and
+        the signature walk runs once per distinct payload *object* per
+        sender — a sender multicasting one payload to n recipients costs
+        one walk, not n.  Tallies are bit-identical to the legacy
+        per-message path (``legacy_metrics=True``).
+        """
+        tracer = self.tracer
+        collect = self.collect_signatures
+        stats = None
+        for sender in range(self.num_parties):
+            outbox = normalized[sender]
+            if not outbox:
+                continue
+            if stats is None:
+                stats = metrics.round_stats(round_index)
+            sender_honest = sender not in corrupted
+            messages = 0
+            signatures = 0
+            if collect:
+                # Payloads are alive for the whole round, so id() keys
+                # are stable here.
+                walked: Dict[int, int] = {}
+                for recipient, payload in outbox.items():
+                    inboxes[recipient][sender] = payload
+                    key = id(payload)
+                    count = walked.get(key)
+                    if count is None:
+                        count = walked[key] = count_signatures(payload)
+                    signatures += count
+                    messages += 1
+            else:
+                for recipient, payload in outbox.items():
+                    inboxes[recipient][sender] = payload
+                    messages += 1
+            if sender_honest:
+                stats.honest_messages += messages
+                stats.honest_signatures += signatures
+            else:
+                stats.corrupt_messages += messages
+                stats.corrupt_signatures += signatures
+            if tracer is not None:
+                for recipient, payload in outbox.items():
+                    tracer.record_message(
+                        round_index, sender, recipient, payload, sender_honest
+                    )
+
+    def _deliver_legacy(
+        self,
+        round_index: int,
+        normalized: Dict[int, Dict[int, Any]],
+        corrupted: Set[int],
+        inboxes: Dict[int, Dict[int, Any]],
+        metrics: RunMetrics,
+    ) -> None:
+        """Pre-optimization delivery: reference walk on every message.
+
+        Benchmark baseline only (`repro bench --compare-baseline`); must
+        stay behaviorally identical to :meth:`_deliver` with
+        ``collect_signatures=True``.
+        """
+        for sender in range(self.num_parties):
+            sender_honest = sender not in corrupted
+            for recipient, payload in normalized[sender].items():
+                inboxes[recipient][sender] = payload
+                metrics.record(
+                    round_index, sender_honest, count_signatures_reference(payload)
+                )
+                if self.tracer is not None:
+                    self.tracer.record_message(
+                        round_index, sender, recipient, payload, sender_honest
+                    )
 
     def _honest_unfinished(self, outputs: Dict[int, Any], corrupted: Set[int]) -> bool:
         return any(

@@ -1,0 +1,94 @@
+"""The engine's load-bearing guarantee: worker count never changes results.
+
+Two regression suites:
+
+* parallel (4 workers) == serial (1 worker), field for field, on a mixed
+  plan covering both BA protocols and both straddle adversaries;
+* the engine reproduces the legacy ``run_trials`` harness bit-for-bit for
+  the same (setup seed, base seed) — outputs, corrupted sets, finish
+  rounds and metrics — so historical experiment numbers survive the
+  migration.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSetup, run_trials
+from repro.core.ba import ba_one_third_program
+from repro.adversary.straddle import OneThirdStraddleAdversary
+from repro.engine import ParallelRunner, TrialPlan
+
+
+def _mixed_plan(trials=4):
+    return TrialPlan.concat(
+        "determinism",
+        [
+            TrialPlan.monte_carlo(
+                name="one_third",
+                protocol="ba_one_third",
+                inputs=(0, 0, 1, 1),
+                max_faulty=1,
+                trials=trials,
+                params={"kappa": 2},
+                adversary="straddle13",
+                adversary_params={"victims": (3,)},
+                seed=11,
+            ),
+            TrialPlan.monte_carlo(
+                name="one_half",
+                protocol="ba_one_half",
+                inputs=(0, 0, 1, 1, 1),
+                max_faulty=2,
+                trials=trials,
+                params={"kappa": 2},
+                adversary="straddle12",
+                adversary_params={"victims": (3, 4)},
+                seed=12,
+            ),
+        ],
+    )
+
+
+class TestWorkerCountInvariance:
+    def test_parallel_results_identical_to_serial(self):
+        plan = _mixed_plan()
+        serial = ParallelRunner(workers=1).run(plan)
+        parallel = ParallelRunner(workers=4, chunk_size=2).run(plan)
+        assert len(serial) == len(parallel) == len(plan)
+        # ExecutionResult is a plain dataclass: == compares outputs,
+        # corrupted, metrics (incl. per-round tallies), inputs and
+        # finish_rounds field-for-field.
+        assert serial.results == parallel.results
+
+    def test_rerun_is_bit_identical(self):
+        plan = _mixed_plan(trials=2)
+        runner = ParallelRunner(workers=1)
+        assert runner.run(plan).results == runner.run(plan).results
+
+
+class TestLegacyHarnessEquivalence:
+    def test_engine_reproduces_run_trials_exactly(self):
+        base_seed, trials = 23, 5
+        plan = TrialPlan.monte_carlo(
+            name="legacy-equiv",
+            protocol="ba_one_third",
+            inputs=(0, 0, 1, 1),
+            max_faulty=1,
+            trials=trials,
+            params={"kappa": 3},
+            adversary="straddle13",
+            adversary_params={"victims": (3,)},
+            seed=base_seed,
+            setup_seed=0,
+        )
+        engine_results = ParallelRunner(workers=1).run(plan).results
+
+        setup = ExperimentSetup(num_parties=4, max_faulty=1, seed=0)
+        legacy_results = run_trials(
+            setup,
+            lambda ctx, bit: ba_one_third_program(ctx, bit, kappa=3),
+            (0, 0, 1, 1),
+            trials=trials,
+            adversary_factory=lambda: OneThirdStraddleAdversary([3]),
+            seed=base_seed,
+        )
+        assert engine_results == legacy_results

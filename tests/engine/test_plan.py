@@ -1,0 +1,145 @@
+"""TrialSpec / TrialPlan: validation, seed schedule, immutability."""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    TrialPlan,
+    TrialSpec,
+    derive_trial_seed,
+    derive_trial_session,
+)
+
+
+class TestSeedSchedule:
+    def test_matches_legacy_run_trials_schedule(self):
+        # run_trials has always used seed*1_000_003 + trial / f"exp{seed}/{trial}".
+        assert derive_trial_seed(7, 0) == 7 * 1_000_003
+        assert derive_trial_seed(7, 12) == 7 * 1_000_003 + 12
+        assert derive_trial_session(7, 12) == "exp7/12"
+
+    def test_streams_never_collide_below_stride(self):
+        seen = set()
+        for base in (0, 1, 2):
+            for index in range(100):
+                seen.add(derive_trial_seed(base, index))
+        assert len(seen) == 300
+
+
+class TestTrialSpec:
+    def _spec(self, **overrides):
+        fields = dict(
+            protocol="ba_one_third",
+            inputs=(0, 1, 1, 0),
+            max_faulty=1,
+            params=(("kappa", 2),),
+        )
+        fields.update(overrides)
+        return TrialSpec(**fields)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="0 <= t < n"):
+            self._spec(max_faulty=4)
+        with pytest.raises(ValueError, match="0 <= t < n"):
+            self._spec(max_faulty=-1)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            self._spec(backend="quantum")
+
+    def test_coerces_inputs_to_tuple(self):
+        spec = self._spec(inputs=[1, 0, 1, 0])
+        assert spec.inputs == (1, 0, 1, 0)
+        assert spec.num_parties == 4
+
+    def test_param_dict_views(self):
+        spec = self._spec(
+            adversary="straddle13", adversary_params=(("victims", (3,)),)
+        )
+        assert spec.param_dict == {"kappa": 2}
+        assert spec.adversary_param_dict == {"victims": (3,)}
+
+    def test_suite_key_ignores_protocol_and_seed(self):
+        a = self._spec(seed=1)
+        b = self._spec(seed=2, protocol="ba_one_half", params=(("kappa", 9),))
+        assert a.suite_key == b.suite_key == ("ideal", 4, 1, 0)
+
+    def test_is_hashable_and_picklable(self):
+        spec = self._spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, self._spec()}) == 1
+
+
+class TestTrialPlan:
+    def _plan(self, trials=5, seed=3, **overrides):
+        fields = dict(
+            name="p",
+            protocol="ba_one_third",
+            inputs=(0, 0, 1, 1),
+            max_faulty=1,
+            trials=trials,
+            params={"kappa": 2},
+            adversary="straddle13",
+            adversary_params={"victims": (3,)},
+            seed=seed,
+        )
+        fields.update(overrides)
+        return TrialPlan.monte_carlo(**fields)
+
+    def test_monte_carlo_applies_seed_schedule(self):
+        plan = self._plan(trials=4, seed=9)
+        assert [spec.seed for spec in plan] == [
+            derive_trial_seed(9, i) for i in range(4)
+        ]
+        assert [spec.session for spec in plan] == [
+            derive_trial_session(9, i) for i in range(4)
+        ]
+
+    def test_monte_carlo_freezes_params_canonically(self):
+        plan = self._plan(trials=1, params={"kappa": 2})
+        assert plan.trials[0].params == (("kappa", 2),)
+
+    def test_monte_carlo_rejects_zero_trials(self):
+        with pytest.raises(ValueError, match="at least one"):
+            self._plan(trials=0)
+
+    def test_concat_preserves_order(self):
+        merged = TrialPlan.concat(
+            "both", [self._plan(trials=2, seed=1), self._plan(trials=3, seed=2)]
+        )
+        assert len(merged) == 5
+        assert [spec.seed for spec in merged] == [
+            derive_trial_seed(1, 0),
+            derive_trial_seed(1, 1),
+            derive_trial_seed(2, 0),
+            derive_trial_seed(2, 1),
+            derive_trial_seed(2, 2),
+        ]
+
+    def test_describe_summarizes(self):
+        merged = TrialPlan.concat(
+            "both",
+            [
+                self._plan(trials=2),
+                self._plan(
+                    trials=2,
+                    protocol="ba_one_half",
+                    inputs=(0, 0, 1, 1, 1),
+                    max_faulty=2,
+                    adversary="straddle12",
+                    adversary_params={"victims": (3, 4)},
+                ),
+            ],
+        )
+        assert merged.describe() == {
+            "name": "both",
+            "trials": 4,
+            "protocols": ["ba_one_half", "ba_one_third"],
+            "adversaries": ["straddle12", "straddle13"],
+            "num_parties": [4, 5],
+        }
+
+    def test_plan_is_picklable(self):
+        plan = self._plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan

@@ -1,0 +1,90 @@
+"""Protocol/adversary registries: resolution, errors, extensibility."""
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.engine import TrialSpec, run_trial
+from repro.engine.registry import (
+    adversary_names,
+    build_adversary,
+    build_protocol_factory,
+    protocol_names,
+    register_adversary,
+    register_protocol,
+)
+
+
+class TestResolution:
+    def test_stock_protocols_are_registered(self):
+        names = protocol_names()
+        for expected in (
+            "ba_one_third",
+            "ba_one_half",
+            "dolev_strong",
+            "feldman_micali",
+            "micali_vaikuntanathan",
+            "mv_pki",
+            "prox_one_third",
+            "prox_linear_half",
+            "prox_quadratic_half",
+        ):
+            assert expected in names
+
+    def test_stock_adversaries_are_registered(self):
+        names = adversary_names()
+        for expected in (
+            "straddle13",
+            "straddle12",
+            "crash",
+            "malformed",
+            "two_face",
+        ):
+            assert expected in names
+
+    def test_unknown_protocol_raises_keyerror_listing_names(self):
+        with pytest.raises(KeyError, match="unknown protocol 'nope'"):
+            build_protocol_factory("nope", {})
+
+    def test_unknown_adversary_raises_keyerror_listing_names(self):
+        factory = build_protocol_factory("ba_one_third", {"kappa": 1})
+        with pytest.raises(KeyError, match="unknown adversary 'nope'"):
+            build_adversary("nope", {}, factory)
+
+    def test_none_adversary_resolves_to_none(self):
+        factory = build_protocol_factory("ba_one_third", {"kappa": 1})
+        assert build_adversary(None, {}, factory) is None
+
+    def test_non_callable_builder_rejected(self):
+        with pytest.raises(TypeError):
+            register_protocol("bad", "not-callable")
+        with pytest.raises(TypeError):
+            register_adversary("bad", 42)
+
+
+class TestExtensibility:
+    def test_registered_protocol_runs_through_engine(self):
+        def constant_program(ctx, value):
+            return value
+            yield  # pragma: no cover - makes this a generator program
+
+        register_protocol(
+            "test_constant", lambda: (lambda ctx, value: constant_program(ctx, value))
+        )
+        spec = TrialSpec(
+            protocol="test_constant", inputs=(7, 7, 7), max_faulty=0, session="reg"
+        )
+        result = run_trial(spec)
+        assert result.outputs == {0: 7, 1: 7, 2: 7}
+        assert result.finish_rounds == {0: 0, 1: 0, 2: 0}
+
+    def test_registered_adversary_receives_factory(self):
+        captured = {}
+
+        def builder(factory, victims):
+            captured["factory"] = factory
+            return Adversary()
+
+        register_adversary("test_capture", builder)
+        factory = build_protocol_factory("ba_one_third", {"kappa": 1})
+        build_adversary("test_capture", {"victims": (0,)}, factory)
+        assert captured["factory"] is factory

@@ -1,0 +1,110 @@
+"""ParallelRunner mechanics: chunking, aggregation, suite reuse."""
+
+import pytest
+
+from repro.engine import ParallelRunner, PlanResult, TrialPlan, default_workers
+from repro.engine.runner import _SUITE_CACHE, _suite_for
+
+
+def _plan(trials=6, seed=5, kappa=2, collect_signatures=True):
+    return TrialPlan.monte_carlo(
+        name="runner-test",
+        protocol="ba_one_third",
+        inputs=(0, 0, 1, 1),
+        max_faulty=1,
+        trials=trials,
+        params={"kappa": kappa},
+        adversary="straddle13",
+        adversary_params={"victims": (3,)},
+        seed=seed,
+        collect_signatures=collect_signatures,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ParallelRunner(workers=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelRunner(workers=2, chunk_size=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestSerialRun:
+    def test_runs_all_trials_in_plan_order(self):
+        plan = _plan(trials=4)
+        result = ParallelRunner(workers=1).run(plan)
+        assert isinstance(result, PlanResult)
+        assert len(result) == 4
+        assert result.workers == 1
+        assert result.wall_seconds > 0
+        for execution in result:
+            assert set(execution.inputs) == {0, 1, 2, 3}
+
+    def test_disagreement_rate_and_mean_rounds(self):
+        result = ParallelRunner(workers=1).run(_plan(trials=8))
+        rate = result.disagreement_rate()
+        assert 0.0 <= rate <= 1.0
+        assert result.mean_rounds() >= 1
+
+    def test_merged_metrics_sums_trials(self):
+        result = ParallelRunner(workers=1).run(_plan(trials=3))
+        merged = result.merged_metrics()
+        assert merged.total_messages == sum(
+            execution.metrics.total_messages for execution in result
+        )
+        assert merged.total_signatures == sum(
+            execution.metrics.total_signatures for execution in result
+        )
+        # merge() accumulates rounds: total simulated rounds across trials.
+        assert merged.rounds == sum(
+            execution.metrics.rounds for execution in result
+        )
+
+    def test_empty_result_helpers_raise(self):
+        empty = PlanResult(
+            plan=TrialPlan(name="empty"), results=[], workers=1, wall_seconds=0.0
+        )
+        with pytest.raises(ValueError):
+            empty.disagreement_rate()
+        with pytest.raises(ValueError):
+            empty.mean_rounds()
+
+
+class TestParallelRun:
+    def test_small_plans_run_inline(self):
+        result = ParallelRunner(workers=4).run(_plan(trials=1))
+        assert result.workers == 1  # pool skipped, nothing to parallelize
+
+    def test_chunked_dispatch_covers_every_trial(self):
+        plan = _plan(trials=7)
+        result = ParallelRunner(workers=2, chunk_size=2).run(plan)
+        assert len(result) == 7
+        assert result.chunk_size == 2
+        assert all(execution is not None for execution in result)
+
+    def test_auto_chunk_size_targets_four_chunks_per_worker(self):
+        runner = ParallelRunner(workers=2)
+        assert runner._auto_chunk_size(80) == 10
+        assert runner._auto_chunk_size(3) == 1  # never zero
+
+
+class TestSuiteCache:
+    def test_same_suite_key_reuses_dealt_keys(self):
+        plan = _plan(trials=2)
+        first, second = plan.trials
+        assert first.suite_key == second.suite_key
+        suite = _suite_for(first)
+        assert _suite_for(second) is suite
+        assert _SUITE_CACHE[first.suite_key] is suite
+
+    def test_distinct_setup_seed_deals_fresh_keys(self):
+        a = _plan(trials=1).trials[0]
+        from dataclasses import replace
+
+        b = replace(a, setup_seed=a.setup_seed + 1)
+        assert _suite_for(a) is not _suite_for(b)

@@ -1,9 +1,14 @@
 """Tests for execution metrics and signature counting."""
 
 import random
+from dataclasses import dataclass
 
 from repro.crypto.ideal import IdealSignatureScheme, IdealThresholdScheme
-from repro.network.metrics import RunMetrics, count_signatures
+from repro.network.metrics import (
+    RunMetrics,
+    count_signatures,
+    count_signatures_reference,
+)
 
 
 class TestCountSignatures:
@@ -37,6 +42,90 @@ class TestCountSignatures:
         assert count_signatures((1, "x", b"y")) == 0
 
 
+class TestCachedMatchesReference:
+    """The type-dispatch cache must agree with the reference walk exactly."""
+
+    def setup_method(self):
+        self.plain = IdealSignatureScheme(3, random.Random(1))
+        self.threshold = IdealThresholdScheme(3, 2, random.Random(2))
+
+    def _payloads(self):
+        sig = self.plain.sign(0, "m")
+        share = self.threshold.sign_share(1, "m")
+        combined = self.threshold.combine(
+            [(i, self.threshold.sign_share(i, "m")) for i in range(2)], "m"
+        )
+        return [
+            None,
+            0,
+            True,
+            "text",
+            b"bytes",
+            3.5,
+            sig,
+            share,
+            combined,
+            (sig, share),
+            [sig, [share, [combined]]],
+            {"vote": (1, sig), "echo": {"deep": [share]}},
+            {"mixed": [0, None, "x", sig, (b"y", combined)]},
+            [],
+            {},
+            (),
+            [[], {}, ()],
+        ]
+
+    def test_cached_equals_reference_on_every_payload(self):
+        for payload in self._payloads():
+            assert count_signatures(payload) == count_signatures_reference(
+                payload
+            ), payload
+
+    def test_unknown_container_types_count_zero(self):
+        """Documented limitation: generators, iterators and custom
+        non-dataclass classes holding signatures count 0 in BOTH
+        implementations — simulator payloads are always built from the
+        traversed containers (dict/list/tuple/set/frozenset/dataclass),
+        so the walk never consumes or guesses at opaque objects."""
+        sig = self.plain.sign(0, "m")
+
+        class Opaque:
+            def __init__(self, inner):
+                self.inner = inner
+
+        for payload in (Opaque(sig), (s for s in [sig]), iter([sig])):
+            assert count_signatures_reference(payload) == 0
+            assert count_signatures(payload) == 0
+
+    def test_sets_and_foreign_dataclasses_are_traversed(self):
+        """Sets/frozensets and non-crypto dataclasses are recognized
+        containers: the walk recurses into them rather than counting them
+        as signatures themselves."""
+        sig = self.plain.sign(0, "m")
+
+        @dataclass(frozen=True)
+        class Envelope:
+            payload: object
+            label: str = "x"
+
+        for payload, expected in (
+            ({sig}, 1),
+            (frozenset({sig}), 1),
+            (Envelope(sig), 1),
+            (Envelope((sig, {sig})), 2),
+            (Envelope("no signatures here"), 0),
+        ):
+            assert count_signatures_reference(payload) == expected, payload
+            assert count_signatures(payload) == expected, payload
+
+    def test_cache_is_stable_across_repeats(self):
+        sig = self.plain.sign(0, "m")
+        payload = {"a": [(0, sig), (1, sig)], "b": {"inner": (sig, sig)}}
+        first = count_signatures(payload)
+        assert all(count_signatures(payload) == first for _ in range(5))
+        assert first == count_signatures_reference(payload) == 4
+
+
 class TestRunMetrics:
     def test_honest_corrupt_split(self):
         metrics = RunMetrics()
@@ -56,3 +145,32 @@ class TestRunMetrics:
         metrics.record(2, True, 1)
         assert metrics.per_round[1].honest_messages == 1
         assert metrics.per_round[2].honest_messages == 2
+
+    def test_round_stats_returns_live_tally(self):
+        metrics = RunMetrics()
+        stats = metrics.round_stats(3)
+        stats.honest_messages += 2
+        stats.honest_signatures += 5
+        assert metrics.per_round[3].honest_messages == 2
+        assert metrics.honest_signatures == 5
+        assert metrics.round_stats(3) is stats
+
+    def test_merge_accumulates_rounds_and_per_round(self):
+        a = RunMetrics()
+        a.record(1, True, 2)
+        a.rounds = 3
+        b = RunMetrics()
+        b.record(1, False, 1)
+        b.record(2, True, 0)
+        b.rounds = 2
+        a.merge(b)
+        assert a.rounds == 5
+        assert a.per_round[1].honest_messages == 1
+        assert a.per_round[1].corrupt_messages == 1
+        assert a.per_round[2].honest_messages == 1
+        assert a.total_signatures == 3
+
+    def test_merged_of_empty_iterable_is_zero(self):
+        merged = RunMetrics.merged([])
+        assert merged.rounds == 0
+        assert merged.total_messages == 0

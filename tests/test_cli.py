@@ -85,6 +85,43 @@ class TestErrorSweep:
         assert "bound 2^-k" in out
 
 
+class TestBench:
+    def test_serial_matches_parallel_and_reports(self, capsys):
+        code = main(
+            ["bench", "--protocol", "one_third", "--kappas", "1",
+             "--trials", "8", "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serial == parallel" in out and "OK" in out
+        assert "engine serial" in out
+
+    def test_json_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--protocol", "one_half", "--kappas", "1",
+             "--trials", "6", "--workers", "2", "--json", str(path)]
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["workers"] == 2
+        assert payload["trials_per_config"] == 6
+        assert payload["identical_serial_parallel"] is True
+        assert payload["rates"][0]["protocol"] == "ba_one_half"
+
+    def test_compare_baseline_reports_speedup(self, capsys):
+        code = main(
+            ["bench", "--protocol", "one_third", "--kappas", "1",
+             "--trials", "6", "--workers", "1", "--compare-baseline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pre-engine baseline" in out
+        assert "best vs baseline" in out
+
+
 class TestLedger:
     def test_identical_logs_and_exit_zero(self, capsys):
         code = main(
