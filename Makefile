@@ -14,9 +14,13 @@ test-fast:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# Fast engine sanity sweep: serial-vs-parallel bit-identity + timings.
+# Fast engine sanity sweep: serial-vs-parallel bit-identity, timings,
+# and the adaptive leg (early-stopping verdicts checked against the
+# fixed run; nonzero exit on mismatch).  REPRO_BENCH_WORKERS overrides
+# the worker count (default 2).
 bench-quick:
-	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 --workers 2
+	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
+		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

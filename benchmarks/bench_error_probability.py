@@ -15,22 +15,24 @@ The Monte-Carlo loops run through the parallel experiment engine
 rates are identical to the legacy serial harness; set
 ``REPRO_BENCH_WORKERS=<n>`` to fan trials across processes (results are
 bit-identical regardless — see ``tests/engine/test_determinism.py``).
+The adaptive test at the bottom re-runs one sweep through
+:class:`repro.engine.AdaptiveRunner` and reports the trials early
+stopping saved while reaching the same verdicts.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from benchmarks.conftest import bench_workers
 from repro.analysis.curves import log_sparkline
 from repro.analysis.report import format_table
 from repro.analysis.theory import per_iteration_failure
-from repro.engine import ParallelRunner, TrialPlan
+from repro.engine import AdaptiveRunner, ParallelRunner, TrialPlan
 
 TRIALS = 300
 
-_RUNNER = ParallelRunner(workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+_RUNNER = ParallelRunner(workers=bench_workers())
 
 
 def _failure_rate(
@@ -134,6 +136,79 @@ def test_end_to_end_error_decays_exponentially(benchmark, report_sink):
         )
     )
     benchmark(lambda: one_third_failure(2, trials=20))
+
+
+def _kappa_sweep_plan(kappas, trials):
+    return TrialPlan.concat(
+        "adaptive-sweep",
+        [
+            TrialPlan.monte_carlo(
+                name=f"one_third-k{kappa}",
+                protocol="ba_one_third",
+                inputs=(0, 0, 1, 1),
+                max_faulty=1,
+                trials=trials,
+                params={"kappa": kappa},
+                adversary="straddle13",
+                adversary_params={"victims": (3,)},
+                seed=kappa,
+                collect_signatures=False,
+            )
+            for kappa in kappas
+        ],
+    )
+
+
+def test_adaptive_allocation_saves_trials_same_verdicts(benchmark, report_sink):
+    """FIG-ERR (e): adaptive early stopping spends measurably fewer trials
+    on the κ-sweep yet reaches the same accept/reject verdict per config
+    — the property that makes backend="real" sweeps affordable."""
+    kappas = (1, 2, 4)
+    plan = _kappa_sweep_plan(kappas, TRIALS)
+    bounds = {f"one_third-k{kappa}": 2.0 ** -kappa for kappa in kappas}
+
+    fixed = _RUNNER.run(plan)
+    runner = AdaptiveRunner(workers=bench_workers(), batch_size=25)
+    adaptive = runner.run(plan, bounds)
+
+    rows = []
+    for name, indices in plan.configs().items():
+        outcome = adaptive.configs[name]
+        fixed_estimate = runner.estimate_for(name, bounds)
+        fixed_hits = sum(
+            1 for index in indices if not fixed.results[index].honest_agree()
+        )
+        fixed_estimate.update(fixed_hits, len(indices))
+        assert outcome.accepted == fixed_estimate.accepted, name
+        rows.append(
+            [
+                name,
+                f"{outcome.bound:.4f}",
+                len(indices),
+                outcome.executed,
+                outcome.status,
+                "yes" if outcome.stopped_early else "-",
+            ]
+        )
+    assert adaptive.spent < len(plan), (
+        "early stopping should save trials on this sweep",
+        adaptive.spent,
+        len(plan),
+    )
+    report_sink.append(
+        "FIG-ERR (e)  adaptive allocation vs fixed budget "
+        f"(spent {adaptive.spent}/{len(plan)} trials, verdicts identical)\n"
+        + format_table(
+            ["config", "bound", "fixed n", "adaptive n", "status", "early"],
+            rows,
+        )
+    )
+    benchmark(
+        lambda: AdaptiveRunner(batch_size=10).run(
+            _kappa_sweep_plan((1, 2), 40),
+            {"one_third-k1": 0.5, "one_third-k2": 0.25},
+        )
+    )
 
 
 def test_generic_equivocation_stays_below_bound(benchmark, report_sink):

@@ -13,7 +13,9 @@ EXPERIMENTS.md.)
 
 from __future__ import annotations
 
+import os
 import random
+import warnings
 
 import pytest
 
@@ -23,6 +25,33 @@ from repro.network.simulator import SyncSimulator
 _SUITE_CACHE = {}
 
 collect_ignore: list = []
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``, robustly.
+
+    An empty, non-numeric or non-positive value falls back to
+    ``default`` with a warning instead of raising — a stray environment
+    variable must never abort collection of the whole benchmark suite.
+    """
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring REPRO_BENCH_WORKERS={raw!r} (not an integer); "
+            f"using {default} worker(s)"
+        )
+        return default
+    if value < 1:
+        warnings.warn(
+            f"ignoring REPRO_BENCH_WORKERS={value} (must be >= 1); "
+            f"using {default} worker(s)"
+        )
+        return default
+    return value
 
 
 def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:

@@ -9,7 +9,12 @@ from .experiments import (
 )
 from .curves import bar_chart, log_sparkline, sparkline
 from .report import format_matrix, format_table
-from .stats import format_rate, wilson_interval, within_interval
+from .stats import (
+    SequentialEstimate,
+    format_rate,
+    wilson_interval,
+    within_interval,
+)
 from .tables import (
     binary_slot_labels,
     fig2_expansion_conditions,
@@ -32,6 +37,7 @@ from .theory import (
 __all__ = [
     "PROTOCOLS",
     "ExperimentSetup",
+    "SequentialEstimate",
     "bar_chart",
     "log_sparkline",
     "sparkline",

@@ -3,16 +3,32 @@
 The error-probability experiments estimate Bernoulli rates from a few
 hundred trials; the benchmarks and EXPERIMENTS.md report Wilson score
 intervals so "measured ≈ bound" claims carry explicit uncertainty.
+
+:class:`SequentialEstimate` is the streaming form: it accumulates
+hit/trial counts batch by batch and tests the running Wilson interval
+against a target bound, which is what lets the adaptive engine
+(:mod:`repro.engine.adaptive`) stop a configuration as soon as the
+statistics are decided.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
-__all__ = ["wilson_interval", "within_interval", "format_rate"]
+__all__ = [
+    "SequentialEstimate",
+    "wilson_interval",
+    "within_interval",
+    "format_rate",
+]
 
 _Z95 = 1.959963984540054  # 95% two-sided normal quantile
+# 99.5% two-sided quantile: the default *decision* interval for
+# sequential early stopping, where every batch is another look at the
+# data and 95% intervals would inflate the false-exclusion rate.
+_Z995 = 2.807033768343811
 
 
 def wilson_interval(
@@ -48,3 +64,136 @@ def format_rate(successes: int, trials: int) -> str:
     """``"0.2500 [0.2031, 0.3034]"`` — estimate with 95% interval."""
     low, high = wilson_interval(successes, trials)
     return f"{successes / trials:.4f} [{low:.4f}, {high:.4f}]"
+
+
+@dataclass
+class SequentialEstimate:
+    """A streaming Bernoulli estimate tested against a target ``bound``.
+
+    Feed hit/trial counts in with :meth:`update` (batches) or
+    :meth:`observe` (single trials); :attr:`status` classifies the
+    running Wilson interval against the bound:
+
+    ``"below"``
+        the whole interval lies strictly under the bound — the measured
+        rate is significantly better than the bound;
+    ``"above"``
+        the whole interval lies strictly over the bound — the bound is
+        violated (requires at least ``min_hits`` observed hits, so a
+        violation claim for a rare event never rests on one or two
+        occurrences that happened to cluster early in the sample);
+    ``"contained"``
+        the bound sits inside the interval *and* the interval has
+        narrowed to at most ``precision`` — the estimate confidently
+        matches the bound (the tight-adversary case, where the bound is
+        realized exactly and exclusion never happens);
+    ``"undecided"``
+        none of the above yet (always the case below ``min_trials``).
+
+    :attr:`decided` is the early-stopping predicate: any status other
+    than ``"undecided"``.  :attr:`accepted` is the accept/reject verdict
+    against the bound — accept unless the interval proves the rate is
+    above it — and is well-defined whether or not the estimate is
+    decided, so a fixed-budget run and an early-stopped run can be
+    compared verdict-for-verdict.
+
+    The classification is a pure function of the accumulated counts, so
+    two estimates fed the same trials in any batching agree exactly —
+    the property the adaptive runner's determinism rests on.
+    """
+
+    bound: float
+    z: float = _Z95
+    min_trials: int = 16
+    min_hits: int = 5
+    precision: Optional[float] = None
+    hits: int = 0
+    trials: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.bound <= 1.0):
+            raise ValueError(f"bound must lie in [0, 1], got {self.bound}")
+        if self.min_trials < 1:
+            raise ValueError("min_trials must be positive")
+        if self.min_hits < 1:
+            raise ValueError("min_hits must be positive")
+        if self.precision is None:
+            # Width at most the bound itself: the rate is pinned to
+            # ±bound/2 around the interval center with the bound inside
+            # — a real statement about tightness, yet reachable in a
+            # few dozen to a few hundred trials for the bounds the
+            # sweeps test (width shrinks as 1/sqrt(n), so demanding
+            # much less than the bound costs quadratically more trials).
+            self.precision = self.bound
+        if self.precision < 0:
+            raise ValueError("precision must be non-negative")
+        if self.trials < 0 or not (0 <= self.hits <= self.trials):
+            raise ValueError(
+                f"need 0 <= hits <= trials, got hits={self.hits}, "
+                f"trials={self.trials}"
+            )
+
+    def observe(self, hit: bool) -> None:
+        """Record a single trial."""
+        self.update(1 if hit else 0, 1)
+
+    def update(self, hits: int, trials: int) -> None:
+        """Fold in a batch of ``trials`` trials, ``hits`` of them hits."""
+        if trials < 0 or not (0 <= hits <= trials):
+            raise ValueError(
+                f"need 0 <= hits <= trials, got hits={hits}, trials={trials}"
+            )
+        self.hits += hits
+        self.trials += trials
+
+    @property
+    def rate(self) -> float:
+        """Point estimate (0.0 before any trial)."""
+        return self.hits / self.trials if self.trials else 0.0
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """Running Wilson interval; vacuous ``(0, 1)`` before any trial."""
+        if self.trials == 0:
+            return (0.0, 1.0)
+        return wilson_interval(self.hits, self.trials, self.z)
+
+    @property
+    def width(self) -> float:
+        """Interval width — the adaptive runner's "noisiest config" key."""
+        low, high = self.interval
+        return high - low
+
+    @property
+    def status(self) -> str:
+        if self.trials < self.min_trials:
+            return "undecided"
+        low, high = self.interval
+        if high < self.bound:
+            return "below"
+        # Exclusion *above* additionally requires ``min_hits`` observed
+        # hits: for small bounds a handful of rare events clustered in
+        # an early prefix of the sample can push the Wilson low end over
+        # the bound even though the long-run rate respects it, and a
+        # claim of violation should rest on more than a couple of
+        # occurrences (the classic np >= 5 evidence floor).
+        if low > self.bound and self.hits >= self.min_hits:
+            return "above"
+        if low <= self.bound and high - low <= self.precision:
+            return "contained"
+        return "undecided"
+
+    @property
+    def decided(self) -> bool:
+        """Early-stopping predicate: the interval has settled vs the bound."""
+        return self.status != "undecided"
+
+    @property
+    def accepted(self) -> bool:
+        """Accept/reject vs the bound: reject only on proven violation."""
+        low, _high = self.interval
+        return not (
+            self.trials >= self.min_trials
+            and self.hits >= self.min_hits
+            and low > self.bound
+        )

@@ -17,6 +17,9 @@ Subcommands
     serially and with ``--workers`` processes, checks the two are
     bit-identical, reports wall times (optionally vs the pre-optimization
     baseline) and writes a machine-readable ``BENCH_engine.json``.
+    ``--adaptive`` adds the early-stopping leg: the sweep re-run under
+    :class:`repro.engine.AdaptiveRunner` with a total budget equal to the
+    fixed run, verdict-checked against it config for config.
 
 Examples::
 
@@ -27,6 +30,7 @@ Examples::
     python -m repro tables --which table2
     python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
     python -m repro bench --workers 4 --trials 300 --json BENCH_engine.json
+    python -m repro bench --adaptive --max-trials 600 --trials 300
 """
 
 from __future__ import annotations
@@ -203,7 +207,7 @@ def _cmd_error_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_sweep_plan(args: argparse.Namespace):
+def _build_sweep_plan(args: argparse.Namespace, trials: Optional[int] = None):
     """The error-probability sweep as one engine plan (see `bench`)."""
     from .engine import TrialPlan
 
@@ -225,7 +229,7 @@ def _build_sweep_plan(args: argparse.Namespace):
                     protocol=protocol,
                     inputs=inputs,
                     max_faulty=max_faulty,
-                    trials=args.trials,
+                    trials=trials if trials is not None else args.trials,
                     params={"kappa": kappa},
                     adversary=adversary,
                     adversary_params=adversary_params,
@@ -236,6 +240,127 @@ def _build_sweep_plan(args: argparse.Namespace):
                 )
             )
     return TrialPlan.concat(f"error-sweep-{args.protocol}", plans)
+
+
+def _sweep_bounds(plan, expression: str) -> dict:
+    """Per-config target bounds for an error sweep.
+
+    ``expression`` is either the default ``"2**-k"`` / ``"2^-k"`` — the
+    paper's Corollary 2 bound, evaluated per config from its κ — or a
+    literal float applied to every config.
+    """
+    bounds = {}
+    if expression.replace("^", "**") in ("2**-k", "2**-kappa"):
+        for name, indices in plan.configs().items():
+            kappa = plan.trials[indices[0]].param_dict["kappa"]
+            bounds[name] = 2.0 ** -kappa
+        return bounds
+    try:
+        value = float(expression)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--bound must be '2**-k' or a float, got {expression!r}"
+        )
+    return {name: value for name in plan.configs()}
+
+
+def _run_adaptive_leg(args: argparse.Namespace, serial) -> dict:
+    """The ``--adaptive`` leg of `bench`: early-stopping vs fixed budget.
+
+    Runs the same sweep through :class:`AdaptiveRunner` with a total
+    budget equal to the fixed run's trial count (per-config cap
+    ``--max-trials``), checks the accept/reject verdicts agree with the
+    fixed-budget run config for config, and returns the JSON payload.
+    """
+    from .analysis.stats import format_rate
+    from .engine import AdaptiveRunner
+
+    cap = args.max_trials or args.trials
+    plan = _build_sweep_plan(args, trials=cap)
+    bounds = _sweep_bounds(plan, args.bound)
+    budget = args.trials * len(plan.configs())
+    runner = AdaptiveRunner(workers=args.workers, batch_size=args.batch)
+    adaptive = runner.run(plan, bounds, budget=budget)
+
+    # Fixed-budget verdicts: the same classifier fed the full counts.
+    fixed_groups = serial.plan.configs()
+    rows = []
+    matches = True
+    for name, outcome in adaptive.configs.items():
+        fixed_indices = fixed_groups[name]
+        fixed_estimate = runner.estimate_for(name, bounds)
+        fixed_hits = sum(
+            1
+            for index in fixed_indices
+            if not serial.results[index].honest_agree()
+        )
+        fixed_estimate.update(fixed_hits, len(fixed_indices))
+        matches = matches and (outcome.accepted == fixed_estimate.accepted)
+        rows.append(
+            {
+                "config": name,
+                "bound": outcome.bound,
+                "fixed_trials": len(fixed_indices),
+                "fixed_rate": format_rate(fixed_hits, len(fixed_indices)),
+                "fixed_accepted": fixed_estimate.accepted,
+                "adaptive_trials": outcome.executed,
+                "adaptive_rate": (
+                    format_rate(outcome.hits, outcome.executed)
+                    if outcome.executed
+                    else None
+                ),
+                "adaptive_status": outcome.status,
+                "adaptive_accepted": outcome.accepted,
+                "stopped_early": outcome.stopped_early,
+            }
+        )
+
+    print(
+        f"\nadaptive allocation (budget {budget}, per-config cap {cap}, "
+        f"batch {args.batch})\n"
+    )
+    print(
+        format_table(
+            ["config", "bound", "fixed n", "adaptive n", "status", "early"],
+            [
+                [
+                    row["config"],
+                    f"{row['bound']:.4f}",
+                    row["fixed_trials"],
+                    row["adaptive_trials"],
+                    row["adaptive_status"],
+                    "yes" if row["stopped_early"] else "-",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    fixed_total = sum(row["fixed_trials"] for row in rows)
+    print()
+    print(f"{'adaptive trials spent':32s}: {adaptive.spent:8d} / {fixed_total}")
+    print(
+        f"{'trials saved':32s}: {fixed_total - adaptive.spent:8d} "
+        f"({(fixed_total - adaptive.spent) / fixed_total:.1%})"
+    )
+    print(
+        f"{'adaptive wall time':32s}: {adaptive.wall_seconds:8.3f}s"
+    )
+    print(
+        f"{'verdicts match fixed run':32s}: "
+        f"{'      OK' if matches else '    MISMATCH'}"
+    )
+    return {
+        "budget": budget,
+        "per_config_cap": cap,
+        "batch_size": args.batch,
+        "spent": adaptive.spent,
+        "fixed_total": fixed_total,
+        "saved": fixed_total - adaptive.spent,
+        "saved_fraction": round((fixed_total - adaptive.spent) / fixed_total, 4),
+        "wall_seconds": round(adaptive.wall_seconds, 4),
+        "verdicts_match_fixed": matches,
+        "configs": rows,
+    }
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -310,6 +435,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if parallel is not None and parallel.results == serial.results:
         print(f"{'serial == parallel':32s}:       OK (bit-identical)")
 
+    adaptive_payload = None
+    if args.adaptive:
+        adaptive_payload = _run_adaptive_leg(args, serial)
+
     if args.json:
         payload = {
             "plan": plan.describe(),
@@ -354,11 +483,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 }
                 for row in rows
             ],
+            "adaptive": adaptive_payload,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"\nwrote {args.json}")
+    if adaptive_payload is not None and not adaptive_payload["verdicts_match_fixed"]:
+        return 2
     return 0
 
 
@@ -482,6 +614,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-baseline", action="store_true",
         help="also time the pre-optimization serial path "
         "(reference signature walk, tag memoization off)",
+    )
+    bench_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="also run the sweep through AdaptiveRunner (early stopping + "
+        "budget reallocation) and check its verdicts against the fixed run",
+    )
+    bench_parser.add_argument(
+        "--bound", default="2**-k", metavar="EXPR",
+        help="per-config target bound: '2**-k' (Corollary 2, default) "
+        "or a literal float",
+    )
+    bench_parser.add_argument(
+        "--max-trials", type=_positive_int, default=None, metavar="N",
+        help="adaptive per-config trial cap (default: --trials); raise it "
+        "to let freed budget deepen the noisiest configs",
+    )
+    bench_parser.add_argument(
+        "--batch", type=_positive_int, default=25,
+        help="adaptive allocation batch size per config per round",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 

@@ -8,6 +8,7 @@ way.  See ``docs/performance.md`` for the architecture and determinism
 guarantees, and ``repro bench`` for the CLI entry point.
 """
 
+from .adaptive import AdaptiveResult, AdaptiveRunner, ConfigOutcome
 from .plan import TrialPlan, TrialSpec, derive_trial_seed, derive_trial_session
 from .registry import (
     adversary_names,
@@ -15,14 +16,24 @@ from .registry import (
     register_adversary,
     register_protocol,
 )
-from .runner import ParallelRunner, PlanResult, default_workers, run_trial
+from .runner import (
+    ParallelRunner,
+    PlanResult,
+    clear_suite_cache,
+    default_workers,
+    run_trial,
+)
 
 __all__ = [
+    "AdaptiveResult",
+    "AdaptiveRunner",
+    "ConfigOutcome",
     "ParallelRunner",
     "PlanResult",
     "TrialPlan",
     "TrialSpec",
     "adversary_names",
+    "clear_suite_cache",
     "default_workers",
     "derive_trial_seed",
     "derive_trial_session",

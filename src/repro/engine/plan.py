@@ -29,8 +29,9 @@ worker or 16 yields byte-identical results (see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "TrialPlan",
@@ -55,11 +56,50 @@ def derive_trial_session(base_seed: int, index: int) -> str:
     return f"exp{base_seed}/{index}"
 
 
+def _freeze_value(value: Any) -> Any:
+    """Hashable form of one param value (lists/dicts become tuples)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze_value(item) for item in value))
+    return value
+
+
 def _freeze_params(params: Optional[Dict[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     """Canonical, hashable form of a params dict (sorted key/value pairs)."""
     if not params:
         return ()
-    return tuple(sorted(params.items()))
+    return tuple(sorted((key, _freeze_value(value)) for key, value in params.items()))
+
+
+def _coerce_params(value: Any, label: str) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize a params field to the canonical frozen tuple form.
+
+    Accepts ``None``, a mapping, or an iterable of ``(key, value)``
+    pairs (the already-frozen form); anything else is rejected loudly —
+    a spec that silently carried dict params would be unhashable and
+    break the frozen/picklable contract the runner depends on.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        return _freeze_params(dict(value))
+    if isinstance(value, (tuple, list)):
+        pairs = list(value)
+        if not all(
+            isinstance(pair, (tuple, list)) and len(pair) == 2 for pair in pairs
+        ):
+            raise TypeError(
+                f"{label} must be a mapping or (key, value) pairs, "
+                f"got {value!r}"
+            )
+        return _freeze_params({key: item for key, item in pairs})
+    raise TypeError(
+        f"{label} must be a mapping or (key, value) pairs, "
+        f"got {type(value).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -78,10 +118,17 @@ class TrialSpec:
     backend: str = "ideal"
     max_rounds: int = 4096
     collect_signatures: bool = True
+    config: str = ""
 
     def __post_init__(self) -> None:
         if not isinstance(self.inputs, tuple):
             object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "params", _coerce_params(self.params, "params"))
+        object.__setattr__(
+            self,
+            "adversary_params",
+            _coerce_params(self.adversary_params, "adversary_params"),
+        )
         if self.backend not in ("ideal", "real"):
             raise ValueError(f"unknown crypto backend {self.backend!r}")
         if not (0 <= self.max_faulty < len(self.inputs)):
@@ -106,6 +153,24 @@ class TrialSpec:
         """Cache key for dealt key material — all trials sharing it reuse
         one :class:`~repro.crypto.keys.CryptoSuite` per worker process."""
         return (self.backend, self.num_parties, self.max_faulty, self.setup_seed)
+
+    @property
+    def config_key(self) -> str:
+        """Name of the configuration this trial repeats.
+
+        ``TrialPlan.monte_carlo`` stamps its plan name onto every spec
+        (the ``config`` field); specs built by hand fall back to a key
+        derived from everything but the per-trial seed/session, so
+        repetitions of one configuration always group together.
+        """
+        if self.config:
+            return self.config
+        return (
+            f"{self.protocol}{dict(self.params)}"
+            f"|n{self.num_parties}t{self.max_faulty}"
+            f"|{self.adversary}{dict(self.adversary_params)}"
+            f"|{self.backend}"
+        )
 
 
 @dataclass(frozen=True)
@@ -161,6 +226,7 @@ class TrialPlan:
             backend=backend,
             max_rounds=max_rounds,
             collect_signatures=collect_signatures,
+            config=name,
         )
         return cls(
             name=name,
@@ -181,6 +247,20 @@ class TrialPlan:
         for plan in plans:
             trials += plan.trials
         return cls(name=name, trials=trials)
+
+    def configs(self) -> "OrderedDict[str, Tuple[int, ...]]":
+        """Plan indices grouped by configuration, in first-seen order.
+
+        A configuration is a set of repetitions of one experimental
+        setting (see :attr:`TrialSpec.config_key`); the adaptive runner
+        allocates and stops trials per configuration.
+        """
+        groups: "OrderedDict[str, list]" = OrderedDict()
+        for index, spec in enumerate(self.trials):
+            groups.setdefault(spec.config_key, []).append(index)
+        return OrderedDict(
+            (name, tuple(indices)) for name, indices in groups.items()
+        )
 
     def describe(self) -> Dict[str, Any]:
         """Human/JSON-facing summary (protocols, adversaries, sizes)."""

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..crypto.keys import CryptoSuite
 from ..network.metrics import RunMetrics
@@ -41,7 +42,13 @@ from ..network.simulator import ExecutionResult, SyncSimulator
 from .plan import TrialPlan, TrialSpec
 from .registry import build_adversary, build_protocol_factory
 
-__all__ = ["ParallelRunner", "PlanResult", "run_trial", "default_workers"]
+__all__ = [
+    "ParallelRunner",
+    "PlanResult",
+    "run_trial",
+    "default_workers",
+    "clear_suite_cache",
+]
 
 
 def default_workers() -> int:
@@ -52,8 +59,17 @@ def default_workers() -> int:
 # Per-process cache of dealt key material.  Worker processes are reused
 # across chunks, so each (backend, n, t, setup_seed) combination is dealt
 # at most once per worker — for the real RSA backend this is the
-# difference between usable and useless parallelism.
-_SUITE_CACHE: Dict[Tuple[str, int, int, int], CryptoSuite] = {}
+# difference between usable and useless parallelism.  The cache is a
+# small LRU: an n-sweep with the real backend visits many (n, t)
+# combinations, and pinning every dealt RSA suite for the life of a
+# long-lived worker process is a memory leak.
+_SUITE_CACHE: "OrderedDict[Tuple[str, int, int, int], CryptoSuite]" = OrderedDict()
+_SUITE_CACHE_MAX = 8
+
+
+def clear_suite_cache() -> None:
+    """Drop every cached suite (tests, memory-sensitive sweeps)."""
+    _SUITE_CACHE.clear()
 
 
 def _suite_for(spec: TrialSpec) -> CryptoSuite:
@@ -61,13 +77,17 @@ def _suite_for(spec: TrialSpec) -> CryptoSuite:
 
     key = spec.suite_key
     suite = _SUITE_CACHE.get(key)
-    if suite is None:
-        rng = random.Random(spec.setup_seed + 0x5E7)
-        if spec.backend == "real":
-            suite = CryptoSuite.real(spec.num_parties, spec.max_faulty, rng)
-        else:
-            suite = CryptoSuite.ideal(spec.num_parties, spec.max_faulty, rng)
-        _SUITE_CACHE[key] = suite
+    if suite is not None:
+        _SUITE_CACHE.move_to_end(key)
+        return suite
+    rng = random.Random(spec.setup_seed + 0x5E7)
+    if spec.backend == "real":
+        suite = CryptoSuite.real(spec.num_parties, spec.max_faulty, rng)
+    else:
+        suite = CryptoSuite.ideal(spec.num_parties, spec.max_faulty, rng)
+    _SUITE_CACHE[key] = suite
+    while len(_SUITE_CACHE) > _SUITE_CACHE_MAX:
+        _SUITE_CACHE.popitem(last=False)
     return suite
 
 
@@ -169,20 +189,9 @@ class ParallelRunner:
             )
 
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
-        indexed = list(enumerate(plan.trials))
-        chunks = [
-            indexed[start : start + chunk_size]
-            for start in range(0, len(indexed), chunk_size)
-        ]
         collected: List[Optional[ExecutionResult]] = [None] * len(plan)
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [
-                pool.submit(_run_chunk, chunk, self.legacy_metrics)
-                for chunk in chunks
-            ]
-            for future in futures:
-                for index, result in future.result():
-                    collected[index] = result
+        for index, result in self._iter_pooled(plan, chunk_size):
+            collected[index] = result
         missing = [i for i, result in enumerate(collected) if result is None]
         if missing:  # pragma: no cover - pool misbehavior, not reachable normally
             raise RuntimeError(f"trials {missing} produced no result")
@@ -193,6 +202,55 @@ class ParallelRunner:
             wall_seconds=time.perf_counter() - started,
             chunk_size=chunk_size,
         )
+
+    def run_iter(
+        self, plan: TrialPlan
+    ) -> Iterator[Tuple[int, ExecutionResult]]:
+        """Stream ``(plan_index, result)`` pairs as trials complete.
+
+        The streaming form of :meth:`run`: chunks are yielded in
+        *completion* order (plan order within a chunk), so a consumer —
+        the adaptive runner, a progress bar, an incremental estimator —
+        sees results as soon as any worker finishes rather than after
+        the whole plan.  Re-running the pairs through a plan-indexed
+        buffer reproduces :meth:`run` exactly; that is how :meth:`run`
+        is implemented.
+
+        A worker exception is re-raised at the first completed failure
+        and outstanding work is cancelled — late chunks cannot hide an
+        early crash behind hours of remaining work.
+        """
+        if self.workers == 1 or len(plan) <= 1:
+            for index, spec in enumerate(plan.trials):
+                yield index, run_trial(spec, self.legacy_metrics)
+            return
+        chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
+        yield from self._iter_pooled(plan, chunk_size)
+
+    def _iter_pooled(
+        self, plan: TrialPlan, chunk_size: int
+    ) -> Iterator[Tuple[int, ExecutionResult]]:
+        """Fan chunks across the pool; yield results as chunks complete."""
+        indexed = list(enumerate(plan.trials))
+        chunks = [
+            indexed[start : start + chunk_size]
+            for start in range(0, len(indexed), chunk_size)
+        ]
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = [
+            pool.submit(_run_chunk, chunk, self.legacy_metrics)
+            for chunk in chunks
+        ]
+        try:
+            for future in as_completed(futures):
+                # .result() re-raises the first worker failure promptly;
+                # the finally block then cancels everything still queued.
+                for index, result in future.result():
+                    yield index, result
+        finally:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def _auto_chunk_size(self, total: int) -> int:
         """~4 chunks per worker: amortizes IPC, keeps the pool balanced."""

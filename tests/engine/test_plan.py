@@ -70,6 +70,45 @@ class TestTrialSpec:
         assert pickle.loads(pickle.dumps(spec)) == spec
         assert len({spec, self._spec()}) == 1
 
+    def test_dict_params_normalize_to_frozen_form(self):
+        # The natural direct construction: plain dicts.  They must come
+        # out identical to the canonical frozen-tuple form, or the spec
+        # is unhashable and breaks the runner's picklable contract.
+        direct = self._spec(
+            params={"kappa": 2},
+            adversary="straddle13",
+            adversary_params={"victims": (3,)},
+        )
+        frozen = self._spec(
+            params=(("kappa", 2),),
+            adversary="straddle13",
+            adversary_params=(("victims", (3,)),),
+        )
+        assert direct == frozen
+        assert hash(direct) == hash(frozen)
+        assert pickle.loads(pickle.dumps(direct)) == direct
+
+    def test_dict_params_with_unhashable_values_are_frozen_deeply(self):
+        spec = self._spec(
+            adversary="straddle13", adversary_params={"victims": [3]}
+        )
+        assert spec.adversary_params == (("victims", (3,)),)
+        assert len({spec}) == 1  # hashable
+
+    def test_params_are_canonically_sorted(self):
+        a = self._spec(params={"b": 1, "a": 2})
+        b = self._spec(params={"a": 2, "b": 1})
+        assert a == b
+        assert a.params == (("a", 2), ("b", 1))
+
+    def test_non_mapping_params_rejected_loudly(self):
+        with pytest.raises(TypeError, match="params"):
+            self._spec(params=3)
+        with pytest.raises(TypeError, match="params"):
+            self._spec(params="kappa=2")
+        with pytest.raises(TypeError, match="adversary_params"):
+            self._spec(adversary_params=("victims", (3,)))  # not pairs
+
 
 class TestTrialPlan:
     def _plan(self, trials=5, seed=3, **overrides):
@@ -143,3 +182,35 @@ class TestTrialPlan:
     def test_plan_is_picklable(self):
         plan = self._plan()
         assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_monte_carlo_stamps_config_name(self):
+        plan = self._plan(trials=3)
+        assert all(spec.config == "p" for spec in plan)
+        assert all(spec.config_key == "p" for spec in plan)
+
+    def test_configs_group_in_plan_order(self):
+        merged = TrialPlan.concat(
+            "sweep", [self._plan(trials=2, seed=1), self._plan(trials=3, seed=2, name="q")]
+        )
+        assert merged.configs() == {"p": (0, 1), "q": (2, 3, 4)}
+        assert list(merged.configs()) == ["p", "q"]
+
+    def test_unnamed_specs_group_by_derived_key(self):
+        from repro.engine import TrialSpec
+
+        a = TrialSpec(
+            protocol="ba_one_third", inputs=(0, 1, 1, 0), max_faulty=1,
+            params={"kappa": 2}, seed=1, session="s1",
+        )
+        b = TrialSpec(
+            protocol="ba_one_third", inputs=(0, 1, 1, 0), max_faulty=1,
+            params={"kappa": 2}, seed=2, session="s2",
+        )
+        c = TrialSpec(
+            protocol="ba_one_third", inputs=(0, 1, 1, 0), max_faulty=1,
+            params={"kappa": 3}, seed=3, session="s3",
+        )
+        plan = TrialPlan(name="hand-built", trials=(a, b, c))
+        groups = plan.configs()
+        assert len(groups) == 2  # seeds/sessions don't split configs
+        assert list(groups.values()) == [(0, 1), (2,)]

@@ -1,9 +1,19 @@
-"""ParallelRunner mechanics: chunking, aggregation, suite reuse."""
+"""ParallelRunner mechanics: chunking, streaming, aggregation, suite reuse."""
+
+from dataclasses import replace
 
 import pytest
 
-from repro.engine import ParallelRunner, PlanResult, TrialPlan, default_workers
-from repro.engine.runner import _SUITE_CACHE, _suite_for
+from repro.core.ba import ba_one_third_program
+from repro.engine import (
+    ParallelRunner,
+    PlanResult,
+    TrialPlan,
+    clear_suite_cache,
+    default_workers,
+    register_protocol,
+)
+from repro.engine.runner import _SUITE_CACHE, _SUITE_CACHE_MAX, _suite_for
 
 
 def _plan(trials=6, seed=5, kappa=2, collect_signatures=True):
@@ -104,7 +114,114 @@ class TestSuiteCache:
 
     def test_distinct_setup_seed_deals_fresh_keys(self):
         a = _plan(trials=1).trials[0]
-        from dataclasses import replace
-
         b = replace(a, setup_seed=a.setup_seed + 1)
         assert _suite_for(a) is not _suite_for(b)
+
+    def test_cache_is_bounded_lru(self):
+        # A long-lived worker sweeping many (n, t, setup_seed) combos
+        # must not pin every dealt suite forever.
+        clear_suite_cache()
+        base = _plan(trials=1).trials[0]
+        specs = [
+            replace(base, setup_seed=seed)
+            for seed in range(_SUITE_CACHE_MAX + 3)
+        ]
+        for spec in specs:
+            _suite_for(spec)
+        assert len(_SUITE_CACHE) == _SUITE_CACHE_MAX
+        # Oldest entries evicted, newest retained.
+        assert specs[0].suite_key not in _SUITE_CACHE
+        assert specs[-1].suite_key in _SUITE_CACHE
+
+    def test_lru_touch_on_hit_protects_hot_suites(self):
+        clear_suite_cache()
+        base = _plan(trials=1).trials[0]
+        specs = [
+            replace(base, setup_seed=seed)
+            for seed in range(_SUITE_CACHE_MAX + 1)
+        ]
+        for spec in specs[:_SUITE_CACHE_MAX]:
+            _suite_for(spec)
+        _suite_for(specs[0])  # re-touch the oldest...
+        _suite_for(specs[-1])  # ...so this eviction hits specs[1] instead
+        assert specs[0].suite_key in _SUITE_CACHE
+        assert specs[1].suite_key not in _SUITE_CACHE
+
+    def test_eviction_does_not_change_results(self):
+        # Dealing is deterministic in setup_seed, so an evicted suite
+        # re-deals bit-identically — eviction is invisible to trials.
+        clear_suite_cache()
+        plan = _plan(trials=2)
+        before = ParallelRunner(workers=1).run(plan).results
+        for seed in range(1, _SUITE_CACHE_MAX + 2):
+            _suite_for(replace(plan.trials[0], setup_seed=seed))
+        assert plan.trials[0].suite_key not in _SUITE_CACHE  # evicted
+        assert ParallelRunner(workers=1).run(plan).results == before
+
+    def test_clear_suite_cache(self):
+        _suite_for(_plan(trials=1).trials[0])
+        assert _SUITE_CACHE
+        clear_suite_cache()
+        assert not _SUITE_CACHE
+
+
+class TestStreamingAndFailures:
+    def test_run_iter_serial_streams_in_plan_order(self):
+        plan = _plan(trials=4)
+        pairs = list(ParallelRunner(workers=1).run_iter(plan))
+        assert [index for index, _result in pairs] == [0, 1, 2, 3]
+        assert pairs == list(enumerate(ParallelRunner(workers=1).run(plan).results))
+
+    def test_run_iter_parallel_covers_plan_reassembles_to_run(self):
+        plan = _plan(trials=7)
+        runner = ParallelRunner(workers=2, chunk_size=2)
+        collected = {}
+        for index, result in runner.run_iter(plan):
+            collected[index] = result
+        assert sorted(collected) == list(range(7))
+        assert [collected[i] for i in range(7)] == runner.run(plan).results
+
+    def test_worker_failure_propagates(self):
+        # An unregistered protocol raises inside the worker; the runner
+        # must surface it, not swallow it behind missing results.
+        bad = replace(_plan(trials=1).trials[0], protocol="no_such_protocol")
+        plan = TrialPlan(name="poisoned", trials=(bad,) * 4)
+        with pytest.raises(KeyError, match="no_such_protocol"):
+            ParallelRunner(workers=2, chunk_size=1).run(plan)
+
+    def test_early_failure_cancels_outstanding_chunks(self, tmp_path):
+        # The failing chunk is FIRST; every later chunk is slow and
+        # drops a marker file when it runs.  With submission-order
+        # result consumption the error surfaced only after every slow
+        # chunk ran to completion; with as_completed + cancellation the
+        # queued chunks never execute at all.
+        register_protocol("test_slow_marker", _slow_marker_builder)
+        good = replace(
+            _plan(trials=1).trials[0],
+            protocol="test_slow_marker",
+            params={"marker_dir": str(tmp_path), "delay": 0.05},
+        )
+        bad = replace(good, protocol="no_such_protocol", params={})
+        plan = TrialPlan(name="fail-fast", trials=(bad,) + (good,) * 40)
+        with pytest.raises(KeyError, match="no_such_protocol"):
+            ParallelRunner(workers=2, chunk_size=1).run(plan)
+        # At most the chunks already in flight when the failure landed
+        # ran; the other ~40 were cancelled on the spot.
+        markers = list(tmp_path.iterdir())
+        assert len(markers) < 20, f"{len(markers)} slow chunks ran after failure"
+
+
+def _slow_marker_builder(marker_dir, delay):
+    """Builder for a deliberately slow protocol that logs its execution.
+
+    Runs in the worker process (registry inherited via fork); the marker
+    file is the evidence a cancelled chunk would have left behind.
+    """
+    import os
+    import time as _time
+    import uuid
+
+    _time.sleep(delay)
+    with open(os.path.join(marker_dir, uuid.uuid4().hex), "w"):
+        pass
+    return lambda ctx, bit: ba_one_third_program(ctx, bit, 1)
