@@ -17,10 +17,15 @@ bench:
 # Fast engine sanity sweep: serial-vs-parallel bit-identity, timings,
 # and the adaptive leg (early-stopping verdicts checked against the
 # fixed run; nonzero exit on mismatch).  REPRO_BENCH_WORKERS overrides
-# the worker count (default 2).
+# the worker count (default 2; clamped to the CPUs present).  The second
+# line is the real-backend smoke: one tiny threshold-RSA sweep (small
+# modulus) exercising pre-dealt key broadcast end to end.
 bench-quick:
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
 		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive
+	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
+		--kappas 1 --trials 3 --protocol one_third \
+		--workers $${REPRO_BENCH_WORKERS:-2}
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

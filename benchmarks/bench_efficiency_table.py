@@ -8,6 +8,11 @@ Paper claim: for target error 2^-κ (assuming a 1-round coin),
 This benchmark *runs* all four protocols in the simulator, counts actual
 communication rounds, and asserts they equal the paper's closed forms; the
 deterministic Dolev–Strong yardstick (t+1 rounds) is printed alongside.
+
+Execution goes through the experiment engine (hand-built
+:class:`~repro.engine.plan.TrialSpec`s with the legacy seeds/sessions, so
+every measured number is bit-identical to the old serial loop) — set
+``REPRO_BENCH_WORKERS`` to fan the κ-sweep across processes.
 """
 
 from __future__ import annotations
@@ -16,42 +21,53 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.analysis.theory import rounds_for_error
-from repro.core.ba import ba_one_half_program, ba_one_third_program
-from repro.core.dolev_strong import dolev_strong_ba_program
-from repro.core.feldman_micali import feldman_micali_program
-from repro.core.micali_vaikuntanathan import micali_vaikuntanathan_program
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 KAPPAS = [2, 4, 8, 16]
 INPUTS_13 = [1, 0, 1, 0]        # n = 4, t = 1  (t < n/3)
 INPUTS_12 = [1, 0, 1, 0, 1]     # n = 5, t = 2  (t < n/2)
 
 
-def measured_rounds(kappa):
-    ours13 = run(
-        lambda c, b: ba_one_third_program(c, b, kappa), INPUTS_13, 1,
-        session=f"eff13-{kappa}",
-    ).metrics.rounds
-    fm = run(
-        lambda c, b: feldman_micali_program(c, b, kappa), INPUTS_13, 1,
-        session=f"efffm-{kappa}",
-    ).metrics.rounds
-    ours12 = run(
-        lambda c, b: ba_one_half_program(c, b, kappa), INPUTS_12, 2,
-        session=f"eff12-{kappa}",
-    ).metrics.rounds
-    mv = run(
-        lambda c, b: micali_vaikuntanathan_program(c, b, kappa), INPUTS_12, 2,
-        session=f"effmv-{kappa}",
-    ).metrics.rounds
+def _specs_for(kappa):
+    return [
+        engine_spec(
+            "ba_one_third", INPUTS_13, 1,
+            params={"kappa": kappa}, session=f"eff13-{kappa}",
+        ),
+        engine_spec(
+            "feldman_micali", INPUTS_13, 1,
+            params={"kappa": kappa}, session=f"efffm-{kappa}",
+        ),
+        engine_spec(
+            "ba_one_half", INPUTS_12, 2,
+            params={"kappa": kappa}, session=f"eff12-{kappa}",
+        ),
+        engine_spec(
+            "micali_vaikuntanathan", INPUTS_12, 2,
+            params={"kappa": kappa}, session=f"effmv-{kappa}",
+        ),
+    ]
+
+
+def _rounds(results):
+    ours13, fm, ours12, mv = (result.metrics.rounds for result in results)
     return {"ours13": ours13, "fm": fm, "ours12": ours12, "mv": mv}
 
 
+def measured_rounds(kappa):
+    return _rounds(run_plan(f"eff-k{kappa}", _specs_for(kappa)))
+
+
 def test_efficiency_table(benchmark, report_sink):
+    # One plan for the whole κ-sweep: 4 protocols × len(KAPPAS) specs,
+    # fanned across REPRO_BENCH_WORKERS processes when set.
+    results = run_plan(
+        "eff-sweep", [spec for kappa in KAPPAS for spec in _specs_for(kappa)]
+    )
     rows = []
-    for kappa in KAPPAS:
-        measured = measured_rounds(kappa)
+    for position, kappa in enumerate(KAPPAS):
+        measured = _rounds(results[position * 4 : position * 4 + 4])
         expected = {
             "ours13": rounds_for_error("ours_one_third", kappa),
             "fm": rounds_for_error("feldman_micali", kappa),
@@ -73,9 +89,9 @@ def test_efficiency_table(benchmark, report_sink):
                 f"{measured['mv'] / measured['ours12']:.2f}x",
             ]
         )
-    dolev_strong = run(
-        lambda c, v: dolev_strong_ba_program(c, v), INPUTS_13, 1, session="effds"
-    ).metrics.rounds
+    dolev_strong = run_plan(
+        "eff-ds", [engine_spec("dolev_strong", INPUTS_13, 1, session="effds")]
+    )[0].metrics.rounds
     report_sink.append(
         "\nTAB-EFF  rounds to reach error 2^-kappa - measured (paper)\n"
         + format_table(

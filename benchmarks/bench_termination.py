@@ -10,31 +10,39 @@ building blocks.  Both facts are measured here:
 * a grade-splitting adversary makes its honest parties *halt in different
   rounds*, while every fixed-round protocol in the repository finishes all
   honest parties in the same round, every time.
+
+Execution goes through the experiment engine (hand-built
+:class:`~repro.engine.plan.TrialSpec`s with the legacy seeds/sessions, so
+every measured number is bit-identical to the old serial loop) — set
+``REPRO_BENCH_WORKERS`` to fan the 40-seed sweep across processes.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary.termination import GradeSplitAdversary
 from repro.analysis.report import format_table
-from repro.core.ba import ba_one_third_program
-from repro.core.probabilistic import fm_probabilistic_program
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 TRIALS = 40
 
 
 def test_expected_iterations_are_constant(benchmark, report_sink):
     def measure():
+        results = run_plan(
+            "term-lv",
+            [
+                engine_spec(
+                    "fm_probabilistic", [0, 1, 0, 1], 1,
+                    seed=seed, session=f"te{seed}",
+                )
+                for seed in range(TRIALS)
+            ],
+        )
         iterations = []
         rounds = []
-        for seed in range(TRIALS):
-            res = run(
-                lambda c, b: fm_probabilistic_program(c, b),
-                [0, 1, 0, 1], 1, seed=seed, session=f"te{seed}",
-            )
+        for res in results:
             assert res.honest_agree()
             iterations.extend(
                 o.decided_iteration for o in res.honest_outputs.values()
@@ -53,21 +61,32 @@ def test_expected_iterations_are_constant(benchmark, report_sink):
 
 def test_termination_spread_vs_fixed_round(benchmark, report_sink):
     def measure():
-        # Fixed-round: everyone halts together, always.
-        fixed_spreads = set()
-        for seed in range(10):
-            res = run(
-                lambda c, b: ba_one_third_program(c, b, kappa=6),
-                [0, 1, 0, 1], 1, seed=seed, session=f"tf{seed}",
+        # Fixed-round: everyone halts together, always.  One plan runs
+        # the ten seeds plus the grade-split attack trial.
+        specs = [
+            engine_spec(
+                "ba_one_third", [0, 1, 0, 1], 1,
+                params={"kappa": 6}, seed=seed, session=f"tf{seed}",
             )
+            for seed in range(10)
+        ]
+        # Las-Vegas + grade-split adversary: one-iteration halting spread.
+        specs.append(
+            engine_spec(
+                "fm_probabilistic", [0, 0, 1, 0], 1,
+                adversary="grade_split",
+                adversary_params={
+                    "victims": (3,), "target": 0, "boost_value": 0,
+                },
+                session="tspread",
+            )
+        )
+        results = run_plan("term-spread", specs)
+        fixed_spreads = set()
+        for res in results[:10]:
             finish = [res.finish_rounds[p] for p in res.honest_parties]
             fixed_spreads.add(max(finish) - min(finish))
-        # Las-Vegas + grade-split adversary: one-iteration halting spread.
-        adversary = GradeSplitAdversary(victims=[3], target=0, boost_value=0)
-        res = run(
-            lambda c, b: fm_probabilistic_program(c, b),
-            [0, 0, 1, 0], 1, adversary=adversary, session="tspread",
-        )
+        res = results[10]
         finish = [res.finish_rounds[p] for p in res.honest_parties]
         return fixed_spreads, max(finish) - min(finish), res.honest_agree()
 

@@ -33,7 +33,12 @@ def bench_workers(default: int = 1) -> int:
     An empty, non-numeric or non-positive value falls back to
     ``default`` with a warning instead of raising — a stray environment
     variable must never abort collection of the whole benchmark suite.
+    A value above ``os.cpu_count()`` is clamped (extra processes on a
+    saturated machine only add scheduling overhead; the clamp is logged
+    by :func:`repro.engine.clamp_workers`).
     """
+    from repro.engine import clamp_workers
+
     raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
     if not raw:
         return default
@@ -51,7 +56,7 @@ def bench_workers(default: int = 1) -> int:
             f"using {default} worker(s)"
         )
         return default
-    return value
+    return clamp_workers(value)
 
 
 def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
@@ -61,6 +66,64 @@ def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
             num_parties, max_faulty, random.Random(0xBE7C4 + num_parties * 31 + max_faulty)
         )
     return _SUITE_CACHE[key]
+
+
+def legacy_setup_seed(num_parties: int, max_faulty: int) -> int:
+    """The engine ``setup_seed`` that reproduces :func:`ideal_suite`.
+
+    The engine deals from ``random.Random(setup_seed + 0x5E7)`` (the
+    ``ExperimentSetup`` convention); this offsets the legacy benchmark
+    dealing seed so an engine trial sees bit-identical key material to a
+    ``run()`` call at the same ``(n, t)`` — which is what lets benchmark
+    modules migrate onto :class:`~repro.engine.plan.TrialPlan` without
+    a single measured number changing.
+    """
+    return 0xBE7C4 + num_parties * 31 + max_faulty - 0x5E7
+
+
+def engine_spec(
+    protocol,
+    inputs,
+    max_faulty,
+    params=None,
+    adversary=None,
+    adversary_params=None,
+    seed=0,
+    session="bench",
+):
+    """A :class:`TrialSpec` matching a legacy ``run()`` call exactly.
+
+    Seed, session and (via :func:`legacy_setup_seed`) key material all
+    line up with the historical serial harness, so results are
+    bit-identical — the only thing that changes is that a batch of specs
+    can fan out across ``REPRO_BENCH_WORKERS`` processes.
+    """
+    from repro.engine import TrialSpec
+
+    return TrialSpec(
+        protocol=protocol,
+        inputs=tuple(inputs),
+        max_faulty=max_faulty,
+        params=params,
+        adversary=adversary,
+        adversary_params=adversary_params,
+        seed=seed,
+        session=session,
+        setup_seed=legacy_setup_seed(len(inputs), max_faulty),
+    )
+
+
+def run_plan(name, specs):
+    """Execute hand-built specs through the engine; results in order.
+
+    Worker count comes from :func:`bench_workers`, so
+    ``REPRO_BENCH_WORKERS`` accelerates every migrated benchmark; with
+    the default single worker this is exactly the legacy serial loop.
+    """
+    from repro.engine import ParallelRunner, TrialPlan
+
+    plan = TrialPlan(name=name, trials=tuple(specs))
+    return ParallelRunner(workers=bench_workers()).run(plan).results
 
 
 def run(factory, inputs, max_faulty, adversary=None, seed=0, session="bench"):

@@ -207,8 +207,18 @@ def _cmd_error_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_sweep_plan(args: argparse.Namespace, trials: Optional[int] = None):
-    """The error-probability sweep as one engine plan (see `bench`)."""
+def _build_sweep_plan(
+    args: argparse.Namespace,
+    trials: Optional[int] = None,
+    kappas: Optional[List[int]] = None,
+    collect_signatures: bool = False,
+):
+    """The error-probability sweep as one engine plan (see `bench`).
+
+    ``collect_signatures`` defaults off — disagreement rates don't need
+    signature tallies, so the per-payload walk stays off the hot path —
+    and is flipped on for the signature-heavy payload-measurement slice.
+    """
     from .engine import TrialPlan
 
     configs = []
@@ -222,7 +232,7 @@ def _build_sweep_plan(args: argparse.Namespace, trials: Optional[int] = None):
         )
     plans = []
     for protocol, inputs, max_faulty, adversary, adversary_params in configs:
-        for kappa in args.kappas:
+        for kappa in kappas if kappas is not None else args.kappas:
             plans.append(
                 TrialPlan.monte_carlo(
                     name=f"{protocol}-k{kappa}",
@@ -234,9 +244,9 @@ def _build_sweep_plan(args: argparse.Namespace, trials: Optional[int] = None):
                     adversary=adversary,
                     adversary_params=adversary_params,
                     seed=args.seed + kappa,
-                    # Disagreement rates don't need signature tallies:
-                    # skip the per-payload walk on this hot path.
-                    collect_signatures=False,
+                    backend=args.backend,
+                    rsa_bits=args.rsa_bits,
+                    collect_signatures=collect_signatures,
                 )
             )
     return TrialPlan.concat(f"error-sweep-{args.protocol}", plans)
@@ -264,7 +274,7 @@ def _sweep_bounds(plan, expression: str) -> dict:
     return {name: value for name in plan.configs()}
 
 
-def _run_adaptive_leg(args: argparse.Namespace, serial) -> dict:
+def _run_adaptive_leg(args: argparse.Namespace, serial, workers: int) -> dict:
     """The ``--adaptive`` leg of `bench`: early-stopping vs fixed budget.
 
     Runs the same sweep through :class:`AdaptiveRunner` with a total
@@ -279,7 +289,7 @@ def _run_adaptive_leg(args: argparse.Namespace, serial) -> dict:
     plan = _build_sweep_plan(args, trials=cap)
     bounds = _sweep_bounds(plan, args.bound)
     budget = args.trials * len(plan.configs())
-    runner = AdaptiveRunner(workers=args.workers, batch_size=args.batch)
+    runner = AdaptiveRunner(workers=workers, batch_size=args.batch)
     adaptive = runner.run(plan, bounds, budget=budget)
 
     # Fixed-budget verdicts: the same classifier fed the full counts.
@@ -363,12 +373,80 @@ def _run_adaptive_leg(args: argparse.Namespace, serial) -> dict:
     }
 
 
+def _measure_real_setup(plan, workers: int) -> Optional[dict]:
+    """Time threshold-RSA dealing for a real-backend plan, two ways.
+
+    ``serial``: each distinct suite dealt one after another, fresh — the
+    per-process cost every pool worker used to pay on first touch.
+    ``parallel``: :func:`repro.engine.predeal_suites` — deal once in the
+    parent (fanning distinct keys across a dealing pool when several are
+    missing), then broadcast; what the runners now actually do.  The
+    suites stay cached afterwards, so the measured runs that follow
+    reuse them.  Returns ``None`` for plans with no real-backend trials.
+    """
+    import time
+
+    from .engine import clear_suite_cache, deal_suite, predeal_suites
+
+    keys = []
+    for spec in plan.trials:
+        if spec.backend == "real" and spec.suite_key not in keys:
+            keys.append(spec.suite_key)
+    if not keys:
+        return None
+    clear_suite_cache()
+    started = time.perf_counter()
+    for key in keys:
+        deal_suite(key)
+    serial_seconds = time.perf_counter() - started
+    clear_suite_cache()
+    started = time.perf_counter()
+    predeal_suites(plan, workers)
+    parallel_seconds = time.perf_counter() - started
+    return {
+        "suites": len(keys),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+    }
+
+
+def _measure_payloads(args: argparse.Namespace, workers: int) -> dict:
+    """Size both wire formats on a signature-heavy slice of the sweep.
+
+    The rate sweep itself runs with signature collection off (tallies
+    are dead weight there), so the payload comparison runs the max-κ
+    configs with ``collect_signatures=True`` — the metrics-dominated
+    payload shape the compact transport exists for — chunked exactly as
+    a pool at ``workers`` processes would ship them.
+    """
+    from .engine import ParallelRunner, measure_payload_bytes
+
+    plan = _build_sweep_plan(
+        args,
+        trials=min(args.trials, 100),
+        kappas=[max(args.kappas)],
+        collect_signatures=True,
+    )
+    results = ParallelRunner(workers=1).run(plan).results
+    chunk_size = max(1, len(plan) // (max(workers, 2) * 4))
+    full, compact = measure_payload_bytes(
+        list(enumerate(results)), chunk_size=chunk_size
+    )
+    return {
+        "plan": plan.describe(),
+        "chunk_size": chunk_size,
+        "payload_bytes_full": full,
+        "payload_bytes_compact": compact,
+        "payload_reduction": round(full / compact, 3),
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import os
 
     from .crypto.ideal import set_tag_memoization
-    from .engine import ParallelRunner
+    from .engine import ParallelRunner, clamp_workers
 
     plan = _build_sweep_plan(args)
     per_config = args.trials
@@ -376,10 +454,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("nothing to run: --kappas is empty")
         return 2
 
+    requested = args.workers
+    workers = clamp_workers(requested)
+    clamped = requested is not None and workers != requested
+    if clamped:
+        print(
+            f"workers: requested {requested}, clamped to {workers} "
+            f"(cpu_count={os.cpu_count()})"
+            + ("; parallel leg skipped, serial path only" if workers == 1 else "")
+        )
+    elif requested is None:
+        print(f"workers: auto -> {workers} (cpu_count={os.cpu_count()})")
+
+    setup_timing = _measure_real_setup(plan, workers)
     serial = ParallelRunner(workers=1).run(plan)
     parallel = None
-    if args.workers > 1:
-        parallel = ParallelRunner(workers=args.workers).run(plan)
+    if workers > 1:
+        parallel = ParallelRunner(workers=workers).run(plan)
         if parallel.results != serial.results:
             print("DETERMINISM VIOLATION: parallel results differ from serial")
             return 2
@@ -417,7 +508,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     timings = [("engine serial (1 worker)", serial.wall_seconds)]
     if parallel is not None:
         timings.append(
-            (f"engine parallel ({args.workers} workers)", parallel.wall_seconds)
+            (f"engine parallel ({workers} workers)", parallel.wall_seconds)
         )
     if baseline is not None:
         timings.insert(0, ("pre-engine baseline (serial)", baseline.wall_seconds))
@@ -434,18 +525,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"{'best vs baseline':32s}: {baseline.wall_seconds / best:8.2f}x")
     if parallel is not None and parallel.results == serial.results:
         print(f"{'serial == parallel':32s}:       OK (bit-identical)")
+    if setup_timing is not None:
+        print(
+            f"{'real setup serial':32s}: "
+            f"{setup_timing['serial_seconds']:8.3f}s "
+            f"({setup_timing['suites']} suites, dealt one by one)"
+        )
+        print(
+            f"{'real setup pre-dealt':32s}: "
+            f"{setup_timing['parallel_seconds']:8.3f}s "
+            f"(once per run, broadcast to workers)"
+        )
+
+    payloads = _measure_payloads(args, workers)
+    print(
+        f"{'payload full pickle':32s}: {payloads['payload_bytes_full']:8d} B"
+    )
+    print(
+        f"{'payload compact':32s}: {payloads['payload_bytes_compact']:8d} B "
+        f"({payloads['payload_reduction']:.2f}x smaller, "
+        f"signature-heavy k={max(args.kappas)} slice)"
+    )
 
     adaptive_payload = None
     if args.adaptive:
-        adaptive_payload = _run_adaptive_leg(args, serial)
+        adaptive_payload = _run_adaptive_leg(args, serial, workers)
 
     if args.json:
         payload = {
             "plan": plan.describe(),
             "trials_per_config": per_config,
             "kappas": list(args.kappas),
-            "workers": args.workers,
+            "backend": args.backend,
+            "rsa_bits": args.rsa_bits,
+            "workers": workers,
+            "workers_requested": requested,
+            "workers_clamped": clamped,
             "cpu_count": os.cpu_count(),
+            "transport": "compact",
             "chunk_size": parallel.chunk_size if parallel else None,
             "serial_seconds": round(serial.wall_seconds, 4),
             "parallel_seconds": (
@@ -473,6 +590,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ),
             "identical_serial_parallel": (
                 parallel.results == serial.results if parallel else None
+            ),
+            "payload_bytes_full": payloads["payload_bytes_full"],
+            "payload_bytes_compact": payloads["payload_bytes_compact"],
+            "payload_reduction": payloads["payload_reduction"],
+            "payload_plan": payloads["plan"],
+            "payload_chunk_size": payloads["chunk_size"],
+            "real_setup_serial_seconds": (
+                setup_timing["serial_seconds"] if setup_timing else None
+            ),
+            "real_setup_parallel_seconds": (
+                setup_timing["parallel_seconds"] if setup_timing else None
+            ),
+            "real_setup_suites": (
+                setup_timing["suites"] if setup_timing else None
             ),
             "rates": [
                 {
@@ -602,8 +733,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--trials", type=_positive_int, default=300)
     bench_parser.add_argument(
-        "--workers", type=_positive_int, default=4,
-        help="process count for the parallel leg (1 = serial only)",
+        "--workers", type=_positive_int, default=None,
+        help="process count for the parallel leg (1 = serial only; "
+        "default: auto, clamped to os.cpu_count())",
+    )
+    bench_parser.add_argument(
+        "--backend", choices=["ideal", "real"], default="ideal",
+        help="crypto backend for the sweep: 'real' deals threshold-RSA "
+        "keys (pre-dealt once and broadcast to workers)",
+    )
+    bench_parser.add_argument(
+        "--rsa-bits", type=int, default=256, metavar="BITS",
+        help="modulus size for --backend real (>= 64; small values keep "
+        "smoke runs fast)",
     )
     bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument(

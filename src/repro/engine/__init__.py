@@ -19,24 +19,34 @@ from .registry import (
 from .runner import (
     ParallelRunner,
     PlanResult,
+    clamp_workers,
     clear_suite_cache,
+    deal_suite,
     default_workers,
+    predeal_suites,
     run_trial,
 )
+from .transport import ChunkSummary, TrialSummary, measure_payload_bytes
 
 __all__ = [
     "AdaptiveResult",
     "AdaptiveRunner",
+    "ChunkSummary",
     "ConfigOutcome",
     "ParallelRunner",
     "PlanResult",
     "TrialPlan",
     "TrialSpec",
+    "TrialSummary",
     "adversary_names",
+    "clamp_workers",
     "clear_suite_cache",
+    "deal_suite",
     "default_workers",
     "derive_trial_seed",
     "derive_trial_session",
+    "measure_payload_bytes",
+    "predeal_suites",
     "protocol_names",
     "register_adversary",
     "register_protocol",

@@ -51,7 +51,7 @@ from typing import (
 from ..analysis.stats import _Z995, SequentialEstimate
 from ..network.simulator import ExecutionResult
 from .plan import TrialPlan, TrialSpec
-from .runner import _run_chunk, run_trial
+from .runner import _run_chunk, _seed_suite_cache, predeal_suites, run_trial
 
 __all__ = ["AdaptiveRunner", "AdaptiveResult", "ConfigOutcome"]
 
@@ -151,6 +151,11 @@ class AdaptiveRunner:
         ``False`` disables the separation predicate entirely: every
         config runs until its cap or the budget, which (budget
         permitting) reproduces ``ParallelRunner`` byte-for-byte.
+    transport:
+        What pool workers send back: ``"compact"`` (default) ships one
+        packed :class:`~repro.engine.transport.ChunkSummary` per batch,
+        rebuilt losslessly on the parent side; ``"pickle"`` ships the
+        full ``ExecutionResult`` trees (legacy payload, benchmarking).
     min_trials / min_hits / precision / z:
         Forwarded to each config's :class:`SequentialEstimate`.  The
         defaults are deliberately more conservative than the reporting
@@ -172,11 +177,16 @@ class AdaptiveRunner:
         min_hits: int = 5,
         precision: Optional[float] = None,
         z: float = _Z995,
+        transport: str = "compact",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if transport not in ("compact", "pickle"):
+            raise ValueError(
+                f"transport must be 'compact' or 'pickle', got {transport!r}"
+            )
         self.workers = workers
         self.batch_size = batch_size
         self.early_stop = early_stop
@@ -184,6 +194,7 @@ class AdaptiveRunner:
         self.min_hits = min_hits
         self.precision = precision
         self.z = z
+        self.transport = transport
 
     def run(
         self,
@@ -228,7 +239,13 @@ class AdaptiveRunner:
 
         pool: Optional[ProcessPoolExecutor] = None
         if self.workers > 1:
-            pool = ProcessPoolExecutor(max_workers=self.workers)
+            # Pre-deal real-backend suites once and broadcast them, so
+            # pool workers never repeat threshold-RSA setup per process.
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_seed_suite_cache,
+                initargs=(predeal_suites(plan, self.workers),),
+            )
         try:
             while True:
                 allocations = self._allocate(
@@ -335,13 +352,19 @@ class AdaptiveRunner:
                 for index, spec in batch:
                     yield index, run_trial(spec)
             return
+        compact = self.transport == "compact"
+        specs = {index: spec for batch in batches for index, spec in batch}
         futures = [
-            pool.submit(_run_chunk, list(batch), False) for batch in batches
+            pool.submit(_run_chunk, list(batch), False, compact)
+            for batch in batches
         ]
         try:
             for future in as_completed(futures):
-                for index, result in future.result():
-                    yield index, result
+                if compact:
+                    yield from future.result().unpack(specs)
+                else:
+                    for index, result in future.result():
+                        yield index, result
         except BaseException:
             for future in futures:
                 future.cancel()

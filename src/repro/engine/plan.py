@@ -119,6 +119,9 @@ class TrialSpec:
     max_rounds: int = 4096
     collect_signatures: bool = True
     config: str = ""
+    # Modulus size for backend="real" threshold-RSA dealing.  Part of
+    # suite_key: suites dealt at different sizes are different keys.
+    rsa_bits: int = 256
 
     def __post_init__(self) -> None:
         if not isinstance(self.inputs, tuple):
@@ -131,6 +134,10 @@ class TrialSpec:
         )
         if self.backend not in ("ideal", "real"):
             raise ValueError(f"unknown crypto backend {self.backend!r}")
+        if self.backend == "real" and self.rsa_bits < 64:
+            raise ValueError(
+                f"real backend needs rsa_bits >= 64, got {self.rsa_bits}"
+            )
         if not (0 <= self.max_faulty < len(self.inputs)):
             raise ValueError(
                 f"need 0 <= t < n, got t={self.max_faulty}, n={len(self.inputs)}"
@@ -149,10 +156,17 @@ class TrialSpec:
         return dict(self.adversary_params)
 
     @property
-    def suite_key(self) -> Tuple[str, int, int, int]:
+    def suite_key(self) -> Tuple[str, int, int, int, int]:
         """Cache key for dealt key material — all trials sharing it reuse
-        one :class:`~repro.crypto.keys.CryptoSuite` per worker process."""
-        return (self.backend, self.num_parties, self.max_faulty, self.setup_seed)
+        one :class:`~repro.crypto.keys.CryptoSuite` per worker process.
+        :func:`repro.engine.runner.deal_suite` deals from this key alone."""
+        return (
+            self.backend,
+            self.num_parties,
+            self.max_faulty,
+            self.setup_seed,
+            self.rsa_bits,
+        )
 
     @property
     def config_key(self) -> str:
@@ -206,6 +220,7 @@ class TrialPlan:
         backend: str = "ideal",
         max_rounds: int = 4096,
         collect_signatures: bool = True,
+        rsa_bits: int = 256,
     ) -> "TrialPlan":
         """``trials`` independent repetitions of one configuration.
 
@@ -227,6 +242,7 @@ class TrialPlan:
             max_rounds=max_rounds,
             collect_signatures=collect_signatures,
             config=name,
+            rsa_bits=rsa_bits,
         )
         return cls(
             name=name,

@@ -31,6 +31,7 @@ from ..adversary.strategies import (
     MalformedAdversary,
     TwoFaceAdversary,
 )
+from ..adversary.termination import GradeSplitAdversary
 from ..core.ba import ba_one_half_program, ba_one_third_program
 from ..core.dolev_strong import dolev_strong_ba_program
 from ..core.feldman_micali import feldman_micali_program
@@ -38,6 +39,7 @@ from ..core.micali_vaikuntanathan import (
     micali_vaikuntanathan_program,
     mv_pki_program,
 )
+from ..core.probabilistic import fm_probabilistic_program
 from ..network.party import ProgramFactory
 from ..proxcensus.linear_half import prox_linear_half_program
 from ..proxcensus.one_third import prox_one_third_program
@@ -140,6 +142,10 @@ register_protocol(
     lambda: (lambda ctx, value: dolev_strong_ba_program(ctx, value)),
 )
 register_protocol(
+    "fm_probabilistic",
+    lambda: (lambda ctx, bit: fm_probabilistic_program(ctx, bit)),
+)
+register_protocol(
     "prox_one_third",
     lambda rounds: (
         lambda ctx, value: prox_one_third_program(ctx, value, rounds=rounds)
@@ -186,4 +192,10 @@ register_adversary(
 register_adversary(
     "two_face",
     lambda factory, victims: TwoFaceAdversary(list(victims), factory=factory),
+)
+register_adversary(
+    "grade_split",
+    lambda factory, victims, target=0, boost_value=0: GradeSplitAdversary(
+        list(victims), target=target, boost_value=boost_value
+    ),
 )

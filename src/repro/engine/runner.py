@@ -12,12 +12,24 @@ How that is kept true:
 
 * every per-trial random stream (party RNGs, adversary RNG) derives from
   ``spec.seed``, fixed at plan-build time;
-* key material derives from ``spec.setup_seed`` — each worker process
-  deals it locally (once, via a per-process cache keyed by
-  ``spec.suite_key``) instead of receiving pickled keys, because for the
-  real RSA backend dealing dominates runtime and for both backends the
-  derivation is deterministic;
+* key material derives from ``spec.setup_seed`` — dealing is a pure
+  function of ``spec.suite_key``, cached per process, so it does not
+  matter *where* a suite is dealt: a worker dealing on miss and the
+  parent pre-dealing produce bit-identical keys;
 * results are reassembled in plan order, whatever the completion order.
+
+Two overheads are kept off the critical path:
+
+* **IPC**: workers return one compact
+  :class:`~repro.engine.transport.ChunkSummary` per chunk (varint-packed
+  tallies and decisions) instead of pickled ``ExecutionResult`` trees;
+  the parent rebuilds the dataclasses losslessly
+  (``transport="pickle"`` restores the legacy payload for benchmarking).
+* **Setup**: for ``backend="real"`` plans the parent pre-deals each
+  distinct ``suite_key`` once — fanning distinct keys across a dealing
+  pool when there are several — and broadcasts the dealt suites to
+  workers through the pool initializer, so threshold-RSA setup no longer
+  repeats per worker process.
 
 Dispatch is chunked: contiguous runs of trials ship as one task so the
 per-task pickling/IPC overhead amortizes, with enough chunks per worker
@@ -29,26 +41,35 @@ is exactly the legacy serial harness.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..crypto.keys import CryptoSuite
 from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult, SyncSimulator
 from .plan import TrialPlan, TrialSpec
 from .registry import build_adversary, build_protocol_factory
+from .transport import ChunkSummary
 
 __all__ = [
     "ParallelRunner",
     "PlanResult",
     "run_trial",
+    "clamp_workers",
+    "deal_suite",
     "default_workers",
+    "predeal_suites",
     "clear_suite_cache",
 ]
+
+logger = logging.getLogger(__name__)
+
+SuiteKey = Tuple[str, int, int, int, int]
 
 
 def default_workers() -> int:
@@ -56,14 +77,43 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def clamp_workers(requested: Optional[int] = None) -> int:
+    """Clamp a requested worker count to the CPUs actually present.
+
+    ``None`` means "auto": use :func:`default_workers`.  A request above
+    ``os.cpu_count()`` is clamped down — extra processes on a saturated
+    machine are pure scheduling overhead (the committed 1-CPU benchmark
+    artifact measured a 0.79x "speedup" from a 4-process pool) — and the
+    decision is logged so sweeps record why the pool shrank.  On a 1-CPU
+    machine this returns 1, which makes the runner take the inline serial
+    path: no pool, no IPC, no overhead.
+    """
+    cpus = os.cpu_count() or 1
+    if requested is None:
+        return cpus
+    if requested < 1:
+        raise ValueError("need at least one worker")
+    if requested > cpus:
+        logger.info(
+            "clamping workers %d -> %d (cpu_count=%d): processes beyond the "
+            "CPU count are pure overhead%s",
+            requested,
+            cpus,
+            cpus,
+            "; falling back to the inline serial path" if cpus == 1 else "",
+        )
+        return cpus
+    return requested
+
+
 # Per-process cache of dealt key material.  Worker processes are reused
-# across chunks, so each (backend, n, t, setup_seed) combination is dealt
-# at most once per worker — for the real RSA backend this is the
+# across chunks, so each (backend, n, t, setup_seed, rsa_bits) combination
+# is dealt at most once per worker — for the real RSA backend this is the
 # difference between usable and useless parallelism.  The cache is a
 # small LRU: an n-sweep with the real backend visits many (n, t)
 # combinations, and pinning every dealt RSA suite for the life of a
 # long-lived worker process is a memory leak.
-_SUITE_CACHE: "OrderedDict[Tuple[str, int, int, int], CryptoSuite]" = OrderedDict()
+_SUITE_CACHE: "OrderedDict[SuiteKey, CryptoSuite]" = OrderedDict()
 _SUITE_CACHE_MAX = 8
 
 
@@ -72,23 +122,91 @@ def clear_suite_cache() -> None:
     _SUITE_CACHE.clear()
 
 
-def _suite_for(spec: TrialSpec) -> CryptoSuite:
+def deal_suite(suite_key: SuiteKey) -> CryptoSuite:
+    """Deal the key material for one ``TrialSpec.suite_key``, uncached.
+
+    Pure function of the key — the same derivation whether it runs in a
+    worker on cache miss, in the parent for a pre-dealt broadcast, or in
+    a dealing-pool task — which is what keeps every execution path
+    bit-identical.
+    """
     import random
 
+    backend, num_parties, max_faulty, setup_seed, rsa_bits = suite_key
+    rng = random.Random(setup_seed + 0x5E7)
+    if backend == "real":
+        return CryptoSuite.real(num_parties, max_faulty, rng, bits=rsa_bits)
+    return CryptoSuite.ideal(num_parties, max_faulty, rng)
+
+
+def _cache_suite(key: SuiteKey, suite: CryptoSuite) -> None:
+    """Insert one dealt suite, evicting LRU entries past the bound."""
+    _SUITE_CACHE[key] = suite
+    _SUITE_CACHE.move_to_end(key)
+    while len(_SUITE_CACHE) > _SUITE_CACHE_MAX:
+        _SUITE_CACHE.popitem(last=False)
+
+
+def _suite_for(spec: TrialSpec) -> CryptoSuite:
     key = spec.suite_key
     suite = _SUITE_CACHE.get(key)
     if suite is not None:
         _SUITE_CACHE.move_to_end(key)
         return suite
-    rng = random.Random(spec.setup_seed + 0x5E7)
-    if spec.backend == "real":
-        suite = CryptoSuite.real(spec.num_parties, spec.max_faulty, rng)
-    else:
-        suite = CryptoSuite.ideal(spec.num_parties, spec.max_faulty, rng)
-    _SUITE_CACHE[key] = suite
-    while len(_SUITE_CACHE) > _SUITE_CACHE_MAX:
-        _SUITE_CACHE.popitem(last=False)
+    suite = deal_suite(key)
+    _cache_suite(key, suite)
     return suite
+
+
+def _seed_suite_cache(dealt: Sequence[Tuple[SuiteKey, CryptoSuite]]) -> None:
+    """Pool-worker initializer: preload pre-dealt key material.
+
+    Runs once per worker process before any chunk; the broadcast suites
+    land in the ordinary per-process cache, so chunk execution is
+    oblivious to whether a suite was pre-dealt or dealt on miss (a miss
+    — e.g. after LRU eviction — re-deals bit-identically).
+    """
+    for key, suite in dealt:
+        _cache_suite(key, suite)
+
+
+def predeal_suites(
+    plan: TrialPlan, workers: int = 1
+) -> List[Tuple[SuiteKey, CryptoSuite]]:
+    """Deal every distinct real-backend suite the plan needs, once.
+
+    Ideal-backend suites are microseconds to deal and are left to the
+    workers; real (threshold-RSA) suites are the setup bottleneck, so
+    each distinct ``suite_key`` is dealt exactly once here — reusing the
+    parent's cache when warm, fanning *distinct keys* across a dealing
+    pool when there are several and ``workers`` allows — and the dealt
+    material is returned for broadcast through the pool initializer.
+    Dealing in the parent versus in a pool task is indistinguishable in
+    the results: :func:`deal_suite` is a pure function of the key.
+    """
+    keys: List[SuiteKey] = []
+    for spec in plan.trials:
+        if spec.backend == "real" and spec.suite_key not in keys:
+            keys.append(spec.suite_key)
+    if not keys:
+        return []
+
+    dealt: "OrderedDict[SuiteKey, Optional[CryptoSuite]]" = OrderedDict()
+    for key in keys:
+        dealt[key] = _SUITE_CACHE.get(key)
+    missing = [key for key, suite in dealt.items() if suite is None]
+    if len(missing) > 1 and workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(missing))
+        ) as dealing_pool:
+            for key, suite in zip(missing, dealing_pool.map(deal_suite, missing)):
+                dealt[key] = suite
+    else:
+        for key in missing:
+            dealt[key] = deal_suite(key)
+    for key, suite in dealt.items():
+        _cache_suite(key, suite)
+    return [(key, suite) for key, suite in dealt.items()]
 
 
 def run_trial(spec: TrialSpec, legacy_metrics: bool = False) -> ExecutionResult:
@@ -110,10 +228,21 @@ def run_trial(spec: TrialSpec, legacy_metrics: bool = False) -> ExecutionResult:
 
 
 def _run_chunk(
-    chunk: Sequence[Tuple[int, TrialSpec]], legacy_metrics: bool
-) -> List[Tuple[int, ExecutionResult]]:
-    """Worker entry point: run a contiguous slice of the plan."""
-    return [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
+    chunk: Sequence[Tuple[int, TrialSpec]],
+    legacy_metrics: bool,
+    compact: bool = False,
+) -> Union[List[Tuple[int, ExecutionResult]], ChunkSummary]:
+    """Worker entry point: run a contiguous slice of the plan.
+
+    With ``compact`` the whole chunk returns as one packed
+    :class:`ChunkSummary` — the parent rebuilds the ``ExecutionResult``
+    trees from the specs it already holds, so only tallies and decisions
+    cross the pipe.
+    """
+    pairs = [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
+    if compact:
+        return ChunkSummary.pack(pairs)
+    return pairs
 
 
 @dataclass
@@ -125,6 +254,7 @@ class PlanResult:
     workers: int
     wall_seconds: float
     chunk_size: int = 1
+    transport: str = "compact"
 
     def __len__(self) -> int:
         return len(self.results)
@@ -156,7 +286,11 @@ class ParallelRunner:
     """Runs :class:`TrialPlan`s, serially or across worker processes.
 
     ``workers=1`` executes inline; ``workers>1`` fans chunks out over a
-    ``ProcessPoolExecutor``.  ``legacy_metrics=True`` selects the
+    ``ProcessPoolExecutor``.  ``transport`` selects what workers send
+    back: ``"compact"`` (default) ships one packed :class:`ChunkSummary`
+    per chunk, rebuilt losslessly on the parent side; ``"pickle"`` ships
+    the full ``ExecutionResult`` trees (the legacy payload, kept for
+    benchmarking the difference).  ``legacy_metrics=True`` selects the
     pre-optimization simulator metrics path (baseline benchmarking only).
     """
 
@@ -165,14 +299,20 @@ class ParallelRunner:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         legacy_metrics: bool = False,
+        transport: str = "compact",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if transport not in ("compact", "pickle"):
+            raise ValueError(
+                f"transport must be 'compact' or 'pickle', got {transport!r}"
+            )
         self.workers = workers
         self.chunk_size = chunk_size
         self.legacy_metrics = legacy_metrics
+        self.transport = transport
 
     def run(self, plan: TrialPlan) -> PlanResult:
         """Execute every trial; results return in plan order."""
@@ -186,6 +326,7 @@ class ParallelRunner:
                 results=results,
                 workers=1,
                 wall_seconds=time.perf_counter() - started,
+                transport=self.transport,
             )
 
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
@@ -201,6 +342,7 @@ class ParallelRunner:
             workers=self.workers,
             wall_seconds=time.perf_counter() - started,
             chunk_size=chunk_size,
+            transport=self.transport,
         )
 
     def run_iter(
@@ -236,17 +378,26 @@ class ParallelRunner:
             indexed[start : start + chunk_size]
             for start in range(0, len(indexed), chunk_size)
         ]
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        compact = self.transport == "compact"
+        dealt = predeal_suites(plan, self.workers)
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_seed_suite_cache,
+            initargs=(dealt,),
+        )
         futures = [
-            pool.submit(_run_chunk, chunk, self.legacy_metrics)
+            pool.submit(_run_chunk, chunk, self.legacy_metrics, compact)
             for chunk in chunks
         ]
         try:
             for future in as_completed(futures):
                 # .result() re-raises the first worker failure promptly;
                 # the finally block then cancels everything still queued.
-                for index, result in future.result():
-                    yield index, result
+                if compact:
+                    yield from future.result().unpack(plan.trials)
+                else:
+                    for index, result in future.result():
+                        yield index, result
         finally:
             for future in futures:
                 future.cancel()

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 __all__ = [
     "RoundStats",
@@ -181,6 +181,54 @@ class RunMetrics:
         for metrics in metrics_list:
             total.merge(metrics)
         return total
+
+    def as_tallies(self) -> Tuple[int, ...]:
+        """The per-round tallies as one flat tuple of ints.
+
+        Five ints per tallied round — ``(round_index, honest_messages,
+        corrupt_messages, honest_signatures, corrupt_signatures)`` — in
+        ``per_round`` insertion order (execution order).  Together with
+        :attr:`rounds` this is the *complete* state of a ``RunMetrics``,
+        which is what lets the engine's compact result transport
+        (:mod:`repro.engine.transport`) ship tallies across process
+        boundaries as packed ints instead of pickled dataclass trees.
+        :meth:`from_tallies` inverts it exactly.
+        """
+        flat: list = []
+        extend = flat.extend
+        for round_index, stats in self.per_round.items():
+            extend(
+                (
+                    round_index,
+                    stats.honest_messages,
+                    stats.corrupt_messages,
+                    stats.honest_signatures,
+                    stats.corrupt_signatures,
+                )
+            )
+        return tuple(flat)
+
+    @classmethod
+    def from_tallies(cls, rounds: int, tallies: Sequence[int]) -> "RunMetrics":
+        """Rebuild a ``RunMetrics`` from :meth:`as_tallies` output.
+
+        Lossless inverse of the pack: per-round entries are recreated in
+        the packed order, so the rebuilt object compares (and iterates)
+        exactly like the original.
+        """
+        if len(tallies) % 5:
+            raise ValueError(
+                f"tallies length must be a multiple of 5, got {len(tallies)}"
+            )
+        per_round: Dict[int, RoundStats] = {}
+        for at in range(0, len(tallies), 5):
+            per_round[tallies[at]] = RoundStats(
+                honest_messages=tallies[at + 1],
+                corrupt_messages=tallies[at + 2],
+                honest_signatures=tallies[at + 3],
+                corrupt_signatures=tallies[at + 4],
+            )
+        return cls(rounds=rounds, per_round=per_round)
 
     @property
     def honest_messages(self) -> int:

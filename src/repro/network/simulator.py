@@ -30,7 +30,17 @@ __all__ = ["ExecutionResult", "SyncSimulator", "run_protocol"]
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    Field contract (load-bearing for the engine's compact result
+    transport, :mod:`repro.engine.transport`, which packs and rebuilds
+    these objects across process boundaries): ``outputs`` and
+    ``finish_rounds`` are always recorded *together* — a party appears in
+    both or in neither — and a party that never terminates (e.g. a
+    corrupted program running past every honest finish) is simply
+    **absent** from both dicts, never mapped to ``None``.  ``inputs`` is
+    exactly ``dict(enumerate(inputs))`` for the inputs the run was given.
+    """
 
     outputs: Dict[int, Any]
     corrupted: Set[int]

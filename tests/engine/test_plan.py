@@ -63,7 +63,7 @@ class TestTrialSpec:
     def test_suite_key_ignores_protocol_and_seed(self):
         a = self._spec(seed=1)
         b = self._spec(seed=2, protocol="ba_one_half", params=(("kappa", 9),))
-        assert a.suite_key == b.suite_key == ("ideal", 4, 1, 0)
+        assert a.suite_key == b.suite_key == ("ideal", 4, 1, 0, 256)
 
     def test_is_hashable_and_picklable(self):
         spec = self._spec()

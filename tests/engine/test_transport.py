@@ -1,0 +1,265 @@
+"""The compact wire format is lossless — and actually smaller.
+
+Three regression suites:
+
+* ``TrialSummary``/``ChunkSummary`` pack→unpack round-trips equal the
+  original ``ExecutionResult`` field for field, for **every** registered
+  protocol × adversary combination (incompatible combos must fail
+  identically on both paths, i.e. before packing is ever reached);
+* ``transport="compact"`` and ``transport="pickle"`` produce identical
+  results through both runners, any worker count;
+* the compact payload is ≥5x smaller than the full pickle on a
+  signature-heavy plan, and non-terminating parties stay *absent* from
+  ``finish_rounds`` (never ``None``) through the compact path.
+"""
+
+import pytest
+
+from repro.engine import (
+    AdaptiveRunner,
+    ChunkSummary,
+    ParallelRunner,
+    TrialPlan,
+    TrialSpec,
+    TrialSummary,
+    adversary_names,
+    measure_payload_bytes,
+    protocol_names,
+    register_protocol,
+    run_trial,
+)
+
+
+def _stubborn_program(ctx, value):
+    """Party 3 never finishes; everyone else decides after one round.
+
+    With party 3 corrupted, the simulator stops as soon as the honest
+    parties are done and the stuck shadow is simply *absent* from
+    ``outputs``/``finish_rounds`` — the non-terminating-trial shape the
+    transport must preserve exactly (absent, never ``None``).
+    """
+    if ctx.party_id == 3:
+        while True:
+            yield {}
+    yield {}
+    return value
+
+
+register_protocol(
+    "_test_stubborn", lambda: (lambda ctx, v: _stubborn_program(ctx, v))
+)
+
+# Per-protocol sweep shapes: (inputs, max_faulty, params).
+_PROTOCOL_SHAPES = {
+    "ba_one_third": ((0, 0, 1, 1), 1, {"kappa": 2}),
+    "ba_one_half": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "feldman_micali": ((0, 0, 1, 1), 1, {"kappa": 2}),
+    "micali_vaikuntanathan": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "mv_pki": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "dolev_strong": ((0, 0, 1, 1), 1, {}),
+    "fm_probabilistic": ((0, 0, 1, 1), 1, {}),
+    "prox_one_third": ((0, 1, 2, 3), 1, {"rounds": 3}),
+    "prox_linear_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
+    "prox_quadratic_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
+}
+
+# Per-adversary victim sets sized to each regime's corruption budget.
+def _adversary_params(adversary, max_faulty, num_parties):
+    victims = tuple(range(num_parties - max_faulty, num_parties))
+    if adversary == "grade_split":
+        return {"victims": victims, "target": 0, "boost_value": 0}
+    return {"victims": victims}
+
+
+def _spec(protocol, adversary, seed=3):
+    inputs, max_faulty, params = _PROTOCOL_SHAPES[protocol]
+    return TrialSpec(
+        protocol=protocol,
+        inputs=inputs,
+        max_faulty=max_faulty,
+        params=params,
+        adversary=adversary,
+        adversary_params=(
+            _adversary_params(adversary, max_faulty, len(inputs))
+            if adversary
+            else ()
+        ),
+        seed=seed,
+        session=f"wire-{protocol}-{adversary}",
+        max_rounds=64,
+    )
+
+
+def _assert_lossless(result, spec):
+    """Round-trip one result through both wire layers and compare."""
+    rebuilt = TrialSummary.pack(result).unpack(spec)
+    assert rebuilt == result
+    # Dict *iteration order* is not part of ==; downstream consumers
+    # iterate these, so insertion order must survive too.
+    assert list(rebuilt.outputs) == list(result.outputs)
+    assert list(rebuilt.finish_rounds) == list(result.finish_rounds)
+    (index, chunk_rebuilt), = ChunkSummary.pack([(7, result)]).unpack(
+        {7: spec}
+    )
+    assert index == 7 and chunk_rebuilt == result
+
+
+class TestEveryRegisteredPair:
+    def test_shapes_cover_every_stock_protocol(self):
+        # The registry is global and other test modules register their
+        # own protocols, so assert coverage, not exact equality: every
+        # shape names a registered protocol, and every *stock* protocol
+        # (registered by repro.engine.registry itself, no test_ prefix)
+        # has a shape.
+        registered = set(protocol_names())
+        assert set(_PROTOCOL_SHAPES) <= registered
+        stock = {
+            name
+            for name in registered
+            if not name.startswith(("test_", "_test"))
+        }
+        assert stock == set(_PROTOCOL_SHAPES)
+
+    def test_pack_unpack_roundtrips_every_pair(self):
+        """Every protocol × adversary combo either runs and round-trips
+        losslessly, or fails before transport is reached (in which case
+        there is no payload whose fidelity could differ)."""
+        survived = []
+        for protocol in _PROTOCOL_SHAPES:
+            for adversary in [None] + adversary_names():
+                spec = _spec(protocol, adversary)
+                try:
+                    result = run_trial(spec)
+                except Exception:
+                    continue  # incompatible combo: fails pre-transport
+                _assert_lossless(result, spec)
+                survived.append((protocol, adversary))
+        # The compatibility matrix must not silently collapse: at the
+        # very least every protocol runs adversary-free.
+        assert len(survived) >= len(protocol_names())
+
+    def test_non_integer_outputs_use_fallback(self):
+        spec = _spec("fm_probabilistic", None)
+        result = run_trial(spec)
+        summary = TrialSummary.pack(result)
+        assert summary.outputs is not None  # FMDecision objects
+        assert summary.unpack(spec) == result
+
+    def test_integer_outputs_pack_into_blob(self):
+        spec = _spec("ba_one_third", "straddle13")
+        result = run_trial(spec)
+        summary = TrialSummary.pack(result)
+        assert summary.outputs is None  # bit decisions ride the blob
+        assert summary.unpack(spec) == result
+
+
+def _mixed_plan(trials=4):
+    return TrialPlan.concat(
+        "wire-mixed",
+        [
+            TrialPlan.monte_carlo(
+                name="one_third",
+                protocol="ba_one_third",
+                inputs=(0, 0, 1, 1),
+                max_faulty=1,
+                trials=trials,
+                params={"kappa": 2},
+                adversary="straddle13",
+                adversary_params={"victims": (3,)},
+                seed=11,
+            ),
+            # Non-integer outputs: exercises the pickled fallback lane.
+            TrialPlan.monte_carlo(
+                name="lasvegas",
+                protocol="fm_probabilistic",
+                inputs=(0, 1, 0, 1),
+                max_faulty=1,
+                trials=trials,
+                seed=13,
+            ),
+        ],
+    )
+
+
+class TestTransportEquivalence:
+    def test_compact_equals_pickle_equals_serial(self):
+        plan = _mixed_plan()
+        serial = ParallelRunner(workers=1).run(plan)
+        compact = ParallelRunner(workers=2, chunk_size=3).run(plan)
+        full = ParallelRunner(
+            workers=2, chunk_size=3, transport="pickle"
+        ).run(plan)
+        assert compact.results == serial.results
+        assert full.results == serial.results
+        assert compact.transport == "compact"
+        assert full.transport == "pickle"
+
+    def test_adaptive_compact_equals_pickle(self):
+        plan = _mixed_plan()
+        kwargs = dict(workers=2, batch_size=3, early_stop=False)
+        compact = AdaptiveRunner(**kwargs).run(plan, 0.5)
+        full = AdaptiveRunner(transport="pickle", **kwargs).run(plan, 0.5)
+        assert compact.results == full.results
+        assert [r is not None for r in compact.results] == [True] * len(plan)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ParallelRunner(transport="msgpack")
+        with pytest.raises(ValueError, match="transport"):
+            AdaptiveRunner(transport="json")
+
+
+class TestPayloadReduction:
+    def test_signature_heavy_plan_shrinks_5x(self):
+        plan = TrialPlan.monte_carlo(
+            name="payload",
+            protocol="ba_one_third",
+            inputs=(0, 0, 1, 1),
+            max_faulty=1,
+            trials=40,
+            params={"kappa": 8},
+            adversary="straddle13",
+            adversary_params={"victims": (3,)},
+            seed=8,
+            collect_signatures=True,
+        )
+        results = ParallelRunner(workers=1).run(plan).results
+        full, compact = measure_payload_bytes(
+            list(enumerate(results)), chunk_size=10
+        )
+        assert full / compact >= 5.0, (full, compact)
+
+
+class TestNonTerminatingFinishRounds:
+    """Satellite regression: a party that never finishes is *absent*
+    from ``finish_rounds`` — never mapped to ``None`` — and the compact
+    path preserves that exactly, on both metrics code paths."""
+
+    def _stuck_spec(self):
+        return TrialSpec(
+            protocol="_test_stubborn",
+            inputs=(1, 0, 1, 1),
+            max_faulty=1,
+            adversary="crash",
+            adversary_params={"victims": (3,), "crash_round": 2},
+            seed=5,
+            session="wire-stuck",
+            max_rounds=64,
+        )
+
+    def test_compact_and_legacy_agree_on_absent_parties(self):
+        spec = self._stuck_spec()
+        modern = run_trial(spec)
+        legacy = run_trial(spec, legacy_metrics=True)
+        assert 3 in modern.corrupted
+        for result in (modern, legacy):
+            assert 3 not in result.finish_rounds
+            assert 3 not in result.outputs
+            assert None not in result.finish_rounds.values()
+            assert sorted(result.finish_rounds) == [0, 1, 2]
+        assert modern.finish_rounds == legacy.finish_rounds
+        for result in (modern, legacy):
+            rebuilt = TrialSummary.pack(result).unpack(spec)
+            assert rebuilt == result
+            assert 3 not in rebuilt.finish_rounds
+            assert None not in rebuilt.finish_rounds.values()

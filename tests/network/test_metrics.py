@@ -3,8 +3,12 @@
 import random
 from dataclasses import dataclass
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.crypto.ideal import IdealSignatureScheme, IdealThresholdScheme
 from repro.network.metrics import (
+    RoundStats,
     RunMetrics,
     count_signatures,
     count_signatures_reference,
@@ -174,3 +178,72 @@ class TestRunMetrics:
         merged = RunMetrics.merged([])
         assert merged.rounds == 0
         assert merged.total_messages == 0
+
+
+# Randomized metrics shapes for the tally round-trip properties: up to a
+# dozen rounds with arbitrary (possibly non-contiguous, unsorted) round
+# indices and arbitrary tallies, plus a free-standing rounds total.
+_count = st.integers(min_value=0, max_value=1 << 20)
+_round_entry = st.tuples(
+    st.integers(min_value=0, max_value=4096), _count, _count, _count, _count
+)
+_metrics_shape = st.tuples(
+    st.lists(_round_entry, max_size=12, unique_by=lambda entry: entry[0]),
+    st.integers(min_value=0, max_value=4096),
+)
+
+
+def _build(shape) -> RunMetrics:
+    entries, rounds = shape
+    metrics = RunMetrics(rounds=rounds)
+    for round_index, hm, cm, hs, cs in entries:
+        metrics.per_round[round_index] = RoundStats(
+            honest_messages=hm,
+            corrupt_messages=cm,
+            honest_signatures=hs,
+            corrupt_signatures=cs,
+        )
+    return metrics
+
+
+class TestTallyRoundTrip:
+    """``from_tallies(rounds, as_tallies())`` is the exact inverse, and
+    merging commutes with the round trip — the properties the engine's
+    compact result transport stands on."""
+
+    @given(_metrics_shape)
+    def test_pack_unpack_is_identity(self, shape):
+        metrics = _build(shape)
+        rebuilt = RunMetrics.from_tallies(metrics.rounds, metrics.as_tallies())
+        assert rebuilt == metrics
+        # Equality ignores dict order; transport fidelity must not.
+        assert list(rebuilt.per_round) == list(metrics.per_round)
+
+    @given(_metrics_shape, _metrics_shape)
+    def test_merge_after_roundtrip_equals_direct_merge(self, a_shape, b_shape):
+        direct = _build(a_shape)
+        direct.merge(_build(b_shape))
+        via_wire = RunMetrics.merged(
+            RunMetrics.from_tallies(m.rounds, m.as_tallies())
+            for m in (_build(a_shape), _build(b_shape))
+        )
+        assert via_wire == direct
+
+    def test_empty_metrics_roundtrip(self):
+        empty = RunMetrics()
+        assert RunMetrics.from_tallies(empty.rounds, empty.as_tallies()) == empty
+        assert empty.as_tallies() == ()
+
+    def test_single_round_roundtrip(self):
+        metrics = RunMetrics()
+        metrics.record(1, honest=True, signature_count=3)
+        metrics.rounds = 1
+        rebuilt = RunMetrics.from_tallies(metrics.rounds, metrics.as_tallies())
+        assert rebuilt == metrics
+        assert rebuilt.total_signatures == 3
+
+    def test_ragged_tallies_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="multiple of 5"):
+            RunMetrics.from_tallies(1, (1, 2, 3))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -93,8 +95,15 @@ class TestBench:
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "serial == parallel" in out and "OK" in out
         assert "engine serial" in out
+        if (os.cpu_count() or 1) >= 2:
+            assert "serial == parallel" in out and "OK" in out
+        else:
+            # Worker counts are clamped to the CPUs present; on a
+            # single-CPU box the parallel leg is skipped, and the CLI
+            # must say so rather than report a fake speedup.
+            assert "clamped to 1" in out
+            assert "serial path only" in out
 
     def test_json_artifact_written(self, tmp_path, capsys):
         path = tmp_path / "bench.json"
@@ -106,9 +115,18 @@ class TestBench:
         import json
 
         payload = json.loads(path.read_text())
-        assert payload["workers"] == 2
+        effective = min(2, os.cpu_count() or 1)
+        assert payload["workers"] == effective
+        assert payload["workers_requested"] == 2
+        assert payload["workers_clamped"] == (effective != 2)
         assert payload["trials_per_config"] == 6
-        assert payload["identical_serial_parallel"] is True
+        if effective > 1:
+            assert payload["identical_serial_parallel"] is True
+        else:
+            assert payload["identical_serial_parallel"] is None
+            assert payload["parallel_seconds"] is None
+        assert payload["transport"] == "compact"
+        assert payload["payload_bytes_full"] > payload["payload_bytes_compact"] > 0
         assert payload["rates"][0]["protocol"] == "ba_one_half"
 
     def test_compare_baseline_reports_speedup(self, capsys):
