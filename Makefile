@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-fast bench bench-quick examples experiments clean
+.PHONY: install test test-fast check bench bench-quick examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -11,6 +11,13 @@ test:
 test-fast:
 	pytest tests/ -m "not slow"
 
+# Static-analysis gate: determinism (DET), layering (LAY), serialization
+# (SER) and API-coherence (API) rules over src/repro, stdlib-only.  Exit
+# 1 on findings; the JSON report is the CI artifact.  See
+# docs/static-analysis.md for the rule catalogue and suppression syntax.
+check:
+	PYTHONPATH=src python -m repro check --json check-report.json
+
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
@@ -19,8 +26,10 @@ bench:
 # fixed run; nonzero exit on mismatch).  REPRO_BENCH_WORKERS overrides
 # the worker count (default 2; clamped to the CPUs present).  The second
 # line is the real-backend smoke: one tiny threshold-RSA sweep (small
-# modulus) exercising pre-dealt key broadcast end to end.
-bench-quick:
+# modulus) exercising pre-dealt key broadcast end to end.  `check` runs
+# first: benchmark numbers from a tree that violates the determinism
+# rules are not comparable run to run, so don't produce them.
+bench-quick: check
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
 		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \

@@ -1,0 +1,38 @@
+"""Static analysis enforcing the repo's determinism/layering/serialization
+invariants (``python -m repro check``).
+
+Dependency-free, stdlib-``ast`` only.  Four rule families:
+
+* **DET** — nondeterminism sources banned from protocol code
+  (``core``/``proxcensus``/``crypto``/``network``): wall clocks, ambient
+  entropy, the process-global RNG, unordered set iteration, id() ordering.
+* **LAY** — the import layer map and module-level cycle detection.
+* **SER** — pickle/deep-freeze safety of everything crossing a process
+  boundary (TrialSpec params, pool submissions).
+* **API** — registry and adversary-hook contract coherence.
+
+See ``docs/static-analysis.md`` for the rule catalogue and suppression
+syntax (``# repro: noqa[RULE]``).
+"""
+
+from .framework import (
+    CheckError,
+    Finding,
+    Report,
+    Rule,
+    SourceModule,
+    all_rule_classes,
+    register_rule,
+    run_check,
+)
+
+__all__ = [
+    "CheckError",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceModule",
+    "all_rule_classes",
+    "register_rule",
+    "run_check",
+]

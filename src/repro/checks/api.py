@@ -1,0 +1,226 @@
+"""API rules: registries and hook interfaces stay coherent.
+
+The engine resolves *names* to behavior at runtime — protocol and
+adversary builders through ``repro.engine.registry``, Proxcensus
+families through ``repro.proxcensus.registry``, adversary strategies
+through the :class:`~repro.adversary.base.Adversary` hook methods the
+simulator calls.  None of these bindings are checked by the type system:
+a typo'd hook override is silently never called, a duplicate
+registration silently wins last, a mismatched family key lies to every
+lookup.  These rules pin the contracts statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from .framework import Finding, Rule, SourceModule, register_rule
+
+# Adversary hook → (min positional args, max positional args), counting
+# `self`.  Extra trailing parameters with defaults are compatible.
+_ADVERSARY_HOOKS: Dict[str, int] = {
+    "setup": 2,            # (self, env)
+    "initial_corruptions": 1,  # (self)
+    "decide": 2,           # (self, view)
+    "observe": 3,          # (self, round_index, inboxes)
+}
+
+_REGISTER_FUNCS = ("register_protocol", "register_adversary")
+
+
+def _call_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register_rule
+class AdversaryHookSignatureRule(Rule):
+    """Adversary hook overrides must match the simulator's call shape.
+
+    The simulator calls ``setup(env)``, ``initial_corruptions()``,
+    ``decide(view)`` and ``observe(round_index, inboxes)`` on every
+    adversary.  An override with a different positional arity raises
+    ``TypeError`` mid-simulation — or worse, an override the author
+    *meant* to write with extra required params silently shadows the
+    base behavior.  Classes whose base name ends in ``Adversary`` are
+    checked; extra parameters with defaults are allowed.
+    """
+
+    id = "API401"
+    title = "Adversary hook override with incompatible signature"
+    hint = "match the base signature; extra parameters need defaults"
+
+    @staticmethod
+    def _is_adversary_class(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else ""
+            )
+            if name.endswith("Adversary"):
+                return True
+        return False
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef) and self._is_adversary_class(node)):
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                expected = _ADVERSARY_HOOKS.get(item.name)
+                if expected is None:
+                    continue
+                args = item.args
+                if args.vararg is not None:
+                    continue  # *args accepts anything
+                total = len(args.posonlyargs) + len(args.args)
+                required = total - len(args.defaults)
+                if not (required <= expected <= total):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"{node.name}.{item.name} takes {required} required "
+                        f"positional arg(s); the simulator calls it with "
+                        f"{expected}",
+                    )
+
+
+@register_rule
+class RegistryRegistrationRule(Rule):
+    """Registrations need literal names, exactly once each.
+
+    A computed name cannot be audited statically (and cannot be listed
+    in docs); a duplicate registration silently replaces the earlier
+    builder, which is how two benchmarks end up measuring different
+    code under one label.  Duplicates are detected across the whole
+    scanned tree.
+    """
+
+    id = "API402"
+    title = "registry registration with non-literal or duplicate name"
+    hint = "register string-literal names, each exactly once"
+
+    def __init__(self) -> None:
+        self._seen: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        self._duplicates: List[Finding] = []
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = _call_name(node.func)
+            if func_name not in _REGISTER_FUNCS or not node.args:
+                continue
+            name_node = node.args[0]
+            if not (
+                isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)
+            ):
+                yield self.finding(
+                    module,
+                    name_node,
+                    f"{func_name}() name must be a string literal",
+                )
+                continue
+            key = (func_name, name_node.value)
+            previous = self._seen.get(key)
+            if previous is None:
+                self._seen[key] = (module.rel, node.lineno)
+            else:
+                self._duplicates.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"duplicate {func_name}({name_node.value!r}); "
+                        f"first registered at {previous[0]}:{previous[1]}",
+                    )
+                )
+
+    def finalize(self) -> Iterator[Finding]:
+        return iter(self._duplicates)
+
+
+@register_rule
+class AdversaryBuilderFactoryRule(Rule):
+    """``register_adversary`` builders receive the protocol factory first.
+
+    The registry contract is ``builder(factory, **params)`` — generic
+    adversaries like ``two_face`` simulate honest behavior and need the
+    factory.  A literal builder whose first parameter is not ``factory``
+    will be called with the factory bound to the wrong name (or explode
+    on keyword params), so the mistake is flagged where it is written.
+    """
+
+    id = "API403"
+    title = "adversary builder does not take `factory` first"
+    hint = "write builder(factory, **params), even if factory is unused"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) == "register_adversary"
+                and len(node.args) >= 2
+            ):
+                continue
+            builder = node.args[1]
+            if not isinstance(builder, ast.Lambda):
+                continue
+            params = builder.args.posonlyargs + builder.args.args
+            if not params or params[0].arg != "factory":
+                yield self.finding(
+                    module,
+                    builder,
+                    "adversary builder's first parameter must be `factory`",
+                )
+
+
+@register_rule
+class FamilyKeyCoherenceRule(Rule):
+    """``FAMILIES`` mapping keys must equal each entry's ``name`` field.
+
+    The Proxcensus catalogue is looked up by key but reports itself by
+    ``name``; when they diverge, tables label one construction with
+    another's data.  Checked for any dict literal assigned to a name
+    ending in ``FAMILIES`` whose values construct ``ProxFamily``-style
+    entries with a ``name=`` keyword.
+    """
+
+    id = "API404"
+    title = "registry key differs from the entry's declared name"
+    hint = "make the dict key and the name= field identical"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                target.id for target in node.targets if isinstance(target, ast.Name)
+            ]
+            if not any(name.endswith("FAMILIES") for name in targets):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Call)
+                ):
+                    continue
+                for keyword in value.keywords:
+                    if (
+                        keyword.arg == "name"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value != key.value
+                    ):
+                        yield self.finding(
+                            module,
+                            value,
+                            f"key {key.value!r} maps an entry named "
+                            f"{keyword.value.value!r}",
+                        )

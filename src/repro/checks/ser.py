@@ -1,0 +1,104 @@
+"""SER rules: everything that crosses a process boundary must pickle.
+
+The engine ships :class:`~repro.engine.plan.TrialSpec`\\ s to worker
+processes and deep-freezes their ``params`` into hashable tuples.  Both
+steps fail — at runtime, possibly only under ``spawn``, possibly only
+on the machine with more cores — when a producer smuggles in a lambda,
+a generator, or a locally-defined closure.  These rules catch the two
+syntactic shapes of that mistake at check time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .framework import Finding, Rule, SourceModule, register_rule
+
+# Keyword arguments that feed TrialSpec's frozen/picklable params path
+# (TrialSpec(...), TrialPlan.monte_carlo(...), dataclasses.replace(...)).
+_PARAM_KEYWORDS = frozenset({"params", "adversary_params"})
+
+# Expression nodes that can never deep-freeze or pickle.
+_UNPICKLABLE = (ast.Lambda, ast.GeneratorExp, ast.Yield, ast.YieldFrom, ast.Await)
+
+
+@register_rule
+class ParamPicklabilityRule(Rule):
+    """Transport-unsafe values in a spec's ``params``/``adversary_params``.
+
+    A lambda or generator in a params mapping survives until the spec is
+    hashed or shipped to a worker, then dies far from the producer.  The
+    rule inspects every call that passes a ``params=`` /
+    ``adversary_params=`` keyword — the TrialSpec constructor, the
+    ``monte_carlo`` plan builder, ``dataclasses.replace`` on specs, and
+    any helper following the same convention.
+    """
+
+    id = "SER301"
+    title = "unpicklable value in TrialSpec params"
+    hint = "params must be plain data (ints, strings, tuples); name behaviors and register them"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg not in _PARAM_KEYWORDS:
+                    continue
+                for inner in ast.walk(keyword.value):
+                    if isinstance(inner, _UNPICKLABLE):
+                        yield self.finding(
+                            module,
+                            inner,
+                            f"{type(inner).__name__.lower()} inside "
+                            f"{keyword.arg}= cannot be frozen or pickled",
+                        )
+
+
+@register_rule
+class PoolBoundaryRule(Rule):
+    """Lambdas handed to a process pool never survive pickling.
+
+    ``executor.submit(lambda: …)`` raises ``PicklingError`` only when the
+    pool path actually runs — which on a 1-CPU CI box it does not, so the
+    bug ships.  Any lambda passed directly to ``submit``/``map`` on a
+    receiver whose name suggests a pool/executor is flagged; module-level
+    functions (what the runner actually ships) pass.
+    """
+
+    id = "SER302"
+    title = "lambda crosses a process-pool boundary"
+    hint = "ship a module-level function; close over nothing (pass data as arguments)"
+
+    @staticmethod
+    def _receiver_name(func: ast.Attribute) -> Optional[str]:
+        node = func.value
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+            ):
+                continue
+            receiver = self._receiver_name(node.func)
+            if receiver is None or not (
+                "pool" in receiver.lower() or "executor" in receiver.lower()
+            ):
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                if isinstance(value, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        value,
+                        f"lambda passed to {receiver}.{node.func.attr}() "
+                        "cannot be pickled to a worker process",
+                    )

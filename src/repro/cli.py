@@ -20,6 +20,12 @@ Subcommands
     ``--adaptive`` adds the early-stopping leg: the sweep re-run under
     :class:`repro.engine.AdaptiveRunner` with a total budget equal to the
     fixed run, verdict-checked against it config for config.
+``check``
+    Stdlib-AST static analysis enforcing the repo's determinism,
+    layering and serialization invariants (rule families DET/LAY/SER/API;
+    see ``docs/static-analysis.md``).  Exit 1 on findings, with
+    ``--json`` for CI artifacts and per-line ``# repro: noqa[RULE]``
+    suppressions.
 
 Examples::
 
@@ -31,6 +37,8 @@ Examples::
     python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
     python -m repro bench --workers 4 --trials 300 --json BENCH_engine.json
     python -m repro bench --adaptive --max-trials 600 --trials 300
+    python -m repro check --json check-report.json
+    python -m repro check --select DET,LAY src/repro
 """
 
 from __future__ import annotations
@@ -625,6 +633,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rule_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _default_check_root() -> str:
+    """The package's own source tree — works from any cwd."""
+    import os
+
+    return os.path.dirname(os.path.abspath(__file__))
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks import CheckError, all_rule_classes, run_check
+
+    if args.list_rules:
+        for cls in all_rule_classes():
+            print(f"{cls.id}  {cls.title}")
+            if cls.hint:
+                print(f"        fix: {cls.hint}")
+        return 0
+    root = args.path or _default_check_root()
+    try:
+        report = run_check(root, select=args.select, ignore=args.ignore)
+    except CheckError as error:
+        print(f"repro check: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     from .applications.ledger import NO_OP, replicated_log_program, rounds_per_slot
 
@@ -778,6 +820,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static analysis: determinism/layering/serialization invariants",
+    )
+    check_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="package root to scan (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--select", type=_parse_rule_list, default=None, metavar="RULES",
+        help="run only these rule ids or families (e.g. DET,LAY201)",
+    )
+    check_parser.add_argument(
+        "--ignore", type=_parse_rule_list, default=None, metavar="RULES",
+        help="skip these rule ids or families",
+    )
+    check_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable report (CI artifact)",
+    )
+    check_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    check_parser.set_defaults(handler=_cmd_check)
+
     ledger_parser = subparsers.add_parser(
         "ledger", help="replicated log over sequential multivalued BA"
     )
@@ -802,8 +870,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Ergonomics contract (pinned by ``tests/test_cli.py``): a bare
+    ``repro`` prints the subcommand overview and exits 2; an unknown
+    subcommand exits 2 with the available set in the error message
+    (argparse's invalid-choice behavior, relied upon deliberately).
+    """
     parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    if not argv:
+        parser.print_help(sys.stderr)
+        return 2
     args = parser.parse_args(argv)
     return args.handler(args)
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "TrialPlan",
@@ -201,7 +201,7 @@ class TrialPlan:
     def __len__(self) -> int:
         return len(self.trials)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TrialSpec]:
         return iter(self.trials)
 
     @classmethod

@@ -19,7 +19,7 @@ builders ignore it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..adversary.base import Adversary
 from ..adversary.straddle import (
@@ -75,12 +75,12 @@ def register_adversary(name: str, builder: AdversaryBuilder) -> None:
     _ADVERSARIES[name] = builder
 
 
-def protocol_names() -> list:
+def protocol_names() -> List[str]:
     """Registered protocol names, sorted."""
     return sorted(_PROTOCOLS)
 
 
-def adversary_names() -> list:
+def adversary_names() -> List[str]:
     """Registered adversary names, sorted."""
     return sorted(_ADVERSARIES)
 

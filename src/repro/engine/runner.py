@@ -259,7 +259,7 @@ class PlanResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ExecutionResult]:
         return iter(self.results)
 
     def disagreement_rate(self) -> float:

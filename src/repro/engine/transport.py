@@ -32,13 +32,17 @@ changing a single measured number.
 from __future__ import annotations
 
 import pickle
-from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
 
 from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult
 from .plan import TrialSpec
 
-__all__ = ["ChunkSummary", "TrialSummary", "measure_payload_bytes"]
+__all__ = ["ChunkSummary", "SpecLookup", "TrialSummary", "measure_payload_bytes"]
+
+#: Anything indexable by plan index — ``plan.trials`` for the fixed
+#: runner, the per-round ``{index: spec}`` dict for the adaptive runner.
+SpecLookup = Union[Sequence["TrialSpec"], Mapping[int, "TrialSpec"]]
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -208,7 +212,7 @@ class ChunkSummary(NamedTuple):
                 fallbacks.append((index, summary.outputs))
         return cls(blob=bytes(buf), fallbacks=tuple(fallbacks))
 
-    def unpack(self, specs) -> List[Tuple[int, ExecutionResult]]:
+    def unpack(self, specs: SpecLookup) -> List[Tuple[int, ExecutionResult]]:
         """Rebuild the chunk's ``(plan_index, result)`` pairs.
 
         ``specs`` is anything indexable by plan index — ``plan.trials``

@@ -1,0 +1,35 @@
+"""Fixture helpers: build throwaway package trees and check them."""
+
+import textwrap
+
+import pytest
+
+from repro.checks import run_check
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Write ``{relative_path: source}`` under a tmp package root.
+
+    Returns a builder; the builder returns the root path to hand to
+    :func:`repro.checks.run_check`.  Sources are dedented so fixtures
+    can be written inline as indented triple-quoted strings.
+    """
+
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build
+
+
+def rule_ids(report):
+    """The distinct rule ids present in a report's findings."""
+    return sorted({finding.rule for finding in report.findings})
+
+
+def check(root, **kwargs):
+    return run_check(root, **kwargs)

@@ -1,0 +1,145 @@
+"""API rules: registry and adversary-hook contract coherence."""
+
+from .conftest import check, rule_ids
+
+
+class TestAPI401HookSignatures:
+    def test_hit_decide_with_extra_required_arg(self, tree):
+        root = tree({"adversary/bad.py": """
+            class EagerAdversary(Adversary):
+                def decide(self, view, hint):
+                    return None
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["API401"]
+        assert "EagerAdversary.decide" in report.findings[0].message
+
+    def test_hit_observe_missing_arg(self, tree):
+        root = tree({"adversary/bad2.py": """
+            class DeafAdversary(Adversary):
+                def observe(self, round_index):
+                    return None
+        """})
+        assert rule_ids(check(root)) == ["API401"]
+
+    def test_pass_compatible_overrides_and_helpers(self, tree):
+        root = tree({"adversary/ok.py": """
+            class FineAdversary(Adversary):
+                def decide(self, view, fuzz=0):
+                    return self._helper(view, fuzz)
+
+                def initial_corruptions(self):
+                    return set()
+
+                def _helper(self, view, fuzz):
+                    return None
+        """})
+        assert check(root).ok
+
+    def test_pass_non_adversary_class(self, tree):
+        root = tree({"core/ok.py": """
+            class Decider:
+                def decide(self, a, b, c):
+                    return a
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"adversary/waived.py": """
+            class OddAdversary(Adversary):
+                def decide(self, view, hint):  # repro: noqa[API401] fixture
+                    return None
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1
+
+
+class TestAPI402Registrations:
+    def test_hit_non_literal_name(self, tree):
+        root = tree({"engine/bad.py": """
+            NAME = "mystery"
+            register_protocol(NAME, lambda: None)
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["API402"]
+        assert "string literal" in report.findings[0].message
+
+    def test_hit_duplicate_across_files(self, tree):
+        root = tree({
+            "engine/a.py": 'register_protocol("ba", lambda: None)\n',
+            "engine/b.py": 'register_protocol("ba", lambda: None)\n',
+        })
+        report = check(root)
+        assert rule_ids(report) == ["API402"]
+        finding = report.findings[0]
+        assert finding.path == "engine/b.py"
+        assert "engine/a.py:1" in finding.message
+
+    def test_pass_distinct_literals(self, tree):
+        root = tree({"engine/ok.py": """
+            register_protocol("ba_one_third", lambda kappa: None)
+            register_protocol("ba_one_half", lambda kappa: None)
+            register_adversary("crash", lambda factory, victims: None)
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({
+            "engine/a.py": 'register_protocol("ba", lambda: None)\n',
+            "engine/b.py":
+                'register_protocol("ba", lambda: None)  # repro: noqa[API402] fixture\n',
+        })
+        report = check(root)
+        assert report.ok and report.suppressed == 1
+
+
+class TestAPI403BuilderFactoryParam:
+    def test_hit_builder_without_factory(self, tree):
+        root = tree({"engine/bad.py": """
+            register_adversary("crash", lambda victims: Crash(victims))
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["API403"]
+
+    def test_pass_factory_first(self, tree):
+        root = tree({"engine/ok.py": """
+            register_adversary("crash", lambda factory, victims: Crash(victims))
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"engine/waived.py": """
+            register_adversary("crash", lambda victims: Crash(victims))  # repro: noqa[API403] fixture
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1
+
+
+class TestAPI404FamilyKeys:
+    def test_hit_key_name_mismatch(self, tree):
+        root = tree({"proxcensus/bad.py": """
+            FAMILIES = {
+                "one_third": ProxFamily(name="one_half", resilience="n/3"),
+            }
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["API404"]
+        assert "'one_third'" in report.findings[0].message
+
+    def test_pass_coherent_keys(self, tree):
+        root = tree({"proxcensus/ok.py": """
+            FAMILIES = {
+                "one_third": ProxFamily(name="one_third", resilience="n/3"),
+                "proxcast": ProxFamily(name="proxcast", resilience="n"),
+            }
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"proxcensus/waived.py": """
+            FAMILIES = {
+                "one_third": ProxFamily(name="legacy"),  # repro: noqa[API404] fixture
+            }
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1

@@ -1,0 +1,63 @@
+"""The gate itself: `repro check` stays clean on this repository.
+
+These tests are the CI contract: the first asserts the shipped source
+tree has no violations (so any new finding fails the suite, not just
+the separate `make check` leg); the second asserts the pass actually
+*detects* — a copy of the real tree with one seeded `time.time()` in
+`core/` must fail, naming the rule, file and line.
+"""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.checks import run_check
+from repro.cli import main
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def _copy_tree(destination: Path) -> Path:
+    root = destination / "repro"
+    shutil.copytree(
+        PACKAGE_ROOT, root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    return root
+
+
+class TestSelfCheck:
+    def test_repo_source_tree_is_clean(self):
+        report = run_check(PACKAGE_ROOT)
+        assert report.findings == []
+        assert report.files > 50  # the whole tree, not a stub scan
+
+    def test_cli_default_path_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_violation_fails_naming_rule_file_line(self, tmp_path, capsys):
+        root = _copy_tree(tmp_path)
+        seeded = root / "core" / "seeded.py"
+        seeded.write_text("import time\n\n\ndef now():\n    return time.time()\n")
+        assert main(["check", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert "core/seeded.py" in out
+        assert ":5:" in out  # the offending line
+
+    def test_seeded_layering_leak_fails(self, tmp_path, capsys):
+        root = _copy_tree(tmp_path)
+        leak = root / "crypto" / "leak.py"
+        leak.write_text("from ..engine.runner import run_trial\n")
+        assert main(["check", str(root)]) == 1
+        assert "LAY201" in capsys.readouterr().out
+
+    def test_json_artifact_round_trips(self, tmp_path, capsys):
+        artifact = tmp_path / "check-report.json"
+        assert main(["check", str(PACKAGE_ROOT), "--json", str(artifact)]) == 0
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["files_scanned"] > 50

@@ -1,0 +1,98 @@
+"""SER rules: pickle/deep-freeze safety at the process boundary."""
+
+from .conftest import check, rule_ids
+
+
+class TestSER301ParamPicklability:
+    def test_hit_lambda_in_trialspec_params(self, tree):
+        root = tree({"engine/bad.py": """
+            def build(TrialSpec):
+                return TrialSpec(
+                    protocol="x",
+                    inputs=(0, 1),
+                    max_faulty=0,
+                    params={"coin": lambda: 1},
+                )
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["SER301"]
+        assert "lambda" in report.findings[0].message
+
+    def test_hit_generator_in_monte_carlo_adversary_params(self, tree):
+        root = tree({"benchjobs.py": """
+            def build(TrialPlan, pids):
+                return TrialPlan.monte_carlo(
+                    name="s",
+                    protocol="x",
+                    inputs=(0,),
+                    max_faulty=0,
+                    trials=10,
+                    adversary_params={"victims": (p for p in pids)},
+                )
+        """})
+        assert rule_ids(check(root)) == ["SER301"]
+
+    def test_pass_plain_data_params(self, tree):
+        root = tree({"engine/ok.py": """
+            def build(TrialSpec, kappa):
+                return TrialSpec(
+                    protocol="x",
+                    inputs=(0, 1),
+                    max_faulty=0,
+                    params={"kappa": kappa, "victims": (3, 4)},
+                )
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"engine/waived.py": """
+            def build(spec_cls):
+                return spec_cls(
+                    params={"f": lambda: 1},  # repro: noqa[SER301] fixture
+                )
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1
+
+
+class TestSER302PoolBoundary:
+    def test_hit_lambda_submitted_to_pool(self, tree):
+        root = tree({"engine/bad.py": """
+            def fan_out(pool, items):
+                return [pool.submit(lambda: item) for item in items]
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["SER302"]
+
+    def test_hit_lambda_in_executor_map(self, tree):
+        root = tree({"engine/bad2.py": """
+            def fan_out(executor, items):
+                return executor.map(lambda x: x + 1, items)
+        """})
+        assert rule_ids(check(root)) == ["SER302"]
+
+    def test_pass_module_level_function(self, tree):
+        root = tree({"engine/ok.py": """
+            def _run(chunk):
+                return chunk
+
+            def fan_out(pool, chunks):
+                return [pool.submit(_run, chunk) for chunk in chunks]
+        """})
+        assert check(root).ok
+
+    def test_pass_non_pool_receiver(self, tree):
+        # `.submit` on something that is not a pool/executor is not ours.
+        root = tree({"webform.py": """
+            def push(form):
+                return form.submit(lambda: 1)
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"engine/waived.py": """
+            def fan_out(pool):
+                return pool.submit(lambda: 1)  # repro: noqa[SER302] fixture
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1

@@ -160,6 +160,31 @@ class TestLedger:
         assert "'x'" in capsys.readouterr().out
 
 
+class TestCheck:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_select_and_json(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        assert main(["check", "--select", "LAY", "--json", str(artifact)]) == 0
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["rules"] == ["LAY201", "LAY202"]
+        assert payload["ok"] is True
+
+    def test_unknown_selector_exits_2(self, capsys):
+        assert main(["check", "--select", "NOPE"]) == 2
+        assert "unknown rule selector" in capsys.readouterr().err
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET101", "LAY201", "SER301", "API401"):
+            assert rule_id in out
+
+
 class TestParser:
     def test_bad_int_list_rejected(self):
         parser = build_parser()
@@ -169,3 +194,39 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestErgonomics:
+    """The CLI ergonomics contract (see `main`'s docstring)."""
+
+    SUBCOMMANDS = (
+        "run", "compare", "tables", "error-sweep", "bench", "check", "ledger",
+    )
+
+    def test_help_lists_every_subcommand_with_a_summary(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in self.SUBCOMMANDS:
+            assert name in out, f"--help must list {name!r}"
+        # One-line summaries ride along, not just the bare names.
+        assert "execute one protocol" in out
+        assert "static analysis" in out
+
+    def test_bare_invocation_prints_overview_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        for name in self.SUBCOMMANDS:
+            assert name in err
+
+    def test_unknown_subcommand_exits_2_and_names_the_available_set(
+        self, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'frobnicate'" in err
+        for name in ("run", "bench", "check"):
+            assert name in err
