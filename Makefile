@@ -23,15 +23,19 @@ bench:
 
 # Fast engine sanity sweep: serial-vs-parallel bit-identity, timings,
 # and the adaptive leg (early-stopping verdicts checked against the
-# fixed run; nonzero exit on mismatch).  REPRO_BENCH_WORKERS overrides
-# the worker count (default 2; clamped to the CPUs present).  The second
-# line is the real-backend smoke: one tiny threshold-RSA sweep (small
-# modulus) exercising pre-dealt key broadcast end to end.  `check` runs
-# first: benchmark numbers from a tree that violates the determinism
-# rules are not comparable run to run, so don't produce them.
+# fixed run; nonzero exit on mismatch).  Engine telemetry streams to
+# bench-telemetry/telemetry.jsonl and the spans are cross-checked
+# against wall time (nonzero exit on mismatch; see
+# docs/observability.md).  REPRO_BENCH_WORKERS overrides the worker
+# count (default 2; clamped to the CPUs present).  The second line is
+# the real-backend smoke: one tiny threshold-RSA sweep (small modulus)
+# exercising pre-dealt key broadcast end to end.  `check` runs first:
+# benchmark numbers from a tree that violates the determinism rules are
+# not comparable run to run, so don't produce them.
 bench-quick: check
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
-		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive
+		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive \
+		--telemetry bench-telemetry
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
 		--kappas 1 --trials 3 --protocol one_third \
 		--workers $${REPRO_BENCH_WORKERS:-2}
@@ -45,5 +49,5 @@ experiments:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info bench-telemetry
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -13,69 +13,60 @@ The threshold-signature coin (paper §2.2) is immune: its value is a
 deterministic function of key material and index; withholding shares can
 only make the flip fail (and it cannot, while n - t ≥ t + 1 honest shares
 arrive).
+
+Runs through the parallel experiment engine: all 4 × TRIALS flips are one
+:class:`TrialPlan` batch, fanned out by ``REPRO_BENCH_WORKERS``.  The
+adversary now lives in the worker process, so instead of reading its
+``steered`` counter the steering count is derived from the *paired*
+outputs — sessions depend only on ``(kind, trial)``, never on the attack,
+so the coin material in the passive and withheld series is identical and
+every flip difference is attributable to the attack alone.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.adversary.coin_bias import WithholdingCoinAdversary
-from repro.adversary.strategies import CrashAdversary
 from repro.analysis.report import format_table
 from repro.analysis.stats import wilson_interval
-from repro.crypto.coin import threshold_coin_program
-from repro.crypto.vrf_coin import vrf_coin_program
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 TRIALS = 300
 
 
-def vrf_factory(index):
-    def factory(ctx, _):
-        value = yield from vrf_coin_program(ctx, index, 0, 1)
-        return value
-
-    return factory
-
-
-def threshold_factory(index):
-    def factory(ctx, _):
-        value = yield from threshold_coin_program(ctx, index, 0, 1)
-        return value
-
-    return factory
-
-
-def measure(kind, attack, trials=TRIALS):
-    """Hits for the preferred bit 1, plus total steered flips.
-
-    Sessions depend only on (kind, trial) — NOT on the attack — so the
-    passive and withheld series are *paired*: the coin material is
-    identical and the attack's effect is exact, not statistical.
-    """
-    hits = 0
-    steered = 0
-    for trial in range(trials):
+def _series_specs(kind, attack):
+    """One spec per trial; paired sessions across attacks."""
+    specs = []
+    for trial in range(TRIALS):
         session = f"cb-{kind}-{trial}"
-        if kind == "vrf":
-            factory = vrf_factory(trial)
-        else:
-            factory = threshold_factory(trial)
+        adversary = None
+        adversary_params = None
         if attack == "withhold":
             if kind == "vrf":
-                adversary = WithholdingCoinAdversary(
-                    [3], index=trial, low=0, high=1, preferred=1, session=session
-                )
+                adversary = "withhold_coin"
+                adversary_params = {
+                    "victims": (3,), "index": trial, "preferred": 1,
+                    "session": session,
+                }
             else:
-                adversary = CrashAdversary([3], crash_round=1)
-        else:
-            adversary = None
-        res = run(factory, [None] * 4, 1, adversary=adversary, session=session)
-        hits += next(iter(res.honest_outputs.values())) == 1
-        if attack == "withhold" and kind == "vrf":
-            steered += adversary.steered
-    return hits, steered
+                adversary = "crash"
+                adversary_params = {"victims": (3,), "crash_round": 1}
+        specs.append(
+            engine_spec(
+                f"{kind}_coin", [None] * 4, 1,
+                params={"index": trial},
+                adversary=adversary,
+                adversary_params=adversary_params,
+                session=session,
+            )
+        )
+    return specs
+
+
+def _flips(results):
+    """The honest coin value (0/1) per trial, in trial order."""
+    return [next(iter(res.honest_outputs.values())) for res in results]
 
 
 def test_vrf_coin_is_biased_threshold_coin_is_not(benchmark, report_sink):
@@ -83,27 +74,52 @@ def test_vrf_coin_is_biased_threshold_coin_is_not(benchmark, report_sink):
 
     def sweep():
         rows.clear()
-        results = {}
-        for kind in ("vrf", "threshold"):
-            for attack in ("passive", "withhold"):
-                hits, steered = measure(kind, attack)
-                low, high = wilson_interval(hits, TRIALS)
-                results[(kind, attack)] = (hits, steered)
-                rows.append(
-                    [kind, attack, f"{hits / TRIALS:.4f}",
-                     f"[{low:.4f}, {high:.4f}]", steered]
-                )
-        # Paired exactness: every steered flip converts a miss into a hit.
-        vrf_passive, _ = results[("vrf", "passive")]
-        vrf_withheld, steered = results[("vrf", "withhold")]
+        cells = [
+            (kind, attack)
+            for kind in ("vrf", "threshold")
+            for attack in ("passive", "withhold")
+        ]
+        specs = [
+            spec for kind, attack in cells for spec in _series_specs(kind, attack)
+        ]
+        results = run_plan("bench-coin-bias", specs)
+        flips = {
+            cell: _flips(results[at:at + TRIALS])
+            for cell, at in zip(cells, range(0, len(results), TRIALS))
+        }
+
+        # Paired exactness: the withheld VRF series may flip a paired
+        # miss into a hit (a *steered* flip) but never the reverse.
+        steered = sum(
+            passive == 0 and withheld == 1
+            for passive, withheld in zip(
+                flips[("vrf", "passive")], flips[("vrf", "withhold")]
+            )
+        )
+        unsteered = sum(
+            passive == 1 and withheld == 0
+            for passive, withheld in zip(
+                flips[("vrf", "passive")], flips[("vrf", "withhold")]
+            )
+        )
+        assert unsteered == 0, "withholding must never steer away from 1"
+
+        hits = {cell: sum(flips[cell]) for cell in cells}
+        for kind, attack in cells:
+            count = hits[(kind, attack)]
+            low, high = wilson_interval(count, TRIALS)
+            rows.append(
+                [kind, attack, f"{count / TRIALS:.4f}",
+                 f"[{low:.4f}, {high:.4f}]",
+                 steered if (kind, attack) == ("vrf", "withhold") else 0]
+            )
+
         assert steered > 0, "the attack must find steerable flips (~T/16)"
-        assert vrf_withheld == vrf_passive + steered
+        assert hits[("vrf", "withhold")] == hits[("vrf", "passive")] + steered
         # Expected steering rate t/(4n) = 1/16: allow wide slack.
         assert TRIALS / 40 <= steered <= TRIALS / 8
         # The threshold coin cannot move: withholding = share loss only.
-        th_passive, _ = results[("threshold", "passive")]
-        th_withheld, _ = results[("threshold", "withhold")]
-        assert th_withheld == th_passive
+        assert hits[("threshold", "withhold")] == hits[("threshold", "passive")]
         return True
 
     assert benchmark(sweep)

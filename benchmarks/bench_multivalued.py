@@ -7,6 +7,12 @@ Measured here for both lifts: the classic Turpin–Coan reduction (t < n/3)
 and the Proxcensus-based lift (both regimes), on top of both binary
 protocols — the overhead must be exactly +2 / +3 rounds, and the lifted
 protocol must agree on domain values, not just bits.
+
+Runs through the parallel experiment engine: the four executions are
+declared as :class:`TrialSpec`s and dispatched in one batch, so
+``REPRO_BENCH_WORKERS`` fans them out across processes.  Seeds, sessions
+and key material match the historical serial harness bit for bit (see
+``legacy_setup_seed`` in ``conftest.py``).
 """
 
 from __future__ import annotations
@@ -14,18 +20,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.report import format_table
-from repro.core.ba import (
-    ba_one_half_program,
-    ba_one_third_program,
-    rounds_one_half,
-    rounds_one_third,
-)
-from repro.core.turpin_coan import (
-    multivalued_ba_program,
-    turpin_coan_classic_program,
-)
+from repro.core.ba import rounds_one_half, rounds_one_third
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 KAPPA = 8
 DOMAIN = ["blk_A", "blk_B", "blk_C", "blk_A", "blk_B", "blk_A", "blk_C"]
@@ -36,40 +33,38 @@ def test_multivalued_overhead_is_two_or_three_rounds(benchmark, report_sink):
 
     def sweep():
         rows.clear()
-        bba13 = lambda c, b: ba_one_third_program(c, b, KAPPA)
-        bba12 = lambda c, b: ba_one_half_program(c, b, KAPPA)
-
-        # t < n/3 (n = 7, t = 2): classic Turpin-Coan and the prox lift.
         binary13 = rounds_one_third(KAPPA)
-        res = run(
-            lambda c, v: turpin_coan_classic_program(c, v, bba13, default="∅"),
-            DOMAIN, 2, session="mv-tc",
-        )
-        assert res.honest_agree()
-        assert res.metrics.rounds == binary13 + 2
-        rows.append(["turpin-coan classic", "n/3", binary13, res.metrics.rounds, "+2"])
-
-        res = run(
-            lambda c, v: multivalued_ba_program(
-                c, v, bba13, regime="one_third", default="∅"
-            ),
-            DOMAIN, 2, session="mv-l3",
-        )
-        assert res.honest_agree()
-        assert res.metrics.rounds == binary13 + 2
-        rows.append(["proxcensus lift", "n/3", binary13, res.metrics.rounds, "+2"])
-
-        # t < n/2 (n = 7, t = 3): the prox lift.
         binary12 = rounds_one_half(KAPPA)
-        res = run(
-            lambda c, v: multivalued_ba_program(
-                c, v, bba12, regime="one_half", default="∅"
+        specs = [
+            # t < n/3 (n = 7, t = 2): classic Turpin-Coan and the prox lift.
+            engine_spec(
+                "turpin_coan_classic", DOMAIN, 2,
+                params={"kappa": KAPPA}, session="mv-tc",
             ),
-            DOMAIN, 3, session="mv-l2",
-        )
-        assert res.honest_agree()
-        assert res.metrics.rounds == binary12 + 3
-        rows.append(["proxcensus lift", "n/2", binary12, res.metrics.rounds, "+3"])
+            engine_spec(
+                "multivalued_ba", DOMAIN, 2,
+                params={"kappa": KAPPA, "regime": "one_third"},
+                session="mv-l3",
+            ),
+            # t < n/2 (n = 7, t = 3): the prox lift.
+            engine_spec(
+                "multivalued_ba", DOMAIN, 3,
+                params={"kappa": KAPPA, "regime": "one_half"},
+                session="mv-l2",
+            ),
+        ]
+        classic, lift13, lift12 = run_plan("bench-multivalued", specs)
+
+        for res, binary, overhead, label, regime in (
+            (classic, binary13, 2, "turpin-coan classic", "n/3"),
+            (lift13, binary13, 2, "proxcensus lift", "n/3"),
+            (lift12, binary12, 3, "proxcensus lift", "n/2"),
+        ):
+            assert res.honest_agree()
+            assert res.metrics.rounds == binary + overhead
+            rows.append(
+                [label, regime, binary, res.metrics.rounds, f"+{overhead}"]
+            )
         return True
 
     assert benchmark(sweep)
@@ -84,13 +79,15 @@ def test_multivalued_overhead_is_two_or_three_rounds(benchmark, report_sink):
 
 def test_multivalued_validity_with_unanimous_domain_value(benchmark):
     def check():
-        res = run(
-            lambda c, v: multivalued_ba_program(
-                c, v,
-                lambda cc, b: ba_one_third_program(cc, b, 4),
-                regime="one_third", default="∅",
-            ),
-            ["tx"] * 7, 2, session="mv-v",
+        (res,) = run_plan(
+            "bench-multivalued-validity",
+            [
+                engine_spec(
+                    "multivalued_ba", ["tx"] * 7, 2,
+                    params={"kappa": 4, "regime": "one_third"},
+                    session="mv-v",
+                )
+            ],
         )
         assert all(v == "tx" for v in res.outputs.values())
         return True

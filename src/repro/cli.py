@@ -4,7 +4,14 @@ Subcommands
 -----------
 ``run``
     Execute one protocol on a simulated network and print the outcome
-    (optionally with a full message trace and an adversary attached).
+    (optionally with a full message trace and an adversary attached;
+    ``--trace-jsonl`` additionally streams the trace to a
+    schema-versioned JSONL file).
+``trace``
+    Replay a streamed JSONL trace file through the round-timeline
+    renderer, with ``--round`` / ``--party`` / ``--corrupt-only``
+    filters and ``--stats`` per-round tallies.  Malformed, truncated or
+    wrong-schema files exit 2.
 ``compare``
     The §3.5 efficiency comparison, measured live for chosen κ values.
 ``tables``
@@ -20,6 +27,10 @@ Subcommands
     ``--adaptive`` adds the early-stopping leg: the sweep re-run under
     :class:`repro.engine.AdaptiveRunner` with a total budget equal to the
     fixed run, verdict-checked against it config for config.
+    ``--telemetry DIR`` streams engine scheduling spans (chunk dispatch,
+    worker busy time, setup, adaptive allocations) to
+    ``DIR/telemetry.jsonl`` and fails if they don't sum consistently
+    with the reported wall times.
 ``check``
     Stdlib-AST static analysis enforcing the repo's determinism,
     layering and serialization invariants (rule families DET/LAY/SER/API;
@@ -32,6 +43,10 @@ Examples::
     python -m repro run --protocol one_third --kappa 8 --inputs 1,0,1,0 --t 1
     python -m repro run --protocol one_half --kappa 4 --inputs 1,0,1,0,1 \\
         --t 2 --adversary straddle --trace
+    python -m repro run --protocol one_third --kappa 4 --inputs 1,0,1,0 \\
+        --t 1 --adversary crash --trace-jsonl run.trace.jsonl
+    python -m repro trace run.trace.jsonl --stats
+    python -m repro trace run.trace.jsonl --round 1,2 --corrupt-only
     python -m repro compare --kappas 4,8,16,32
     python -m repro tables --which table2
     python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
@@ -124,7 +139,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.adversary = "straddle13" if args.protocol == "one_third" else "straddle12"
     victims = args.victims or list(range(n - t, n))
     adversary = _build_adversary(args.adversary, victims, factory)
-    tracer = Tracer() if args.trace else None
+    tracer = None
+    memory_sink = None
+    jsonl_sink = None
+    if args.trace or args.trace_jsonl:
+        from .network.trace import MemoryTraceSink
+
+        sinks = []
+        if args.trace:
+            memory_sink = MemoryTraceSink()
+            sinks.append(memory_sink)
+        if args.trace_jsonl:
+            from .obs import FanoutSink, JsonlTraceSink
+
+            jsonl_sink = JsonlTraceSink(
+                args.trace_jsonl,
+                meta={
+                    "protocol": args.protocol,
+                    "kappa": args.kappa,
+                    "adversary": args.adversary,
+                    "n": n,
+                    "t": t,
+                    "seed": args.seed,
+                    "session": f"cli{args.seed}",
+                },
+            )
+            sinks.append(jsonl_sink)
+        tracer = Tracer(sinks[0] if len(sinks) == 1 else FanoutSink(sinks))
     import random as _random
 
     simulator = SyncSimulator(
@@ -136,7 +177,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         session=f"cli{args.seed}",
         tracer=tracer,
     )
-    result = simulator.run(factory, inputs)
+    try:
+        result = simulator.run(factory, inputs)
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(f"protocol   : {args.protocol} (kappa={args.kappa})")
     print(f"inputs     : {inputs}")
     print(f"corrupted  : {sorted(result.corrupted) or '-'}")
@@ -145,10 +190,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"rounds     : {result.metrics.rounds}")
     print(f"messages   : {result.metrics.total_messages}")
     print(f"signatures : {result.metrics.total_signatures}")
-    if tracer is not None:
+    if memory_sink is not None:
         print("\ntranscript:")
-        print(tracer.render())
+        print(memory_sink.render())
+    if jsonl_sink is not None:
+        print(
+            f"\nwrote trace: {args.trace_jsonl} "
+            f"({jsonl_sink.events_written} events, "
+            f"{jsonl_sink.corruptions_written} corruptions)"
+        )
     return 0 if result.honest_agree() else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Replay a streamed JSONL trace through the timeline renderer."""
+    from .obs import ObsFormatError, filter_trace, load_trace, trace_metrics
+
+    try:
+        loaded = load_trace(args.file)
+    except (ObsFormatError, OSError) as error:
+        print(f"repro trace: {error}", file=sys.stderr)
+        return 2
+    tracer = loaded.tracer
+    if args.round is not None or args.party is not None or args.corrupt_only:
+        tracer = filter_trace(
+            tracer,
+            rounds=args.round,
+            party=args.party,
+            corrupt_only=args.corrupt_only,
+        )
+    if loaded.meta:
+        described = ", ".join(
+            f"{key}={value}" for key, value in sorted(loaded.meta.items())
+        )
+        print(f"trace: {args.file} ({described})\n")
+    print(tracer.render(max_payload_width=args.width))
+    if args.stats:
+        metrics = trace_metrics(tracer)
+        rows = []
+        for round_index in sorted(metrics.per_round):
+            stats = metrics.per_round[round_index]
+            rows.append(
+                [
+                    round_index,
+                    stats.honest_messages,
+                    stats.corrupt_messages,
+                    stats.honest_signatures,
+                    stats.corrupt_signatures,
+                ]
+            )
+        print("\nper-round tallies (replayed from the trace)\n")
+        print(
+            format_table(
+                ["round", "msgs honest", "msgs corrupt",
+                 "sigs honest", "sigs corrupt"],
+                rows,
+            )
+        )
+        print()
+        print(f"{'events':22s}: {len(tracer.events)}")
+        print(f"{'corruptions':22s}: {len(tracer.corruptions)}")
+        print(f"{'messages':22s}: {metrics.total_messages}")
+        print(f"{'signatures':22s}: {metrics.total_signatures}")
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -282,7 +386,9 @@ def _sweep_bounds(plan, expression: str) -> dict:
     return {name: value for name in plan.configs()}
 
 
-def _run_adaptive_leg(args: argparse.Namespace, serial, workers: int) -> dict:
+def _run_adaptive_leg(
+    args: argparse.Namespace, serial, workers: int, telemetry=None
+) -> dict:
     """The ``--adaptive`` leg of `bench`: early-stopping vs fixed budget.
 
     Runs the same sweep through :class:`AdaptiveRunner` with a total
@@ -297,7 +403,9 @@ def _run_adaptive_leg(args: argparse.Namespace, serial, workers: int) -> dict:
     plan = _build_sweep_plan(args, trials=cap)
     bounds = _sweep_bounds(plan, args.bound)
     budget = args.trials * len(plan.configs())
-    runner = AdaptiveRunner(workers=workers, batch_size=args.batch)
+    runner = AdaptiveRunner(
+        workers=workers, batch_size=args.batch, telemetry=telemetry
+    )
     adaptive = runner.run(plan, bounds, budget=budget)
 
     # Fixed-budget verdicts: the same classifier fed the full counts.
@@ -474,11 +582,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif requested is None:
         print(f"workers: auto -> {workers} (cpu_count={os.cpu_count()})")
 
+    telemetry = None
+    telemetry_path = None
+    if args.telemetry:
+        from .obs import TelemetryWriter
+
+        os.makedirs(args.telemetry, exist_ok=True)
+        telemetry_path = os.path.join(args.telemetry, "telemetry.jsonl")
+        telemetry = TelemetryWriter(
+            telemetry_path,
+            meta={
+                "plan": plan.describe(),
+                "trials_per_config": per_config,
+                "workers": workers,
+                "backend": args.backend,
+            },
+        )
+
     setup_timing = _measure_real_setup(plan, workers)
-    serial = ParallelRunner(workers=1).run(plan)
+    if telemetry is not None and setup_timing is not None:
+        telemetry.emit("real_setup", **setup_timing)
+    serial = ParallelRunner(workers=1, telemetry=telemetry).run(plan)
     parallel = None
     if workers > 1:
-        parallel = ParallelRunner(workers=workers).run(plan)
+        parallel = ParallelRunner(workers=workers, telemetry=telemetry).run(plan)
         if parallel.results != serial.results:
             print("DETERMINISM VIOLATION: parallel results differ from serial")
             return 2
@@ -557,7 +684,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     adaptive_payload = None
     if args.adaptive:
-        adaptive_payload = _run_adaptive_leg(args, serial, workers)
+        adaptive_payload = _run_adaptive_leg(args, serial, workers, telemetry)
+
+    telemetry_summary = None
+    if telemetry is not None:
+        from .obs import summarize_telemetry
+
+        telemetry.emit(
+            "bench_complete",
+            serial_seconds=round(serial.wall_seconds, 4),
+            parallel_seconds=(
+                round(parallel.wall_seconds, 4) if parallel else None
+            ),
+        )
+        telemetry.close()
+        telemetry_summary = summarize_telemetry(telemetry_path)
+        print()
+        print(
+            f"{'telemetry':32s}: {telemetry_path} "
+            f"({telemetry_summary['records']} records, "
+            f"{telemetry_summary['chunks']} chunk spans)"
+        )
+        for run in telemetry_summary["runs"]:
+            if run.get("utilization") is not None:
+                print(
+                    f"{'  ' + run['label'][:28] + ' util':32s}: "
+                    f"{run['utilization']:8.0%} "
+                    f"({run['chunks']} chunks, "
+                    f"busy {run['busy_seconds']:.3f}s / "
+                    f"wall {run['wall_seconds']:.3f}s x "
+                    f"{run['workers']} workers)"
+                )
+        print(
+            f"{'telemetry spans consistent':32s}: "
+            f"{'      OK' if telemetry_summary['consistent'] else '    MISMATCH'}"
+        )
 
     if args.json:
         payload = {
@@ -623,12 +784,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for row in rows
             ],
             "adaptive": adaptive_payload,
+            "telemetry": (
+                {
+                    "path": telemetry_path,
+                    "records": telemetry_summary["records"],
+                    "chunks": telemetry_summary["chunks"],
+                    "busy_seconds": round(
+                        telemetry_summary["busy_seconds"], 4
+                    ),
+                    "payload_bytes": telemetry_summary["payload_bytes"],
+                    "consistent": telemetry_summary["consistent"],
+                }
+                if telemetry_summary is not None
+                else None
+            ),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"\nwrote {args.json}")
     if adaptive_payload is not None and not adaptive_payload["verdicts_match_fixed"]:
+        return 2
+    if telemetry_summary is not None and not telemetry_summary["consistent"]:
+        print("TELEMETRY MISMATCH: spans do not sum consistently with wall time")
         return 2
     return 0
 
@@ -734,7 +912,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--trace", action="store_true")
+    run_parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="also stream the trace to a schema-versioned JSONL file "
+        "(replay it with `repro trace PATH`)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="replay a streamed JSONL trace as a round timeline"
+    )
+    trace_parser.add_argument("file", help="a .trace.jsonl file to replay")
+    trace_parser.add_argument(
+        "--round", type=_parse_int_list, default=None, metavar="R[,R...]",
+        help="show only these round indices",
+    )
+    trace_parser.add_argument(
+        "--party", type=int, default=None, metavar="PID",
+        help="show only events this party sent or received",
+    )
+    trace_parser.add_argument(
+        "--corrupt-only", action="store_true",
+        help="show only messages from corrupted senders",
+    )
+    trace_parser.add_argument(
+        "--stats", action="store_true",
+        help="append per-round message/signature tallies",
+    )
+    trace_parser.add_argument(
+        "--width", type=_positive_int, default=60, metavar="COLS",
+        help="max payload summary width in the timeline",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     compare_parser = subparsers.add_parser(
         "compare", help="the §3.5 efficiency comparison"
@@ -817,6 +1026,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--batch", type=_positive_int, default=25,
         help="adaptive allocation batch size per config per round",
+    )
+    bench_parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write engine telemetry (chunk/worker/setup spans, adaptive "
+        "decisions) to DIR/telemetry.jsonl and check span consistency",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 

@@ -24,6 +24,7 @@ from .runner import (
     deal_suite,
     default_workers,
     predeal_suites,
+    run_traced_trial,
     run_trial,
 )
 from .transport import ChunkSummary, TrialSummary, measure_payload_bytes
@@ -50,5 +51,6 @@ __all__ = [
     "protocol_names",
     "register_adversary",
     "register_protocol",
+    "run_traced_trial",
     "run_trial",
 ]

@@ -32,6 +32,7 @@ by ``tests/engine/test_adaptive.py``).
 
 from __future__ import annotations
 
+import pickle
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -50,8 +51,15 @@ from typing import (
 
 from ..analysis.stats import _Z995, SequentialEstimate
 from ..network.simulator import ExecutionResult
+from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
-from .runner import _run_chunk, _seed_suite_cache, predeal_suites, run_trial
+from .runner import (
+    _run_chunk,
+    _run_chunk_timed,
+    _seed_suite_cache,
+    predeal_suites,
+    run_trial,
+)
 
 __all__ = ["AdaptiveRunner", "AdaptiveResult", "ConfigOutcome"]
 
@@ -156,6 +164,13 @@ class AdaptiveRunner:
         packed :class:`~repro.engine.transport.ChunkSummary` per batch,
         rebuilt losslessly on the parent side; ``"pickle"`` ships the
         full ``ExecutionResult`` trees (legacy payload, benchmarking).
+    telemetry:
+        Optional :class:`~repro.obs.TelemetryWriter`.  When set, every
+        allocation round emits an ``adaptive_round`` record (which
+        configs got batches, interval widths, remaining budget) plus
+        per-batch chunk dispatch/complete spans, and the run closes with
+        ``adaptive_complete`` — the scheduler's decisions become
+        auditable after the fact (``repro bench --telemetry``).
     min_trials / min_hits / precision / z:
         Forwarded to each config's :class:`SequentialEstimate`.  The
         defaults are deliberately more conservative than the reporting
@@ -178,6 +193,7 @@ class AdaptiveRunner:
         precision: Optional[float] = None,
         z: float = _Z995,
         transport: str = "compact",
+        telemetry: Optional[TelemetryWriter] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -195,6 +211,8 @@ class AdaptiveRunner:
         self.precision = precision
         self.z = z
         self.transport = transport
+        self.telemetry = telemetry
+        self._chunk_seq = 0
 
     def run(
         self,
@@ -236,15 +254,32 @@ class AdaptiveRunner:
         }
         results: List[Optional[ExecutionResult]] = [None] * len(plan)
         spent = 0
+        rounds = 0
+        tele = self.telemetry
+        if tele is not None:
+            tele.emit(
+                "run_start", label=plan.name,
+                mode="pool" if self.workers > 1 else "inline",
+                workers=self.workers, trials=len(plan),
+                configs=len(groups), budget=budget,
+                batch_size=self.batch_size,
+            )
 
         pool: Optional[ProcessPoolExecutor] = None
         if self.workers > 1:
             # Pre-deal real-backend suites once and broadcast them, so
             # pool workers never repeat threshold-RSA setup per process.
+            predeal_started = time.perf_counter()
+            dealt = predeal_suites(plan, self.workers)
+            if tele is not None and dealt:
+                tele.emit(
+                    "predeal", suites=len(dealt),
+                    seconds=round(time.perf_counter() - predeal_started, 6),
+                )
             pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_seed_suite_cache,
-                initargs=(predeal_suites(plan, self.workers),),
+                initargs=(dealt,),
             )
         try:
             while True:
@@ -253,6 +288,21 @@ class AdaptiveRunner:
                 )
                 if not allocations:
                     break
+                if tele is not None:
+                    tele.emit(
+                        "adaptive_round", round=rounds,
+                        remaining=budget - spent,
+                        allocations=[
+                            {
+                                "config": name,
+                                "trials": len(indices),
+                                "width": round(
+                                    outcomes[name].estimate.width, 6
+                                ),
+                            }
+                            for name, indices in allocations
+                        ],
+                    )
                 batches = [
                     [(index, plan.trials[index]) for index in indices]
                     for _name, indices in allocations
@@ -261,6 +311,7 @@ class AdaptiveRunner:
                     results[index] = result
                     outcomes[owner[index]].estimate.observe(event(result))
                 spent += sum(len(batch) for batch in batches)
+                rounds += 1
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -272,6 +323,15 @@ class AdaptiveRunner:
                 and outcome.executed < len(outcome.indices)
             ):
                 outcome.stopped_early = True
+        if tele is not None:
+            tele.emit(
+                "adaptive_complete", spent=spent, budget=budget,
+                allocation_rounds=rounds,
+                stopped_early=sum(
+                    1 for o in outcomes.values() if o.stopped_early
+                ),
+            )
+            tele.emit("run_complete", label=plan.name, trials=spent)
         return AdaptiveResult(
             plan=plan,
             results=results,
@@ -353,17 +413,37 @@ class AdaptiveRunner:
                     yield index, run_trial(spec)
             return
         compact = self.transport == "compact"
+        tele = self.telemetry
+        entry = _run_chunk if tele is None else _run_chunk_timed
         specs = {index: spec for batch in batches for index, spec in batch}
-        futures = [
-            pool.submit(_run_chunk, list(batch), False, compact)
-            for batch in batches
-        ]
+        futures = []
+        dispatched = {}
+        for batch in batches:
+            future = pool.submit(entry, list(batch), False, compact)
+            futures.append(future)
+            if tele is not None:
+                number = self._chunk_seq
+                self._chunk_seq += 1
+                dispatched[future] = (number, tele.elapsed())
+                tele.emit(
+                    "chunk_dispatch", chunk=number, trials=len(batch),
+                    first_index=batch[0][0],
+                )
         try:
             for future in as_completed(futures):
+                payload = future.result()
+                if tele is not None:
+                    seconds, payload = payload
+                    number, opened = dispatched[future]
+                    tele.emit(
+                        "chunk_complete", chunk=number, seconds=seconds,
+                        span=round(tele.elapsed() - opened, 6),
+                        payload_bytes=len(pickle.dumps(payload)),
+                    )
                 if compact:
-                    yield from future.result().unpack(specs)
+                    yield from payload.unpack(specs)
                 else:
-                    for index, result in future.result():
+                    for index, result in payload:
                         yield index, result
         except BaseException:
             for future in futures:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from ..adversary.base import Adversary
+from ..adversary.coin_bias import WithholdingCoinAdversary
 from ..adversary.straddle import (
     LinearHalfStraddleAdversary,
     OneThirdStraddleAdversary,
@@ -40,6 +41,12 @@ from ..core.micali_vaikuntanathan import (
     mv_pki_program,
 )
 from ..core.probabilistic import fm_probabilistic_program
+from ..core.turpin_coan import (
+    multivalued_ba_program,
+    turpin_coan_classic_program,
+)
+from ..crypto.coin import threshold_coin_program
+from ..crypto.vrf_coin import vrf_coin_program
 from ..network.party import ProgramFactory
 from ..proxcensus.linear_half import prox_linear_half_program
 from ..proxcensus.one_third import prox_one_third_program
@@ -165,6 +172,55 @@ register_protocol(
 )
 
 
+def _binary_for(regime: str, kappa: int) -> ProgramFactory:
+    """The binary BA matching a multivalued lift's corruption regime."""
+    if regime == "one_half":
+        return lambda ctx, bit: ba_one_half_program(ctx, bit, kappa)
+    return lambda ctx, bit: ba_one_third_program(ctx, bit, kappa)
+
+
+register_protocol(
+    "turpin_coan_classic",
+    lambda kappa, default="∅": (
+        lambda ctx, value: turpin_coan_classic_program(
+            ctx, value, _binary_for("one_third", kappa), default=default
+        )
+    ),
+)
+register_protocol(
+    "multivalued_ba",
+    lambda kappa, regime="one_third", default="∅": (
+        lambda ctx, value: multivalued_ba_program(
+            ctx, value, _binary_for(regime, kappa), regime=regime, default=default
+        )
+    ),
+)
+
+
+def _vrf_coin_factory(index=0, low=0, high=1):
+    """Factory for one VRF common-coin flip (inputs are ignored)."""
+
+    def factory(ctx, _value):
+        value = yield from vrf_coin_program(ctx, index, low, high)
+        return value
+
+    return factory
+
+
+def _threshold_coin_factory(index=0, low=0, high=1):
+    """Factory for one threshold-signature coin flip (inputs ignored)."""
+
+    def factory(ctx, _value):
+        value = yield from threshold_coin_program(ctx, index, low, high)
+        return value
+
+    return factory
+
+
+register_protocol("vrf_coin", _vrf_coin_factory)
+register_protocol("threshold_coin", _threshold_coin_factory)
+
+
 # ── Built-in adversaries ─────────────────────────────────────────────────
 
 register_adversary(
@@ -197,5 +253,13 @@ register_adversary(
     "grade_split",
     lambda factory, victims, target=0, boost_value=0: GradeSplitAdversary(
         list(victims), target=target, boost_value=boost_value
+    ),
+)
+register_adversary(
+    "withhold_coin",
+    lambda factory, victims, index=0, low=0, high=1, preferred=1,
+    session=None: WithholdingCoinAdversary(
+        list(victims), index=index, low=low, high=high,
+        preferred=preferred, session=session,
     ),
 )

@@ -37,12 +37,20 @@ per-task pickling/IPC overhead amortizes, with enough chunks per worker
 
 ``workers=1`` (the default) executes inline — no pool, no pickling — and
 is exactly the legacy serial harness.
+
+Observability is opt-in and off the results path: ``trace_dir`` streams
+one bounded-memory JSONL trace per trial (:mod:`repro.obs`) straight
+from whichever process runs it to disk, and ``telemetry`` records
+run/predeal/chunk scheduling spans for ``repro bench --telemetry``.
+Neither changes what the trials compute — trace files are a pure
+function of the spec, so serial and pooled runs write identical bytes.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import pickle
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -52,6 +60,9 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 from ..crypto.keys import CryptoSuite
 from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult, SyncSimulator
+from ..network.trace import Tracer
+from ..obs.sinks import JsonlTraceSink, trace_filename
+from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
 from .registry import build_adversary, build_protocol_factory
 from .transport import ChunkSummary
@@ -60,6 +71,7 @@ __all__ = [
     "ParallelRunner",
     "PlanResult",
     "run_trial",
+    "run_traced_trial",
     "clamp_workers",
     "deal_suite",
     "default_workers",
@@ -209,7 +221,11 @@ def predeal_suites(
     return [(key, suite) for key, suite in dealt.items()]
 
 
-def run_trial(spec: TrialSpec, legacy_metrics: bool = False) -> ExecutionResult:
+def run_trial(
+    spec: TrialSpec,
+    legacy_metrics: bool = False,
+    tracer: Optional[Tracer] = None,
+) -> ExecutionResult:
     """Execute one trial in this process (suite cached per-process)."""
     factory = build_protocol_factory(spec.protocol, spec.param_dict)
     adversary = build_adversary(spec.adversary, spec.adversary_param_dict, factory)
@@ -223,26 +239,84 @@ def run_trial(spec: TrialSpec, legacy_metrics: bool = False) -> ExecutionResult:
         max_rounds=spec.max_rounds,
         collect_signatures=spec.collect_signatures,
         legacy_metrics=legacy_metrics,
+        tracer=tracer,
     )
     return simulator.run(factory, list(spec.inputs))
+
+
+def run_traced_trial(
+    spec: TrialSpec,
+    trace_dir: str,
+    index: int,
+    legacy_metrics: bool = False,
+) -> ExecutionResult:
+    """Run one trial with a streaming per-trial trace attached.
+
+    The trace lands in ``trace_dir`` under :func:`trace_filename`
+    (``trial-00042.trace.jsonl``), headed with enough metadata to
+    identify the spec.  Memory stays bounded — records stream straight
+    to disk — and the file content is a pure function of the spec, so
+    serial and pooled runs write byte-identical traces.
+    """
+    sink = JsonlTraceSink(
+        os.path.join(trace_dir, trace_filename(index)),
+        meta={
+            "index": index,
+            "protocol": spec.protocol,
+            "adversary": spec.adversary,
+            "n": spec.num_parties,
+            "t": spec.max_faulty,
+            "seed": spec.seed,
+            "session": spec.session,
+        },
+    )
+    tracer = Tracer(sink)
+    try:
+        return run_trial(spec, legacy_metrics, tracer=tracer)
+    finally:
+        tracer.close()
 
 
 def _run_chunk(
     chunk: Sequence[Tuple[int, TrialSpec]],
     legacy_metrics: bool,
     compact: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> Union[List[Tuple[int, ExecutionResult]], ChunkSummary]:
     """Worker entry point: run a contiguous slice of the plan.
 
     With ``compact`` the whole chunk returns as one packed
     :class:`ChunkSummary` — the parent rebuilds the ``ExecutionResult``
     trees from the specs it already holds, so only tallies and decisions
-    cross the pipe.
+    cross the pipe.  With ``trace_dir`` each trial streams a per-trial
+    JSONL trace into that directory as it runs (traces never ride the
+    result pipe).
     """
-    pairs = [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
+    if trace_dir is None:
+        pairs = [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
+    else:
+        pairs = [
+            (index, run_traced_trial(spec, trace_dir, index, legacy_metrics))
+            for index, spec in chunk
+        ]
     if compact:
         return ChunkSummary.pack(pairs)
     return pairs
+
+
+def _run_chunk_timed(
+    chunk: Sequence[Tuple[int, TrialSpec]],
+    legacy_metrics: bool,
+    compact: bool = False,
+    trace_dir: Optional[str] = None,
+) -> Tuple[float, Union[List[Tuple[int, ExecutionResult]], ChunkSummary]]:
+    """Worker entry point for telemetry runs: payload plus in-worker
+    execution seconds.  Timed *inside* the worker because the parent only
+    sees dispatch→completion spans, which include queue wait — summing
+    those would overstate busy-time whenever chunks outnumber workers."""
+    started = time.perf_counter()
+    payload = _run_chunk(chunk, legacy_metrics, compact, trace_dir)
+    return round(time.perf_counter() - started, 6), payload
 
 
 @dataclass
@@ -255,6 +329,7 @@ class PlanResult:
     wall_seconds: float
     chunk_size: int = 1
     transport: str = "compact"
+    trace_dir: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -300,6 +375,8 @@ class ParallelRunner:
         chunk_size: Optional[int] = None,
         legacy_metrics: bool = False,
         transport: str = "compact",
+        trace_dir: Optional[str] = None,
+        telemetry: Optional[TelemetryWriter] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -313,20 +390,45 @@ class ParallelRunner:
         self.chunk_size = chunk_size
         self.legacy_metrics = legacy_metrics
         self.transport = transport
+        self.trace_dir = trace_dir
+        self.telemetry = telemetry
+
+    def _run_one(self, index: int, spec: TrialSpec) -> ExecutionResult:
+        """One inline trial, traced iff the runner collects traces."""
+        if self.trace_dir is not None:
+            return run_traced_trial(
+                spec, self.trace_dir, index, self.legacy_metrics
+            )
+        return run_trial(spec, self.legacy_metrics)
+
+    def _prepare_trace_dir(self) -> None:
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
 
     def run(self, plan: TrialPlan) -> PlanResult:
         """Execute every trial; results return in plan order."""
         started = time.perf_counter()
+        self._prepare_trace_dir()
+        tele = self.telemetry
         if self.workers == 1 or len(plan) <= 1:
+            if tele is not None:
+                tele.emit(
+                    "run_start", label=plan.name, mode="inline",
+                    workers=1, trials=len(plan),
+                )
             results = [
-                run_trial(spec, self.legacy_metrics) for spec in plan.trials
+                self._run_one(index, spec)
+                for index, spec in enumerate(plan.trials)
             ]
+            if tele is not None:
+                tele.emit("run_complete", label=plan.name, trials=len(results))
             return PlanResult(
                 plan=plan,
                 results=results,
                 workers=1,
                 wall_seconds=time.perf_counter() - started,
                 transport=self.transport,
+                trace_dir=self.trace_dir,
             )
 
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
@@ -343,6 +445,7 @@ class ParallelRunner:
             wall_seconds=time.perf_counter() - started,
             chunk_size=chunk_size,
             transport=self.transport,
+            trace_dir=self.trace_dir,
         )
 
     def run_iter(
@@ -362,9 +465,18 @@ class ParallelRunner:
         and outstanding work is cancelled — late chunks cannot hide an
         early crash behind hours of remaining work.
         """
+        self._prepare_trace_dir()
         if self.workers == 1 or len(plan) <= 1:
+            tele = self.telemetry
+            if tele is not None:
+                tele.emit(
+                    "run_start", label=plan.name, mode="inline",
+                    workers=1, trials=len(plan),
+                )
             for index, spec in enumerate(plan.trials):
-                yield index, run_trial(spec, self.legacy_metrics)
+                yield index, self._run_one(index, spec)
+            if tele is not None:
+                tele.emit("run_complete", label=plan.name, trials=len(plan))
             return
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
         yield from self._iter_pooled(plan, chunk_size)
@@ -379,25 +491,60 @@ class ParallelRunner:
             for start in range(0, len(indexed), chunk_size)
         ]
         compact = self.transport == "compact"
+        tele = self.telemetry
+        if tele is not None:
+            tele.emit(
+                "run_start", label=plan.name, mode="pool",
+                workers=self.workers, trials=len(plan),
+                chunks=len(chunks), chunk_size=chunk_size,
+                transport=self.transport,
+            )
+        predeal_started = time.perf_counter()
         dealt = predeal_suites(plan, self.workers)
+        if tele is not None and dealt:
+            tele.emit(
+                "predeal", suites=len(dealt),
+                seconds=round(time.perf_counter() - predeal_started, 6),
+            )
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_seed_suite_cache,
             initargs=(dealt,),
         )
-        futures = [
-            pool.submit(_run_chunk, chunk, self.legacy_metrics, compact)
-            for chunk in chunks
-        ]
+        entry = _run_chunk if tele is None else _run_chunk_timed
+        futures = []
+        dispatched = {}
+        for number, chunk in enumerate(chunks):
+            future = pool.submit(
+                entry, chunk, self.legacy_metrics, compact, self.trace_dir
+            )
+            futures.append(future)
+            if tele is not None:
+                dispatched[future] = (number, tele.elapsed())
+                tele.emit(
+                    "chunk_dispatch", chunk=number, trials=len(chunk),
+                    first_index=chunk[0][0],
+                )
         try:
             for future in as_completed(futures):
                 # .result() re-raises the first worker failure promptly;
                 # the finally block then cancels everything still queued.
+                payload = future.result()
+                if tele is not None:
+                    seconds, payload = payload
+                    number, opened = dispatched[future]
+                    tele.emit(
+                        "chunk_complete", chunk=number, seconds=seconds,
+                        span=round(tele.elapsed() - opened, 6),
+                        payload_bytes=len(pickle.dumps(payload)),
+                    )
                 if compact:
-                    yield from future.result().unpack(plan.trials)
+                    yield from payload.unpack(plan.trials)
                 else:
-                    for index, result in future.result():
+                    for index, result in payload:
                         yield index, result
+            if tele is not None:
+                tele.emit("run_complete", label=plan.name, trials=len(plan))
         finally:
             for future in futures:
                 future.cancel()

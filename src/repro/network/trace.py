@@ -9,21 +9,43 @@ the FM iteration structure, or eyeballing what an adversary actually did.
 Payloads are summarized, not deep-copied: tracing a 2^64-slot Proxcensus
 must not blow up memory, so each payload is reduced to a short structural
 description at record time (dict keys, tuple arity, signature markers).
+
+Where the records *go* is a pluggable :class:`TraceSink`.  The default
+:class:`MemoryTraceSink` keeps the full transcript in memory and renders
+it (the historical behavior, unchanged byte for byte); the streaming
+:class:`~repro.obs.JsonlTraceSink` writes each record to disk as it
+arrives and holds nothing, which is what lets traced thousand-trial
+plans run in bounded memory.  This module stays below the ``obs`` layer
+in the import DAG — sinks that need wall-clock time or filesystem layout
+live up there and only *subclass* :class:`TraceSink`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .messages import PARALLEL_KEY
+from .metrics import count_signatures
 
-__all__ = ["TraceEvent", "Tracer", "summarize_payload"]
+__all__ = [
+    "MemoryTraceSink",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "summarize_payload",
+]
 
 
 def summarize_payload(payload: Any, depth: int = 0) -> str:
-    """A short, bounded structural description of a message payload."""
+    """A short, bounded structural description of a message payload.
+
+    Deterministic by construction: unordered containers (sets, dict key
+    order) are sorted before rendering, so the same payload always
+    summarizes to the same string — trace files and rendered timelines
+    are diffable across runs.
+    """
     if depth > 3:
         return "…"
     if payload is None:
@@ -54,6 +76,13 @@ def summarize_payload(payload: Any, depth: int = 0) -> str:
         )
         suffix = ", …" if len(payload) > 4 else ""
         return f"{{{parts}{suffix}}}"
+    if isinstance(payload, (set, frozenset)):
+        # Sets iterate in hash order; sort the *summaries* so the
+        # description is one deterministic string per value.
+        items = sorted(summarize_payload(item, depth + 1) for item in payload)
+        shown = ", ".join(items[:3])
+        suffix = ", …" if len(items) > 3 else ""
+        return f"{{{shown}{suffix}}}"
     if isinstance(payload, (list, tuple)):
         items = ", ".join(summarize_payload(item, depth + 1) for item in payload[:3])
         suffix = ", …" if len(payload) > 3 else ""
@@ -63,51 +92,75 @@ def summarize_payload(payload: Any, depth: int = 0) -> str:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One delivered message."""
+    """One delivered message.
+
+    ``signatures`` is the :func:`~repro.network.metrics.count_signatures`
+    tally of the original payload, stamped at record time — the summary
+    string alone cannot recover it, and replay tooling
+    (``repro trace --stats``) cross-checks per-round signature totals
+    against :class:`~repro.network.metrics.RunMetrics`.
+    """
 
     round_index: int
     sender: int
     recipient: int
     summary: str
     sender_honest: bool
+    signatures: int = 0
 
 
-@dataclass
-class Tracer:
-    """Collects message events and corruption history during a run."""
+class TraceSink:
+    """Where trace records go.  Subclasses override the three hooks.
 
-    events: List[TraceEvent] = field(default_factory=list)
-    corruptions: List[Tuple[int, int]] = field(default_factory=list)  # (round, pid)
-    _known_corrupted: Set[int] = field(default_factory=set)
+    The simulator-facing :class:`Tracer` reduces payloads to
+    :class:`TraceEvent` records and corruption pairs, then hands them
+    here one at a time.  A sink may accumulate them (``MemoryTraceSink``),
+    stream them to disk (:class:`repro.obs.JsonlTraceSink`), or fan them
+    out to several sinks at once (:class:`repro.obs.FanoutSink`).
+    """
 
-    def record_message(
-        self, round_index: int, sender: int, recipient: int, payload: Any,
-        sender_honest: bool,
-    ) -> None:
-        """Record one delivered message (payload summarized, not copied)."""
-        self.events.append(
-            TraceEvent(
-                round_index=round_index,
-                sender=sender,
-                recipient=recipient,
-                summary=summarize_payload(payload),
-                sender_honest=sender_honest,
-            )
-        )
+    def record_event(self, event: TraceEvent) -> None:
+        raise NotImplementedError
 
-    def record_corruptions(self, round_index: int, corrupted: Set[int]) -> None:
-        for pid in sorted(corrupted - self._known_corrupted):
-            self.corruptions.append((round_index, pid))
-            self._known_corrupted.add(pid)
+    def record_corruption(self, round_index: int, pid: int) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/finalize; default is a no-op for unbuffered sinks."""
+
+
+class MemoryTraceSink(TraceSink):
+    """The historical in-memory transcript: full event list plus render.
+
+    Events are indexed by round *at record time* (``_by_round``), so
+    :meth:`events_in_round` and :meth:`render` are linear in the events
+    they touch — the old implementation re-filtered the full event list
+    once per round, a quadratic scan on long executions.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.corruptions: List[Tuple[int, int]] = []  # (round, pid)
+        self._by_round: Dict[int, List[TraceEvent]] = {}
+
+    def record_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        bucket = self._by_round.get(event.round_index)
+        if bucket is None:
+            bucket = self._by_round[event.round_index] = []
+        bucket.append(event)
+
+    def record_corruption(self, round_index: int, pid: int) -> None:
+        self.corruptions.append((round_index, pid))
 
     @property
     def rounds(self) -> int:
         """Highest round with a recorded event."""
-        return max((e.round_index for e in self.events), default=0)
+        return max(self._by_round, default=0)
 
     def events_in_round(self, round_index: int) -> List[TraceEvent]:
-        """All events delivered in one round."""
-        return [e for e in self.events if e.round_index == round_index]
+        """All events delivered in one round (shared list — don't mutate)."""
+        return self._by_round.get(round_index, [])
 
     def render(self, max_payload_width: int = 60) -> str:
         """Round-by-round ASCII timeline of the execution."""
@@ -141,3 +194,63 @@ class Tracer:
     @staticmethod
     def _population(events: List[TraceEvent]) -> int:
         return len({e.recipient for e in events})
+
+
+class Tracer:
+    """Reduces simulator deliveries to trace records and feeds a sink.
+
+    ``Tracer()`` keeps the historical behavior exactly: records go to a
+    fresh :class:`MemoryTraceSink`, and ``events`` / ``corruptions`` /
+    ``rounds`` / ``events_in_round`` / ``render`` proxy through to it.
+    With a streaming sink those accessors raise ``AttributeError`` —
+    deliberately: a sink that cannot answer them is one that did not
+    accumulate the transcript, which is the whole point.
+    """
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink: TraceSink = MemoryTraceSink() if sink is None else sink
+        self._known_corrupted: Set[int] = set()
+
+    def record_message(
+        self, round_index: int, sender: int, recipient: int, payload: Any,
+        sender_honest: bool,
+    ) -> None:
+        """Record one delivered message (payload summarized, not copied)."""
+        self.sink.record_event(
+            TraceEvent(
+                round_index=round_index,
+                sender=sender,
+                recipient=recipient,
+                summary=summarize_payload(payload),
+                sender_honest=sender_honest,
+                signatures=count_signatures(payload),
+            )
+        )
+
+    def record_corruptions(self, round_index: int, corrupted: Set[int]) -> None:
+        for pid in sorted(corrupted - self._known_corrupted):
+            self.sink.record_corruption(round_index, pid)
+            self._known_corrupted.add(pid)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # ── in-memory transcript accessors (MemoryTraceSink only) ─────────
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self.sink.events
+
+    @property
+    def corruptions(self) -> List[Tuple[int, int]]:
+        return self.sink.corruptions
+
+    @property
+    def rounds(self) -> int:
+        return self.sink.rounds
+
+    def events_in_round(self, round_index: int) -> List[TraceEvent]:
+        return self.sink.events_in_round(round_index)
+
+    def render(self, max_payload_width: int = 60) -> str:
+        return self.sink.render(max_payload_width)

@@ -1,0 +1,45 @@
+"""Observability layer: streaming trace sinks, engine telemetry, replay.
+
+Everything here is *about* executions, never *inside* them: the protocol
+layers (``core``/``proxcensus``/``crypto``/``network``) stay under the
+DET determinism rules and must not import ``obs``, while this layer is
+free to read wall clocks and touch the filesystem.  ``repro check``
+enforces the boundary (see the LAY layer map) and
+``docs/observability.md`` documents the schemas.
+
+Three pieces share one sink abstraction
+(:class:`repro.network.trace.TraceSink`):
+
+* :class:`JsonlTraceSink` streams trace records to disk in bounded
+  memory; :class:`FanoutSink` tees records to several sinks at once.
+* :func:`load_trace` / :func:`filter_trace` / :func:`trace_metrics`
+  replay a streamed file back into the in-memory renderer
+  (``repro trace``).
+* :class:`TelemetryWriter` / :func:`summarize_telemetry` record and
+  digest engine scheduling spans (``repro bench --telemetry``).
+"""
+
+from .replay import LoadedTrace, filter_trace, load_trace, trace_metrics
+from .sinks import (
+    TRACE_SCHEMA,
+    FanoutSink,
+    JsonlTraceSink,
+    ObsFormatError,
+    trace_filename,
+)
+from .telemetry import TELEMETRY_SCHEMA, TelemetryWriter, summarize_telemetry
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TRACE_SCHEMA",
+    "FanoutSink",
+    "JsonlTraceSink",
+    "LoadedTrace",
+    "ObsFormatError",
+    "TelemetryWriter",
+    "filter_trace",
+    "load_trace",
+    "summarize_telemetry",
+    "trace_filename",
+    "trace_metrics",
+]

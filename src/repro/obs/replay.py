@@ -1,0 +1,183 @@
+"""Replay streamed trace files into the in-memory transcript model.
+
+:func:`load_trace` is the strict inverse of
+:class:`~repro.obs.sinks.JsonlTraceSink`: it parses a JSONL trace back
+into a :class:`~repro.network.trace.Tracer` over a
+:class:`~repro.network.trace.MemoryTraceSink`, so everything the
+in-memory path can do — ``render()``, ``events_in_round`` — works on a
+replayed file, byte-identically (pinned by ``tests/obs/test_replay.py``
+across every registered protocol × adversary pair).
+
+Strictness is the feature: wrong schema version, malformed JSON, unknown
+record types, a missing footer (truncated file) or a footer whose counts
+disagree with the records all raise :class:`ObsFormatError` — a trace
+that cannot be trusted end to end should not render at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from ..network.metrics import RunMetrics
+from ..network.trace import MemoryTraceSink, TraceEvent, Tracer
+from .sinks import TRACE_SCHEMA, ObsFormatError
+
+__all__ = ["LoadedTrace", "filter_trace", "load_trace", "trace_metrics"]
+
+
+@dataclass
+class LoadedTrace:
+    """One replayed trace file: the tracer plus its header metadata."""
+
+    tracer: Tracer
+    meta: Dict[str, Any] = field(default_factory=dict)
+    events: int = 0
+    corruptions: int = 0
+
+
+def _parse_line(path: str, lineno: int, line: str) -> Dict[str, Any]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ObsFormatError(
+            f"{path}:{lineno}: not valid JSON ({error.msg})"
+        ) from None
+    if not isinstance(record, dict) or "t" not in record:
+        raise ObsFormatError(
+            f"{path}:{lineno}: expected an object with a 't' field"
+        )
+    return record
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Parse one JSONL trace file, strictly, into a replayable tracer."""
+    tracer = Tracer(MemoryTraceSink())
+    meta: Dict[str, Any] = {}
+    events = 0
+    corruptions = 0
+    saw_header = False
+    saw_footer = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            record = _parse_line(path, lineno, line)
+            kind = record["t"]
+            if saw_footer:
+                raise ObsFormatError(
+                    f"{path}:{lineno}: record after the end footer"
+                )
+            if not saw_header:
+                if kind != "trace":
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: first record must be the "
+                        f"'trace' header, got {kind!r}"
+                    )
+                schema = record.get("schema")
+                if schema != TRACE_SCHEMA:
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: schema {schema!r} is not "
+                        f"{TRACE_SCHEMA!r} (wrong version or not a trace)"
+                    )
+                meta = dict(record.get("meta") or {})
+                saw_header = True
+                continue
+            if kind == "msg":
+                try:
+                    tracer.sink.record_event(
+                        TraceEvent(
+                            round_index=record["r"],
+                            sender=record["s"],
+                            recipient=record["d"],
+                            summary=record["p"],
+                            sender_honest=bool(record["h"]),
+                            signatures=record.get("g", 0),
+                        )
+                    )
+                except KeyError as error:
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: msg record missing {error}"
+                    ) from None
+                events += 1
+            elif kind == "corr":
+                try:
+                    tracer.sink.record_corruption(record["r"], record["pid"])
+                except KeyError as error:
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: corr record missing {error}"
+                    ) from None
+                corruptions += 1
+            elif kind == "end":
+                if record.get("events") != events or (
+                    record.get("corruptions") != corruptions
+                ):
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: footer counts "
+                        f"({record.get('events')}, {record.get('corruptions')}) "
+                        f"disagree with the records read "
+                        f"({events}, {corruptions})"
+                    )
+                saw_footer = True
+            else:
+                raise ObsFormatError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+    if not saw_header:
+        raise ObsFormatError(f"{path}: empty file (no trace header)")
+    if not saw_footer:
+        raise ObsFormatError(
+            f"{path}: no end footer — the trace was truncated mid-run"
+        )
+    return LoadedTrace(
+        tracer=tracer, meta=meta, events=events, corruptions=corruptions
+    )
+
+
+def filter_trace(
+    tracer: Tracer,
+    rounds: Optional[Sequence[int]] = None,
+    party: Optional[int] = None,
+    corrupt_only: bool = False,
+) -> Tracer:
+    """A new in-memory tracer holding the matching subset of records.
+
+    ``rounds`` keeps only those round indices; ``party`` keeps events a
+    party sent *or* received (and its corruption record);
+    ``corrupt_only`` keeps dishonest-sender events only.  Corruption
+    records follow the round/party filters so the rendered timeline
+    stays coherent.
+    """
+    wanted_rounds = set(rounds) if rounds is not None else None
+    filtered = Tracer(MemoryTraceSink())
+    for event in tracer.events:
+        if wanted_rounds is not None and event.round_index not in wanted_rounds:
+            continue
+        if party is not None and party not in (event.sender, event.recipient):
+            continue
+        if corrupt_only and event.sender_honest:
+            continue
+        filtered.sink.record_event(event)
+    for round_index, pid in tracer.corruptions:
+        if wanted_rounds is not None and round_index not in wanted_rounds:
+            continue
+        if party is not None and pid != party:
+            continue
+        filtered.sink.record_corruption(round_index, pid)
+    return filtered
+
+
+def trace_metrics(tracer: Tracer) -> RunMetrics:
+    """Rebuild per-round message/signature tallies from trace events.
+
+    For a fully traced execution this reproduces the simulator's
+    :class:`RunMetrics` tallies exactly (``rounds`` here counts traced
+    rounds — rounds that delivered no message are invisible to a trace),
+    which is the ``repro trace --stats`` cross-check.
+    """
+    metrics = RunMetrics(rounds=tracer.rounds)
+    for event in tracer.events:
+        metrics.record(event.round_index, event.sender_honest, event.signatures)
+    return metrics

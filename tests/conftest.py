@@ -40,3 +40,26 @@ def run(factory, inputs, max_faulty, adversary=None, seed=0, session="t", crypto
 @pytest.fixture
 def rng():
     return random.Random(0xDEC0DE)
+
+
+# Per-protocol sweep shapes for every *stock* registered protocol:
+# (inputs, max_faulty, params).  Shared by the transport losslessness
+# matrix (tests/engine/test_transport.py) and the trace round-trip
+# property (tests/obs/test_replay.py) — one table, so a protocol added
+# to the registry without a shape fails both suites loudly.
+PROTOCOL_SHAPES = {
+    "ba_one_third": ((0, 0, 1, 1), 1, {"kappa": 2}),
+    "ba_one_half": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "feldman_micali": ((0, 0, 1, 1), 1, {"kappa": 2}),
+    "micali_vaikuntanathan": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "mv_pki": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
+    "dolev_strong": ((0, 0, 1, 1), 1, {}),
+    "fm_probabilistic": ((0, 0, 1, 1), 1, {}),
+    "prox_one_third": ((0, 1, 2, 3), 1, {"rounds": 3}),
+    "prox_linear_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
+    "prox_quadratic_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
+    "turpin_coan_classic": (("a", "b", "c", "a"), 1, {"kappa": 2}),
+    "multivalued_ba": (("a", "b", "c", "a"), 1, {"kappa": 2}),
+    "vrf_coin": ((None, None, None, None), 1, {"index": 0}),
+    "threshold_coin": ((None, None, None, None), 1, {"index": 0}),
+}

@@ -15,6 +15,7 @@ Three regression suites:
 
 import pytest
 
+from ..conftest import PROTOCOL_SHAPES
 from repro.engine import (
     AdaptiveRunner,
     ChunkSummary,
@@ -49,19 +50,9 @@ register_protocol(
     "_test_stubborn", lambda: (lambda ctx, v: _stubborn_program(ctx, v))
 )
 
-# Per-protocol sweep shapes: (inputs, max_faulty, params).
-_PROTOCOL_SHAPES = {
-    "ba_one_third": ((0, 0, 1, 1), 1, {"kappa": 2}),
-    "ba_one_half": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
-    "feldman_micali": ((0, 0, 1, 1), 1, {"kappa": 2}),
-    "micali_vaikuntanathan": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
-    "mv_pki": ((0, 0, 1, 1, 1), 2, {"kappa": 2}),
-    "dolev_strong": ((0, 0, 1, 1), 1, {}),
-    "fm_probabilistic": ((0, 0, 1, 1), 1, {}),
-    "prox_one_third": ((0, 1, 2, 3), 1, {"rounds": 3}),
-    "prox_linear_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
-    "prox_quadratic_half": ((0, 1, 2, 3, 4), 2, {"rounds": 3}),
-}
+# Per-protocol sweep shapes: (inputs, max_faulty, params) — shared with
+# the trace round-trip property in tests/obs/test_replay.py.
+_PROTOCOL_SHAPES = PROTOCOL_SHAPES
 
 # Per-adversary victim sets sized to each regime's corruption budget.
 def _adversary_params(adversary, max_faulty, num_parties):

@@ -61,6 +61,21 @@ class TestSummarizePayload:
         nested = {"a": {"b": {"c": {"d": {"e": 1}}}}}
         assert "…" in summarize_payload(nested)
 
+    def test_sets_render_sorted_and_deterministically(self):
+        # Sets iterate in hash order, which varies with PYTHONHASHSEED
+        # for strings — the summary must sort, not echo iteration order.
+        assert summarize_payload({"echoes": {"pk2", "pk0", "pk1"}}) == (
+            "{echoes={'pk0', 'pk1', 'pk2'}}"
+        )
+        assert summarize_payload(frozenset([3, 1, 2])) == "{1, 2, 3}"
+        big = summarize_payload({9, 8, 7, 6, 5})
+        assert big == "{5, 6, 7, …}"
+        # Pin exact equality across distinct set objects with different
+        # insertion histories.
+        forward = {f"k{i}" for i in range(6)}
+        backward = {f"k{i}" for i in reversed(range(6))}
+        assert summarize_payload(forward) == summarize_payload(backward)
+
 
 class TestTracer:
     def test_records_all_messages(self):
@@ -119,3 +134,63 @@ class TestTracer:
         rendered = tracer.render()
         # round 3 carries the parallel prox ∥ coin envelope
         assert "∥{" in rendered
+
+    def test_signature_counts_are_stamped_on_events(self):
+        from repro.core.ba import ba_one_third_program
+
+        _result, tracer = traced_run(
+            lambda c, b: ba_one_third_program(c, b, kappa=2), [1, 0, 1, 0], 1
+        )
+        assert any(e.signatures > 0 for e in tracer.events)
+
+
+class _CountingEvents(list):
+    """A list that counts full iterations — the quadratic-scan detector."""
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.iterations = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+
+class TestRenderPerfShape:
+    def test_render_never_rescans_the_full_event_list(self):
+        """The old renderer filtered ``self.events`` once per round — an
+        O(rounds × events) scan.  Events are now bucketed by round at
+        record time, so ``render()`` must not iterate the flat event list
+        at all, regardless of round count."""
+        from repro.network.trace import MemoryTraceSink, TraceEvent
+
+        sink = MemoryTraceSink()
+        for round_index in range(1, 201):
+            for sender in range(4):
+                for recipient in range(4):
+                    sink.record_event(TraceEvent(
+                        round_index=round_index, sender=sender,
+                        recipient=recipient, summary="{v=1}",
+                        sender_honest=True,
+                    ))
+        counter = _CountingEvents(sink.events)
+        sink.events = counter
+        rendered = sink.render()
+        assert "── round 200" in rendered
+        assert counter.iterations == 0
+
+    def test_events_in_round_is_indexed_not_scanned(self):
+        from repro.network.trace import MemoryTraceSink, TraceEvent
+
+        sink = MemoryTraceSink()
+        for round_index in (1, 5, 9):
+            sink.record_event(TraceEvent(
+                round_index=round_index, sender=0, recipient=1,
+                summary="x", sender_honest=True,
+            ))
+        counter = _CountingEvents(sink.events)
+        sink.events = counter
+        assert len(sink.events_in_round(5)) == 1
+        assert sink.events_in_round(7) == []
+        assert sink.rounds == 9
+        assert counter.iterations == 0

@@ -1,0 +1,211 @@
+"""Engine telemetry: writer format, span consistency, runner plumbing.
+
+The span-consistency invariant is the load-bearing part: chunk busy-time
+is measured *inside* the worker (``_run_chunk_timed``), so summed busy
+seconds can never exceed a pooled run's ``wall × workers`` capacity —
+``summarize_telemetry`` flags any file where they do, and ``repro bench
+--telemetry`` turns that flag into a nonzero exit.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import AdaptiveRunner, ParallelRunner, TrialPlan
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    ObsFormatError,
+    TelemetryWriter,
+    summarize_telemetry,
+)
+
+
+def _records(path):
+    return [json.loads(l) for l in open(path, encoding="utf-8")]
+
+
+class TestWriter:
+    def test_header_records_footer(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryWriter(path, meta={"run": "x"}) as tele:
+            tele.emit("run_start", label="demo", mode="inline", workers=1)
+            tele.emit("run_complete", label="demo")
+        lines = _records(path)
+        assert [r["t"] for r in lines] == [
+            "telemetry", "run_start", "run_complete", "end",
+        ]
+        assert lines[0]["schema"] == TELEMETRY_SCHEMA
+        assert lines[0]["meta"] == {"run": "x"}
+        assert lines[-1]["records"] == 2
+
+    def test_at_stamps_are_monotone(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryWriter(path) as tele:
+            for _ in range(20):
+                tele.emit("tick")
+        stamps = [r["at"] for r in _records(path)[1:-1]]
+        assert stamps == sorted(stamps)
+        assert all(at >= 0 for at in stamps)
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tele = TelemetryWriter(str(tmp_path / "t.jsonl"))
+        tele.close()
+        tele.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            tele.emit("tick")
+
+
+def _write_file(tmp_path, name, records, footer_count=None):
+    path = str(tmp_path / name)
+    body = [{"t": "telemetry", "schema": TELEMETRY_SCHEMA}, *records]
+    count = len(records) if footer_count is None else footer_count
+    body.append({"t": "end", "records": count})
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in body:
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+class TestSummarize:
+    def test_consistent_pooled_run(self, tmp_path):
+        path = _write_file(tmp_path, "ok.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "pool",
+             "workers": 2, "trials": 8},
+            {"t": "chunk_dispatch", "at": 0.0, "chunk": 0, "trials": 4},
+            {"t": "chunk_dispatch", "at": 0.0, "chunk": 1, "trials": 4},
+            {"t": "chunk_complete", "at": 0.9, "chunk": 0, "seconds": 0.8,
+             "span": 0.9, "payload_bytes": 100},
+            {"t": "chunk_complete", "at": 1.0, "chunk": 1, "seconds": 0.9,
+             "span": 1.0, "payload_bytes": 150},
+            {"t": "run_complete", "at": 1.0, "label": "r"},
+        ])
+        summary = summarize_telemetry(path)
+        assert summary["consistent"] is True
+        assert summary["chunks"] == 2
+        assert summary["busy_seconds"] == pytest.approx(1.7)
+        assert summary["payload_bytes"] == 250
+        assert summary["trials"] == 8
+        assert summary["pooled_runs"] == 1
+        (run,) = summary["runs"]
+        assert run["wall_seconds"] == pytest.approx(1.0)
+        assert run["utilization"] == pytest.approx(0.85)
+
+    def test_busy_exceeding_pool_capacity_is_inconsistent(self, tmp_path):
+        # 2 workers, 1s wall, but 3s of claimed in-worker busy time:
+        # physically impossible, must be flagged.
+        path = _write_file(tmp_path, "over.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "pool",
+             "workers": 2},
+            {"t": "chunk_complete", "at": 1.0, "chunk": 0, "seconds": 3.0},
+            {"t": "run_complete", "at": 1.0, "label": "r"},
+        ])
+        assert summarize_telemetry(path)["consistent"] is False
+
+    def test_run_start_without_complete_is_inconsistent(self, tmp_path):
+        path = _write_file(tmp_path, "dangling.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "pool",
+             "workers": 2},
+        ])
+        assert summarize_telemetry(path)["consistent"] is False
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "trunc.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"t": "telemetry", "schema": TELEMETRY_SCHEMA}) + "\n")
+            handle.write(json.dumps({"t": "run_start", "at": 0.0}) + "\n")
+        with pytest.raises(ObsFormatError, match="truncated"):
+            summarize_telemetry(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "v9.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"t": "telemetry", "schema": "repro-telemetry/9"}) + "\n")
+            handle.write(json.dumps({"t": "end", "records": 0}) + "\n")
+        with pytest.raises(ObsFormatError, match="schema"):
+            summarize_telemetry(path)
+
+    def test_lying_footer_rejected(self, tmp_path):
+        path = _write_file(tmp_path, "lie.jsonl", [
+            {"t": "run_start", "at": 0.0},
+        ], footer_count=5)
+        with pytest.raises(ObsFormatError, match="disagrees"):
+            summarize_telemetry(path)
+
+
+def _plan(trials=12, seed=7):
+    return TrialPlan.monte_carlo(
+        name="tele",
+        protocol="ba_one_third",
+        inputs=(0, 0, 1, 1),
+        max_faulty=1,
+        trials=trials,
+        params={"kappa": 2},
+        adversary="straddle13",
+        adversary_params={"victims": (3,)},
+        seed=seed,
+    )
+
+
+class TestRunnerTelemetry:
+    def test_pooled_run_emits_consistent_spans(self, tmp_path):
+        path = str(tmp_path / "pool.jsonl")
+        plan = _plan()
+        with TelemetryWriter(path) as tele:
+            observed = ParallelRunner(
+                workers=2, chunk_size=3, telemetry=tele
+            ).run(plan)
+        plain = ParallelRunner(workers=2, chunk_size=3).run(plan)
+        # Observability is off the results path: identical output.
+        assert observed.results == plain.results
+
+        summary = summarize_telemetry(path)
+        assert summary["consistent"] is True
+        assert summary["pooled_runs"] == 1
+        assert summary["chunks"] == 4  # 12 trials / chunk_size 3
+        assert summary["trials"] == 12
+        assert summary["payload_bytes"] > 0
+        kinds = [r["t"] for r in _records(path)]
+        assert kinds[:2] == ["telemetry", "run_start"]
+        # Ideal-backend suites are dealt in the workers, so no predeal
+        # span is emitted (it only covers the threshold-RSA bottleneck).
+        assert "predeal" not in kinds
+        assert kinds.count("chunk_dispatch") == 4
+        assert kinds.count("chunk_complete") == 4
+        assert "run_complete" in kinds
+
+    def test_inline_run_emits_start_and_complete(self, tmp_path):
+        path = str(tmp_path / "inline.jsonl")
+        with TelemetryWriter(path) as tele:
+            ParallelRunner(workers=1, telemetry=tele).run(_plan(trials=4))
+        summary = summarize_telemetry(path)
+        assert summary["consistent"] is True
+        kinds = [r["t"] for r in _records(path)]
+        assert "run_start" in kinds and "run_complete" in kinds
+        start = next(r for r in _records(path) if r["t"] == "run_start")
+        assert start["mode"] == "inline"
+
+    def test_adaptive_run_emits_allocation_audit_trail(self, tmp_path):
+        path = str(tmp_path / "adaptive.jsonl")
+        plan = _plan(trials=12)
+        with TelemetryWriter(path) as tele:
+            observed = AdaptiveRunner(
+                workers=2, batch_size=4, early_stop=False, telemetry=tele
+            ).run(plan, 0.5)
+        plain = AdaptiveRunner(workers=2, batch_size=4, early_stop=False).run(
+            plan, 0.5
+        )
+        assert observed.results == plain.results
+
+        summary = summarize_telemetry(path)
+        assert summary["consistent"] is True
+        assert summary["adaptive_rounds"] >= 1
+        records = _records(path)
+        rounds = [r for r in records if r["t"] == "adaptive_round"]
+        for record in rounds:
+            for allocation in record["allocations"]:
+                assert set(allocation) == {"config", "trials", "width"}
+        complete = next(r for r in records if r["t"] == "adaptive_complete")
+        assert complete["spent"] <= complete["budget"]
+        assert complete["allocation_rounds"] == len(rounds)

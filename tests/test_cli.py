@@ -53,6 +53,72 @@ class TestRun:
             assert code == 0, capsys.readouterr().out
 
 
+class TestTrace:
+    """`repro run --trace-jsonl` streams a file `repro trace` replays."""
+
+    def _stream(self, tmp_path, capsys, extra=()):
+        path = str(tmp_path / "run.trace.jsonl")
+        code = main(
+            ["run", "--protocol", "one_third", "--kappa", "4",
+             "--inputs", "1,0,1,0", "--t", "1", "--adversary", "crash",
+             "--trace-jsonl", path, *extra]
+        )
+        assert code == 0
+        return path, capsys.readouterr().out
+
+    def test_replay_matches_live_transcript_byte_for_byte(
+        self, tmp_path, capsys
+    ):
+        path, live_out = self._stream(tmp_path, capsys, extra=["--trace"])
+        live = live_out.split("transcript:\n", 1)[1]
+        live = live.split("\nwrote trace:", 1)[0]
+        assert main(["trace", path]) == 0
+        replayed = capsys.readouterr().out
+        # Skip the meta line + blank separator; the timeline must match
+        # the live `--trace` rendering exactly.
+        body = replayed.split("\n\n", 1)[1]
+        assert body.strip("\n") == live.strip("\n")
+
+    def test_stats_cross_check(self, tmp_path, capsys):
+        path, out = self._stream(tmp_path, capsys)
+        assert "wrote trace:" in out
+        assert main(["trace", path, "--stats"]) == 0
+        replayed = capsys.readouterr().out
+        assert "per-round tallies" in replayed
+        assert "msgs honest" in replayed and "sigs corrupt" in replayed
+
+    def test_filters(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        assert main(["trace", path, "--round", "1", "--corrupt-only"]) == 0
+        out = capsys.readouterr().out
+        assert "── round 1" in out and "── round 2" not in out
+        assert main(["trace", path, "--party", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P3" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro trace:" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "wrong.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"t": "trace", "schema": "repro-trace/99"}\n')
+            handle.write('{"t": "end", "events": 0, "corruptions": 0}\n')
+        assert main(["trace", path, "--stats"]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_truncated_file_exits_2(self, tmp_path, capsys):
+        full, _ = self._stream(tmp_path, capsys)
+        clipped = str(tmp_path / "clipped.jsonl")
+        with open(full, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        with open(clipped, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+        assert main(["trace", clipped]) == 2
+        assert "truncated" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_table_printed(self, capsys):
         assert main(["compare", "--kappas", "4,8"]) == 0
@@ -129,6 +195,52 @@ class TestBench:
         assert payload["payload_bytes_full"] > payload["payload_bytes_compact"] > 0
         assert payload["rates"][0]["protocol"] == "ba_one_half"
 
+    def test_telemetry_artifact_written_and_consistent(
+        self, tmp_path, capsys
+    ):
+        tele_dir = str(tmp_path / "tele")
+        json_path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--protocol", "one_third", "--kappas", "1",
+             "--trials", "8", "--workers", "2",
+             "--telemetry", tele_dir, "--json", str(json_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry" in out
+        assert "telemetry spans consistent" in out and "OK" in out
+        tele_path = os.path.join(tele_dir, "telemetry.jsonl")
+        assert os.path.exists(tele_path)
+
+        from repro.obs import summarize_telemetry
+
+        summary = summarize_telemetry(tele_path)
+        assert summary["consistent"] is True
+        assert summary["records"] > 0
+
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["telemetry"]["path"] == tele_path
+        assert payload["telemetry"]["consistent"] is True
+
+    def test_adaptive_telemetry_records_allocations(self, tmp_path, capsys):
+        tele_dir = str(tmp_path / "tele")
+        code = main(
+            ["bench", "--protocol", "one_third", "--kappas", "1,2",
+             "--trials", "8", "--workers", "1", "--adaptive",
+             "--batch", "4", "--telemetry", tele_dir]
+        )
+        assert code == 0, capsys.readouterr().out
+
+        from repro.obs import summarize_telemetry
+
+        summary = summarize_telemetry(
+            os.path.join(tele_dir, "telemetry.jsonl")
+        )
+        assert summary["consistent"] is True
+        assert summary["adaptive_rounds"] >= 1
+
     def test_compare_baseline_reports_speedup(self, capsys):
         code = main(
             ["bench", "--protocol", "one_third", "--kappas", "1",
@@ -200,7 +312,8 @@ class TestErgonomics:
     """The CLI ergonomics contract (see `main`'s docstring)."""
 
     SUBCOMMANDS = (
-        "run", "compare", "tables", "error-sweep", "bench", "check", "ledger",
+        "run", "trace", "compare", "tables", "error-sweep", "bench", "check",
+        "ledger",
     )
 
     def test_help_lists_every_subcommand_with_a_summary(self, capsys):
