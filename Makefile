@@ -21,11 +21,11 @@ check:
 bench:
 	pytest benchmarks/ --benchmark-only -s
 
-# Fast engine sanity sweep: serial-vs-parallel bit-identity, timings,
-# and the adaptive leg (early-stopping verdicts checked against the
-# fixed run; nonzero exit on mismatch).  Engine telemetry streams to
-# bench-telemetry/telemetry.jsonl and the spans are cross-checked
-# against wall time (nonzero exit on mismatch; see
+# Fast engine sanity sweep: serial-vs-parallel AND vector-vs-object
+# bit-identity, timings, and the adaptive leg (early-stopping verdicts
+# checked against the fixed run; nonzero exit on mismatch).  Engine
+# telemetry streams to bench-telemetry/telemetry.jsonl and the spans are
+# cross-checked against wall time (nonzero exit on mismatch; see
 # docs/observability.md).  REPRO_BENCH_WORKERS overrides the worker
 # count (default 2; clamped to the CPUs present).  The second line is
 # the real-backend smoke: one tiny threshold-RSA sweep (small modulus)
@@ -34,7 +34,7 @@ bench:
 # not comparable run to run, so don't produce them.
 bench-quick: check
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
-		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive \
+		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive --vector \
 		--telemetry bench-telemetry
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
 		--kappas 1 --trials 3 --protocol one_third \

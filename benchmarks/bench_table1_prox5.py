@@ -13,9 +13,9 @@ import pytest
 
 from repro.adversary.straddle import LinearHalfStraddleAdversary
 from repro.analysis.tables import render_table1, table1_prox5_conditions
-from repro.proxcensus.linear_half import prox_linear_half_program
+from repro.engine import register_adversary
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 PAPER_TABLE1 = {
     # (value, grade) -> (Σ_v by, no Σ_other by, Ω_v by); r = 3.
@@ -26,8 +26,25 @@ PAPER_TABLE1 = {
 }
 
 
-def prox5(ctx, x):
-    return prox_linear_half_program(ctx, x, rounds=3)
+class BareStraddle(LinearHalfStraddleAdversary):
+    """The straddle without the per-iteration session suffix.
+
+    A standalone ``Prox_5`` run has no enclosing BA iteration, so σ/Ω
+    shares must be forged under the bare simulator session.
+    """
+
+    def _session(self, iteration):
+        return self.env.session
+
+
+# Registered so the executed-trace spec stays picklable: the engine
+# resolves the name in whichever process runs the trial.
+register_adversary(
+    "bare_straddle12",
+    lambda factory, victims, iteration_rounds=3: BareStraddle(
+        list(victims), iteration_rounds
+    ),
+)
 
 
 def test_table1_conditions_match_paper(benchmark, report_sink):
@@ -44,22 +61,29 @@ def test_table1_conditions_match_paper(benchmark, report_sink):
 
 def test_executed_traces_land_on_predicted_slots(benchmark, report_sink):
     def trace():
-        # Pre-agreement on 1: everybody must hit the (1, 2) slot.
-        res = run(prox5, [1] * 5, 2, session="t1a")
-        assert all(tuple(o) == (1, 2) for o in res.outputs.values())
-        # The straddle attack: exactly the (v,1) / (⊥,0) adjacency of
-        # Table 1's middle columns.
-        class BareStraddle(LinearHalfStraddleAdversary):
-            def _session(self, iteration):
-                return self.env.session
-
-        res = run(
-            prox5, [0, 0, 1, 1, 1], 2,
-            adversary=BareStraddle([3, 4]), session="t1b",
+        pre, attacked = run_plan(
+            "table1-traces",
+            [
+                engine_spec(
+                    "prox_linear_half", [1] * 5, 2,
+                    params={"rounds": 3}, session="t1a",
+                ),
+                # The straddle attack: exactly the (v,1) / (⊥,0)
+                # adjacency of Table 1's middle columns.
+                engine_spec(
+                    "prox_linear_half", [0, 0, 1, 1, 1], 2,
+                    params={"rounds": 3},
+                    adversary="bare_straddle12",
+                    adversary_params={"victims": (3, 4)},
+                    session="t1b",
+                ),
+            ],
         )
-        grades = sorted(o.grade for o in res.honest_outputs.values())
+        # Pre-agreement on 1: everybody must hit the (1, 2) slot.
+        assert all(tuple(o) == (1, 2) for o in pre.outputs.values())
+        grades = sorted(o.grade for o in attacked.honest_outputs.values())
         assert grades == [0, 0, 1]
-        return res
+        return attacked
 
     benchmark(trace)
     report_sink.append(

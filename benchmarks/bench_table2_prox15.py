@@ -13,12 +13,11 @@ import pytest
 from repro.analysis.tables import render_table2
 from repro.proxcensus.quadratic_half import (
     condition_table,
-    prox_quadratic_half_program,
     slots_after_rounds,
     top_grade,
 )
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 # The paper's Table 2, as printed (rows = rounds, one value column).
 PAPER_TABLE2 = {
@@ -56,9 +55,14 @@ def test_omega3_appears_in_every_positive_grade(benchmark):
 
 def test_executed_prox15_obeys_the_table(benchmark, report_sink):
     def trace():
-        res = run(
-            lambda c, x: prox_quadratic_half_program(c, x, rounds=6),
-            [1] * 5, 2, session="t2a",
+        (res,) = run_plan(
+            "table2-traces",
+            [
+                engine_spec(
+                    "prox_quadratic_half", [1] * 5, 2,
+                    params={"rounds": 6}, session="t2a",
+                )
+            ],
         )
         # Pre-agreement: all conditions satisfiable every round -> grade 7.
         assert all(tuple(o) == (1, 7) for o in res.outputs.values())

@@ -59,6 +59,26 @@ def bench_workers(default: int = 1) -> int:
     return clamp_workers(value)
 
 
+def bench_backend(default: str = "object") -> str:
+    """Engine backend from ``REPRO_BENCH_BACKEND``, robustly.
+
+    ``vector`` routes migrated benchmarks through the batch-vectorized
+    executor (bit-identical results; unsupported specs fall back to the
+    object simulator per spec).  Anything unrecognized falls back to
+    ``default`` with a warning, mirroring :func:`bench_workers`.
+    """
+    raw = os.environ.get("REPRO_BENCH_BACKEND", "").strip()
+    if not raw:
+        return default
+    if raw not in ("object", "vector"):
+        warnings.warn(
+            f"ignoring REPRO_BENCH_BACKEND={raw!r} "
+            f"(must be 'object' or 'vector'); using {default!r}"
+        )
+        return default
+    return raw
+
+
 def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
     key = (num_parties, max_faulty)
     if key not in _SUITE_CACHE:
@@ -116,14 +136,16 @@ def engine_spec(
 def run_plan(name, specs):
     """Execute hand-built specs through the engine; results in order.
 
-    Worker count comes from :func:`bench_workers`, so
-    ``REPRO_BENCH_WORKERS`` accelerates every migrated benchmark; with
-    the default single worker this is exactly the legacy serial loop.
+    Worker count comes from :func:`bench_workers` and the backend from
+    :func:`bench_backend`, so ``REPRO_BENCH_WORKERS`` and
+    ``REPRO_BENCH_BACKEND=vector`` accelerate every migrated benchmark;
+    with the defaults this is exactly the legacy serial loop.
     """
     from repro.engine import ParallelRunner, TrialPlan
 
     plan = TrialPlan(name=name, trials=tuple(specs))
-    return ParallelRunner(workers=bench_workers()).run(plan).results
+    runner = ParallelRunner(workers=bench_workers(), backend=bench_backend())
+    return runner.run(plan).results
 
 
 def run(factory, inputs, max_faulty, adversary=None, seed=0, session="bench"):

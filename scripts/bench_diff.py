@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: diff two ``BENCH_engine.json`` artifacts.
+
+Usage::
+
+    python scripts/bench_diff.py BASELINE CANDIDATE [--threshold 0.25]
+
+Compares per-core trial rates (serial object path, parallel per-core,
+vector backend) and exits 3 when the candidate is more than the
+threshold slower on any metric both artifacts recorded — the same check
+``repro bench --compare`` runs inline after a measurement.  Exit codes:
+0 clean, 2 bad input, 3 regression.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.analysis.benchdiff import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    diff_bench_files,
+    format_bench_report,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_engine.json")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="FRAC",
+        help="rate-loss fraction that fails the gate (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = diff_bench_files(args.baseline, args.candidate, args.threshold)
+    except (OSError, ValueError) as error:
+        print(f"bench_diff: {error}", file=sys.stderr)
+        return 2
+    print(format_bench_report(report))
+    return 0 if report["ok"] else 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Benchmark regression diffing for ``BENCH_engine.json`` artifacts.
+
+``repro bench --json`` writes a machine-readable timing artifact; the
+committed copy at the repo root is the performance baseline.  This module
+compares a freshly measured artifact against that baseline and fails on
+real slowdowns, so CI catches a perf regression the same way it catches a
+correctness one.
+
+The comparison is deliberately rate-based, not seconds-based: wall
+seconds move with the machine, but a *ratio* of per-core trial rates
+measured in one CI job (baseline re-measured vs candidate, or an old
+artifact vs a new one on comparable hardware) is meaningful.  Rates
+compare per metric:
+
+* ``serial`` — fixed-sweep trials per second on the 1-worker object path
+  (``plan.trials / serial_seconds``);
+* ``parallel_per_core`` — pooled trials per second per worker
+  (``plan.trials / (parallel_seconds × workers)``), when both artifacts
+  ran a parallel leg;
+* ``vector`` — trials per second on the serial vector backend
+  (``plan.trials / vector_seconds``), when both artifacts recorded one.
+
+Metrics present in only one artifact are reported as ``skipped`` rather
+than failed — the committed baseline predates some keys (older artifacts
+have no ``vector_seconds``), and a missing leg must not break the gate.
+Everything here is pure stdlib; ``scripts/bench_diff.py`` is the CI
+entry point and ``repro bench --compare PATH`` runs the same check
+inline after a measurement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "compare_benchmarks",
+    "diff_bench_files",
+    "format_bench_report",
+    "load_bench",
+]
+
+#: Fail on >25% per-core rate loss.  Wide enough to absorb CI machine
+#: noise on same-job comparisons, tight enough to catch a real 2x cliff.
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read one ``BENCH_engine.json`` artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: benchmark artifact must be a JSON object")
+    return payload
+
+
+def _trials(payload: Dict[str, Any]) -> Optional[int]:
+    plan = payload.get("plan")
+    if isinstance(plan, dict):
+        trials = plan.get("trials")
+        if isinstance(trials, int) and trials > 0:
+            return trials
+    return None
+
+
+def _rate(trials: Optional[int], seconds: Any, cores: Any = 1) -> Optional[float]:
+    """Per-core trials/second, or ``None`` when the leg wasn't recorded."""
+    if trials is None or not isinstance(seconds, (int, float)) or seconds <= 0:
+        return None
+    if not isinstance(cores, int) or cores < 1:
+        return None
+    return trials / (seconds * cores)
+
+
+def _metric_rates(payload: Dict[str, Any]) -> Dict[str, Optional[float]]:
+    trials = _trials(payload)
+    return {
+        "serial": _rate(trials, payload.get("serial_seconds")),
+        "parallel_per_core": _rate(
+            trials, payload.get("parallel_seconds"), payload.get("workers")
+        ),
+        "vector": _rate(trials, payload.get("vector_seconds")),
+    }
+
+
+def compare_benchmarks(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Diff two benchmark artifacts; flag per-core rate regressions.
+
+    A metric regresses when the candidate's rate falls more than
+    ``threshold`` (a fraction, default 0.25) below the baseline's.
+    Metrics missing from either artifact are skipped, never failed —
+    older baselines legitimately lack newer keys.  Returns a report dict
+    with per-metric rows and an overall ``ok`` verdict; speedups are
+    never flagged.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    base_rates = _metric_rates(baseline)
+    cand_rates = _metric_rates(candidate)
+    metrics: List[Dict[str, Any]] = []
+    regressed: List[str] = []
+    for name in ("serial", "parallel_per_core", "vector"):
+        base, cand = base_rates[name], cand_rates[name]
+        row: Dict[str, Any] = {
+            "metric": name,
+            "baseline_rate": round(base, 3) if base is not None else None,
+            "candidate_rate": round(cand, 3) if cand is not None else None,
+        }
+        if base is None or cand is None:
+            row["status"] = "skipped"
+        else:
+            ratio = cand / base
+            row["ratio"] = round(ratio, 4)
+            if ratio < 1.0 - threshold:
+                row["status"] = "regressed"
+                regressed.append(name)
+            else:
+                row["status"] = "ok"
+        metrics.append(row)
+    compared = [row for row in metrics if row["status"] != "skipped"]
+    return {
+        "threshold": threshold,
+        "metrics": metrics,
+        "compared": len(compared),
+        "regressed": regressed,
+        # No overlapping metric at all means the artifacts are not
+        # comparable — that is a gate failure, not a silent pass.
+        "ok": bool(compared) and not regressed,
+    }
+
+
+def diff_bench_files(
+    baseline_path: str,
+    candidate_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """:func:`compare_benchmarks` over two artifact files."""
+    report = compare_benchmarks(
+        load_bench(baseline_path), load_bench(candidate_path), threshold
+    )
+    report["baseline_path"] = baseline_path
+    report["candidate_path"] = candidate_path
+    return report
+
+
+def format_bench_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`compare_benchmarks` report."""
+    lines = []
+    if "baseline_path" in report:
+        lines.append(
+            f"bench diff: {report['candidate_path']} "
+            f"vs baseline {report['baseline_path']} "
+            f"(threshold {report['threshold']:.0%})"
+        )
+    else:
+        lines.append(f"bench diff (threshold {report['threshold']:.0%})")
+    for row in report["metrics"]:
+        if row["status"] == "skipped":
+            lines.append(f"  {row['metric']:18s}: skipped (leg not in both)")
+            continue
+        lines.append(
+            f"  {row['metric']:18s}: {row['baseline_rate']:10.1f} -> "
+            f"{row['candidate_rate']:10.1f} trials/s/core "
+            f"({row['ratio']:.2f}x)  {row['status'].upper()}"
+        )
+    if not report["compared"]:
+        lines.append("  NOT COMPARABLE: no metric recorded in both artifacts")
+    elif report["regressed"]:
+        lines.append(
+            f"  REGRESSION: {', '.join(report['regressed'])} "
+            f"slower than baseline by more than {report['threshold']:.0%}"
+        )
+    else:
+        lines.append("  OK: no per-core rate regression")
+    return "\n".join(lines)

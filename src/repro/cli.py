@@ -609,6 +609,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if parallel.results != serial.results:
             print("DETERMINISM VIOLATION: parallel results differ from serial")
             return 2
+    vector = None
+    if args.vector:
+        vector = ParallelRunner(
+            workers=1, backend="vector", telemetry=telemetry
+        ).run(plan)
+        if vector.results != serial.results:
+            print("DETERMINISM VIOLATION: vector results differ from object")
+            return 2
 
     baseline = None
     if args.compare_baseline:
@@ -645,6 +653,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timings.append(
             (f"engine parallel ({workers} workers)", parallel.wall_seconds)
         )
+    if vector is not None:
+        timings.append(("engine vector (1 worker)", vector.wall_seconds))
     if baseline is not None:
         timings.insert(0, ("pre-engine baseline (serial)", baseline.wall_seconds))
     print()
@@ -655,6 +665,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{'parallel vs serial':32s}: "
             f"{serial.wall_seconds / parallel.wall_seconds:8.2f}x"
         )
+    if vector is not None:
+        print(
+            f"{'vector vs object (per core)':32s}: "
+            f"{serial.wall_seconds / vector.wall_seconds:8.2f}x"
+        )
+        print(f"{'vector == object':32s}:       OK (bit-identical)")
     if baseline is not None:
         best = min(serial.wall_seconds, parallel.wall_seconds if parallel else serial.wall_seconds)
         print(f"{'best vs baseline':32s}: {baseline.wall_seconds / best:8.2f}x")
@@ -696,6 +712,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             parallel_seconds=(
                 round(parallel.wall_seconds, 4) if parallel else None
             ),
+            vector_seconds=(
+                round(vector.wall_seconds, 4) if vector else None
+            ),
         )
         telemetry.close()
         telemetry_summary = summarize_telemetry(telemetry_path)
@@ -720,7 +739,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{'      OK' if telemetry_summary['consistent'] else '    MISMATCH'}"
         )
 
-    if args.json:
+    if args.json or args.compare:
         payload = {
             "plan": plan.describe(),
             "trials_per_config": per_config,
@@ -741,6 +760,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 round(serial.wall_seconds / parallel.wall_seconds, 3)
                 if parallel
                 else None
+            ),
+            "vector_seconds": (
+                round(vector.wall_seconds, 4) if vector else None
+            ),
+            "speedup_vector_vs_object": (
+                round(serial.wall_seconds / vector.wall_seconds, 3)
+                if vector
+                else None
+            ),
+            "identical_vector_object": (
+                vector.results == serial.results if vector else None
             ),
             "baseline_seconds": (
                 round(baseline.wall_seconds, 4) if baseline else None
@@ -799,15 +829,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 else None
             ),
         }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        print(f"\nwrote {args.json}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"\nwrote {args.json}")
+    regression = False
+    if args.compare:
+        from .analysis.benchdiff import (
+            compare_benchmarks,
+            format_bench_report,
+            load_bench,
+        )
+
+        report = compare_benchmarks(
+            load_bench(args.compare), payload, threshold=args.threshold
+        )
+        report["baseline_path"] = args.compare
+        report["candidate_path"] = "(this run)"
+        print()
+        print(format_bench_report(report))
+        regression = not report["ok"]
     if adaptive_payload is not None and not adaptive_payload["verdicts_match_fixed"]:
         return 2
     if telemetry_summary is not None and not telemetry_summary["consistent"]:
         print("TELEMETRY MISMATCH: spans do not sum consistently with wall time")
         return 2
+    if regression:
+        return 3
     return 0
 
 
@@ -1031,6 +1080,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="DIR",
         help="write engine telemetry (chunk/worker/setup spans, adaptive "
         "decisions) to DIR/telemetry.jsonl and check span consistency",
+    )
+    bench_parser.add_argument(
+        "--vector", action="store_true",
+        help="also time the batch-vectorized backend (serial, numpy "
+        "lockstep) and check it is bit-identical to the object path",
+    )
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="PATH",
+        help="diff this run's per-core rates against a committed "
+        "BENCH_engine.json; exit 3 on a regression past --threshold",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="--compare regression tolerance as a rate-loss fraction "
+        "(default 0.25 = fail when >25%% slower per core)",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 

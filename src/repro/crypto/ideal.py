@@ -244,3 +244,16 @@ class IdealThresholdScheme(ThresholdSignatureScheme):
         if not isinstance(signature, _IdealSignature):
             raise CryptoError("not an ideal signature")
         return signature.tag
+
+    def combined_bytes(self, message: Term) -> bytes:
+        """Bytes of the (unique) combined signature on ``message``.
+
+        Combined ideal signatures depend only on the registry key and the
+        message — not on which shares produced them — so callers that can
+        *prove* a combine would succeed (e.g. the vector engine backend,
+        which counts honest shares arithmetically) may derive the
+        signature bytes directly without materializing share objects.
+        Equal to ``signature_bytes(combine(shares, message))`` for any
+        valid quorum of shares.
+        """
+        return self._tags.combined_tag("combined", message)

@@ -15,6 +15,9 @@ from .registry import (
     protocol_names,
     register_adversary,
     register_protocol,
+    register_vector_model,
+    vector_model_for,
+    vector_model_pairs,
 )
 from .runner import (
     ParallelRunner,
@@ -28,6 +31,12 @@ from .runner import (
     run_trial,
 )
 from .transport import ChunkSummary, TrialSummary, measure_payload_bytes
+from .vectorized import (
+    VectorModelError,
+    run_vector_batch,
+    supports as vector_supports,
+    unsupported_reason as vector_unsupported_reason,
+)
 
 __all__ = [
     "AdaptiveResult",
@@ -39,6 +48,7 @@ __all__ = [
     "TrialPlan",
     "TrialSpec",
     "TrialSummary",
+    "VectorModelError",
     "adversary_names",
     "clamp_workers",
     "clear_suite_cache",
@@ -51,6 +61,12 @@ __all__ = [
     "protocol_names",
     "register_adversary",
     "register_protocol",
+    "register_vector_model",
     "run_traced_trial",
     "run_trial",
+    "run_vector_batch",
+    "vector_model_for",
+    "vector_model_pairs",
+    "vector_supports",
+    "vector_unsupported_reason",
 ]

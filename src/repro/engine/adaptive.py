@@ -60,6 +60,7 @@ from .runner import (
     predeal_suites,
     run_trial,
 )
+from .vectorized import execute_chunk
 
 __all__ = ["AdaptiveRunner", "AdaptiveResult", "ConfigOutcome"]
 
@@ -194,6 +195,7 @@ class AdaptiveRunner:
         z: float = _Z995,
         transport: str = "compact",
         telemetry: Optional[TelemetryWriter] = None,
+        backend: str = "object",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -202,6 +204,10 @@ class AdaptiveRunner:
         if transport not in ("compact", "pickle"):
             raise ValueError(
                 f"transport must be 'compact' or 'pickle', got {transport!r}"
+            )
+        if backend not in ("object", "vector"):
+            raise ValueError(
+                f"backend must be 'object' or 'vector', got {backend!r}"
             )
         self.workers = workers
         self.batch_size = batch_size
@@ -212,6 +218,10 @@ class AdaptiveRunner:
         self.z = z
         self.transport = transport
         self.telemetry = telemetry
+        # Same semantics as ParallelRunner: "vector" batches each
+        # allocation-round batch through the lockstep executor (per-spec
+        # fallback inside), with bit-identical results either way.
+        self.backend = backend
         self._chunk_seq = 0
 
     def run(
@@ -408,6 +418,11 @@ class AdaptiveRunner:
     ) -> Iterator[Tuple[int, ExecutionResult]]:
         """Run one round's batches; stream results as batches complete."""
         if pool is None:
+            if self.backend == "vector":
+                for batch in batches:
+                    pairs, _ = execute_chunk(list(batch), False, None)
+                    yield from pairs
+                return
             for batch in batches:
                 for index, spec in batch:
                     yield index, run_trial(spec)
@@ -419,7 +434,9 @@ class AdaptiveRunner:
         futures = []
         dispatched = {}
         for batch in batches:
-            future = pool.submit(entry, list(batch), False, compact)
+            future = pool.submit(
+                entry, list(batch), False, compact, None, self.backend
+            )
             futures.append(future)
             if tele is not None:
                 number = self._chunk_seq

@@ -122,6 +122,11 @@ class TrialSpec:
     # Modulus size for backend="real" threshold-RSA dealing.  Part of
     # suite_key: suites dealt at different sizes are different keys.
     rsa_bits: int = 256
+    # Opt-out for the batch-vectorized executor: a runner with
+    # backend="vector" only batches specs with this flag set (and whose
+    # configuration the vector models support); everything else takes
+    # the object simulator.  Results are bit-identical either way.
+    vectorizable: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.inputs, tuple):
@@ -221,6 +226,7 @@ class TrialPlan:
         max_rounds: int = 4096,
         collect_signatures: bool = True,
         rsa_bits: int = 256,
+        vectorizable: bool = True,
     ) -> "TrialPlan":
         """``trials`` independent repetitions of one configuration.
 
@@ -243,6 +249,7 @@ class TrialPlan:
             collect_signatures=collect_signatures,
             config=name,
             rsa_bits=rsa_bits,
+            vectorizable=vectorizable,
         )
         return cls(
             name=name,

@@ -59,6 +59,9 @@ __all__ = [
     "adversary_names",
     "register_adversary",
     "register_protocol",
+    "register_vector_model",
+    "vector_model_for",
+    "vector_model_pairs",
 ]
 
 ProtocolBuilder = Callable[..., ProgramFactory]
@@ -66,6 +69,32 @@ AdversaryBuilder = Callable[..., Adversary]
 
 _PROTOCOLS: Dict[str, ProtocolBuilder] = {}
 _ADVERSARIES: Dict[str, AdversaryBuilder] = {}
+# (protocol name, adversary name or None) → vector batch-model class.
+# Populated by repro.engine.vectorized at import time; the runner's
+# backend="vector" path consults it per spec and falls back to the
+# object simulator for unregistered pairs.
+_VECTOR_MODELS: Dict[tuple, Any] = {}
+
+
+def register_vector_model(protocol: str, adversary: Optional[str], model: Any) -> None:
+    """Register a vector batch model for one (protocol, adversary) pair.
+
+    ``model`` must expose ``unsupported_reason(spec) -> Optional[str]``
+    (a class-level eligibility check) and ``run_batch(specs) ->
+    List[ExecutionResult]`` producing results bit-identical to the
+    object simulator for every spec the eligibility check admits.
+    """
+    _VECTOR_MODELS[(protocol, adversary)] = model
+
+
+def vector_model_for(protocol: str, adversary: Optional[str]) -> Optional[Any]:
+    """The registered vector model for a pair, or ``None``."""
+    return _VECTOR_MODELS.get((protocol, adversary))
+
+
+def vector_model_pairs() -> List[tuple]:
+    """Registered (protocol, adversary) vector-model pairs, sorted."""
+    return sorted(_VECTOR_MODELS, key=repr)
 
 
 def register_protocol(name: str, builder: ProtocolBuilder) -> None:

@@ -66,6 +66,7 @@ from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
 from .registry import build_adversary, build_protocol_factory
 from .transport import ChunkSummary
+from .vectorized import execute_chunk
 
 __all__ = [
     "ParallelRunner",
@@ -282,6 +283,7 @@ def _run_chunk(
     legacy_metrics: bool,
     compact: bool = False,
     trace_dir: Optional[str] = None,
+    backend: str = "object",
 ) -> Union[List[Tuple[int, ExecutionResult]], ChunkSummary]:
     """Worker entry point: run a contiguous slice of the plan.
 
@@ -290,9 +292,14 @@ def _run_chunk(
     trees from the specs it already holds, so only tallies and decisions
     cross the pipe.  With ``trace_dir`` each trial streams a per-trial
     JSONL trace into that directory as it runs (traces never ride the
-    result pipe).
+    result pipe).  ``backend="vector"`` routes the chunk through the
+    batch-vectorized executor (unsupported specs fall back per-spec to
+    the object simulator inside the chunk); results and packing are
+    bit-identical either way.
     """
-    if trace_dir is None:
+    if backend == "vector":
+        pairs, _ = execute_chunk(chunk, legacy_metrics, trace_dir)
+    elif trace_dir is None:
         pairs = [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
     else:
         pairs = [
@@ -309,13 +316,14 @@ def _run_chunk_timed(
     legacy_metrics: bool,
     compact: bool = False,
     trace_dir: Optional[str] = None,
+    backend: str = "object",
 ) -> Tuple[float, Union[List[Tuple[int, ExecutionResult]], ChunkSummary]]:
     """Worker entry point for telemetry runs: payload plus in-worker
     execution seconds.  Timed *inside* the worker because the parent only
     sees dispatch→completion spans, which include queue wait — summing
     those would overstate busy-time whenever chunks outnumber workers."""
     started = time.perf_counter()
-    payload = _run_chunk(chunk, legacy_metrics, compact, trace_dir)
+    payload = _run_chunk(chunk, legacy_metrics, compact, trace_dir, backend)
     return round(time.perf_counter() - started, 6), payload
 
 
@@ -377,6 +385,7 @@ class ParallelRunner:
         transport: str = "compact",
         trace_dir: Optional[str] = None,
         telemetry: Optional[TelemetryWriter] = None,
+        backend: str = "object",
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -386,12 +395,20 @@ class ParallelRunner:
             raise ValueError(
                 f"transport must be 'compact' or 'pickle', got {transport!r}"
             )
+        if backend not in ("object", "vector"):
+            raise ValueError(
+                f"backend must be 'object' or 'vector', got {backend!r}"
+            )
         self.workers = workers
         self.chunk_size = chunk_size
         self.legacy_metrics = legacy_metrics
         self.transport = transport
         self.trace_dir = trace_dir
         self.telemetry = telemetry
+        # backend="vector" batches same-config supported trials through
+        # repro.engine.vectorized; everything else (and every trial, with
+        # "object") takes the reference simulator.  Bit-identical results.
+        self.backend = backend
 
     def _run_one(self, index: int, spec: TrialSpec) -> ExecutionResult:
         """One inline trial, traced iff the runner collects traces."""
@@ -414,11 +431,10 @@ class ParallelRunner:
             if tele is not None:
                 tele.emit(
                     "run_start", label=plan.name, mode="inline",
-                    workers=1, trials=len(plan),
+                    workers=1, trials=len(plan), backend=self.backend,
                 )
             results = [
-                self._run_one(index, spec)
-                for index, spec in enumerate(plan.trials)
+                result for _, result in self._run_inline(plan, tele)
             ]
             if tele is not None:
                 tele.emit("run_complete", label=plan.name, trials=len(results))
@@ -471,15 +487,41 @@ class ParallelRunner:
             if tele is not None:
                 tele.emit(
                     "run_start", label=plan.name, mode="inline",
-                    workers=1, trials=len(plan),
+                    workers=1, trials=len(plan), backend=self.backend,
                 )
-            for index, spec in enumerate(plan.trials):
-                yield index, self._run_one(index, spec)
+            yield from self._run_inline(plan, tele)
             if tele is not None:
                 tele.emit("run_complete", label=plan.name, trials=len(plan))
             return
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
         yield from self._iter_pooled(plan, chunk_size)
+
+    def _run_inline(
+        self, plan: TrialPlan, tele: Optional[TelemetryWriter]
+    ) -> Iterator[Tuple[int, ExecutionResult]]:
+        """Inline (no-pool) execution, in plan order.
+
+        The vector backend runs the whole plan as one chunk — that is
+        what lets a serial ``repro bench --vector`` batch each
+        configuration's trials in lockstep — and emits one
+        ``vector_batch`` telemetry span describing the batching.
+        """
+        if self.backend == "vector":
+            started = time.perf_counter()
+            pairs, stats = execute_chunk(
+                list(enumerate(plan.trials)), self.legacy_metrics, self.trace_dir
+            )
+            if tele is not None:
+                tele.emit(
+                    "vector_batch", label=plan.name,
+                    batched=stats["batched"], fallback=stats["fallback"],
+                    batches=len(stats["batches"]),
+                    seconds=round(time.perf_counter() - started, 6),
+                )
+            yield from pairs
+            return
+        for index, spec in enumerate(plan.trials):
+            yield index, self._run_one(index, spec)
 
     def _iter_pooled(
         self, plan: TrialPlan, chunk_size: int
@@ -516,7 +558,8 @@ class ParallelRunner:
         dispatched = {}
         for number, chunk in enumerate(chunks):
             future = pool.submit(
-                entry, chunk, self.legacy_metrics, compact, self.trace_dir
+                entry, chunk, self.legacy_metrics, compact, self.trace_dir,
+                self.backend,
             )
             futures.append(future)
             if tele is not None:

@@ -1,0 +1,602 @@
+"""Batch-vectorized trial execution: the ``backend="vector"`` engine path.
+
+Monte-Carlo sweeps run hundreds of trials that differ *only* in
+``(seed, session)``.  For the ideal-crypto backend those two fields are
+nearly inert: party and adversary RNG streams are drawn but never consumed
+by the paper's protocols, and the session string only enters HMAC tag
+*bytes* — never the validity structure of shares and quorums.  One round of
+a supported protocol therefore evolves identically across the whole batch
+except for the coin values, and a coin value is a pure function of the
+dealt coin key and the trial session:
+
+    tag = HMAC(coin_key, encode(("combined", ("coin-flip", session, index))))
+    c   = hash_to_range("coin-extract", (session, index, tag), low, high)
+
+This module exploits that structure.  Per-party bits live in a ``(B, n)``
+numpy array; each iteration groups rows by bit configuration, resolves the
+iteration *transition* (per-party Proxcensus value/grade, per-round message
+and signature tallies, coin-combine success) **once per distinct
+configuration**, then applies the paper's extraction function as a
+vectorized array expression over the batch's coin column.  Signature counts
+come out of the per-configuration tallies arithmetically — no signature,
+share or message object is ever materialized per trial.
+
+The transition itself is not re-derived by hand: it is obtained by running
+the *object simulator* once per configuration on a single-iteration probe
+program (the exact wire behavior of one ``Π_iter`` segment, including the
+real adversary instance).  That makes the vector backend bit-identical to
+the reference by construction — the only arithmetic this module trusts is
+the coin derivation above and :func:`repro.core.extraction.extract`'s
+closed form, both covered by the equivalence suite in
+``tests/engine/test_vectorized.py``.
+
+Anything the model cannot express — the real-RSA backend, trace
+collection, legacy metrics, protocols or adversaries without a registered
+vector model, non-bit inputs, exotic adversary parameters — falls back
+per-spec to :func:`repro.engine.runner.run_trial`, which is the same code
+path ``backend="object"`` uses, so results are identical either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy is an engine-layer acceleration; protocol code never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+from ..crypto.coin import coin_message_tag, threshold_coin_program
+from ..crypto.random_oracle import hash_to_range
+from ..network.metrics import RunMetrics
+from ..network.party import resume_with, run_parallel
+from ..network.simulator import ExecutionResult, SyncSimulator
+from ..proxcensus.linear_half import prox_linear_half_program
+from ..proxcensus.one_third import prox_one_third_program
+from .plan import TrialSpec
+from .registry import build_adversary, register_vector_model, vector_model_for
+
+__all__ = [
+    "VectorModelError",
+    "batch_key",
+    "execute_chunk",
+    "run_vector_batch",
+    "unsupported_reason",
+]
+
+
+class VectorModelError(RuntimeError):
+    """A vector-model invariant failed; callers fall back to the object path."""
+
+
+# Probe executions run under a fixed session: transitions are
+# session-independent (see module docstring), so any tag works.
+_PROBE_SESSION = "vector-probe"
+
+# (batch_key(spec), bits) → _IterationProbe.  Bounded: cleared wholesale
+# when full, like the crypto tag memos.
+_PROBE_MEMO: Dict[Any, "_IterationProbe"] = {}
+_PROBE_MEMO_LIMIT = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class _IterationProbe:
+    """The batch-invariant outcome of one iteration for one configuration.
+
+    ``values``/``grades`` are the per-party Proxcensus outputs (already
+    passed through ``Π_iter``'s non-bit guard), ``coin_ok`` whether each
+    party's coin combine succeeds (a structural fact: share counts),
+    ``tallies`` the iteration's per-round metric rows in execution order,
+    and ``corrupted`` the corruption set after the iteration.
+    """
+
+    values: Tuple[int, ...]
+    grades: Tuple[int, ...]
+    coin_ok: Tuple[bool, ...]
+    tallies: Tuple[Tuple[int, int, int, int, int], ...]
+    corrupted: frozenset
+
+
+def batch_key(spec: TrialSpec) -> TrialSpec:
+    """The spec with per-trial identity erased: equal keys ⇒ one batch.
+
+    Trials agreeing on everything but ``(seed, session, config)`` share
+    dynamics (the module-docstring invariant), so the chunk executor
+    groups by this key and the probe memo is keyed by it.
+    """
+    return dataclasses.replace(spec, seed=0, session="", config="")
+
+
+def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+    """Why this spec cannot take the vector path (``None`` = it can).
+
+    The checks are deliberately conservative: any configuration whose
+    object-path behavior the vector models have not proven to reproduce —
+    including ones where the object path would *raise* — is routed to the
+    object simulator.
+    """
+    if _np is None:
+        return "numpy unavailable"
+    if not spec.vectorizable:
+        return "spec opted out (vectorizable=False)"
+    if spec.backend != "ideal":
+        return "real-RSA backend"
+    model = vector_model_for(spec.protocol, spec.adversary)
+    if model is None:
+        return (
+            f"no vector model registered for "
+            f"({spec.protocol!r}, {spec.adversary!r})"
+        )
+    return model.unsupported_reason(spec)
+
+
+def supports(spec: TrialSpec) -> bool:
+    """``True`` iff the vector backend would batch this spec."""
+    return unsupported_reason(spec) is None
+
+
+def run_vector_batch(specs: Sequence[TrialSpec]) -> List[ExecutionResult]:
+    """Execute same-configuration supported specs in one lockstep batch.
+
+    All specs must share :func:`batch_key` and pass :func:`supports`;
+    results come back in spec order and are bit-identical to
+    ``run_trial`` on each spec.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    first = specs[0]
+    key = batch_key(first)
+    for spec in specs[1:]:
+        if batch_key(spec) != key:
+            raise VectorModelError("batch mixes configurations")
+    reason = unsupported_reason(first)
+    if reason is not None:
+        raise VectorModelError(f"unsupported spec in vector batch: {reason}")
+    model = vector_model_for(first.protocol, first.adversary)
+    return model.run_batch(specs)
+
+
+def execute_chunk(
+    chunk: Sequence[Tuple[int, TrialSpec]],
+    legacy_metrics: bool = False,
+    trace_dir: Optional[str] = None,
+) -> Tuple[List[Tuple[int, ExecutionResult]], Dict[str, Any]]:
+    """Run a chunk of (index, spec) pairs, batching what the models support.
+
+    The vector entry point the runner uses for ``backend="vector"``:
+    eligible specs are grouped by :func:`batch_key` and executed in
+    lockstep; everything else (plus whole batches whose probe invariants
+    fail) takes the object simulator.  Returns the results in chunk order
+    plus batching stats for telemetry: ``{"batched", "fallback",
+    "batches": [{"config", "size"}, ...]}``.
+    """
+    from .runner import run_traced_trial, run_trial  # circular at import time
+
+    def object_path(index: int, spec: TrialSpec) -> ExecutionResult:
+        if trace_dir is not None:
+            return run_traced_trial(spec, trace_dir, index, legacy_metrics)
+        return run_trial(spec, legacy_metrics=legacy_metrics)
+
+    results: Dict[int, ExecutionResult] = {}
+    batches: Dict[TrialSpec, List[Tuple[int, TrialSpec]]] = {}
+    fallback: List[Tuple[int, TrialSpec]] = []
+    for index, spec in chunk:
+        if legacy_metrics or trace_dir is not None or not supports(spec):
+            fallback.append((index, spec))
+        else:
+            batches.setdefault(batch_key(spec), []).append((index, spec))
+
+    stats: Dict[str, Any] = {"batched": 0, "fallback": len(fallback), "batches": []}
+    for members in batches.values():
+        specs = [spec for _, spec in members]
+        try:
+            outcomes = run_vector_batch(specs)
+        except VectorModelError:
+            # A probe invariant failed — the conservative answer is the
+            # reference simulator, which is always correct.
+            fallback.extend(members)
+            stats["fallback"] += len(members)
+            continue
+        for (index, _), result in zip(members, outcomes):
+            results[index] = result
+        stats["batched"] += len(members)
+        stats["batches"].append(
+            {"config": specs[0].config_key, "size": len(members)}
+        )
+    for index, spec in fallback:
+        results[index] = object_path(index, spec)
+    return [(index, results[index]) for index, _ in chunk], stats
+
+
+# ── Shared model machinery ───────────────────────────────────────────────
+
+
+def _suite(spec: TrialSpec):
+    from .runner import _suite_for  # circular at import time
+
+    return _suite_for(spec)
+
+
+def _coin_value(suite, session: str, index: Any, low: int, high: int) -> int:
+    """The trial's coin value, derived without materializing shares.
+
+    Mirrors ``threshold_coin_program`` + ``coin_value_from_signature``:
+    combined ideal signatures are unique per (key, message), so when the
+    probe proves the combine succeeds the value is this pure function.
+    """
+    message = coin_message_tag(session, index)
+    tag = suite.coin.combined_bytes(message)
+    return hash_to_range("coin-extract", (session, index, tag), low, high)
+
+
+def _extract_array(values, grades_arr, coins, slots: int):
+    """Vectorized :func:`repro.core.extraction.extract` over ``(B, n)`` arrays."""
+    grades = (slots - 1) // 2
+    parity = slots % 2
+    hit_one = coins <= grades_arr + (grades + 1 - parity)
+    hit_zero = coins <= (grades - grades_arr)
+    return _np.where(values == 1, hit_one, hit_zero).astype(_np.int64)
+
+
+def _run_probe(
+    spec: TrialSpec,
+    bits: Tuple[int, ...],
+    factory,
+    iteration_rounds: int,
+) -> _IterationProbe:
+    """One object-simulator execution of a single-iteration probe program.
+
+    Memoized on ``(batch_key(spec), bits)``.  The probe runs under a fixed
+    session and seed — legitimate because supported protocols never
+    consume party/adversary RNG streams and signature *structure* is
+    session-independent; only coin values differ, and those are computed
+    per trial by :func:`_coin_value`.
+    """
+    memo_key = (batch_key(spec), bits)
+    cached = _PROBE_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+
+    adversary = build_adversary(spec.adversary, spec.adversary_param_dict, None)
+    simulator = SyncSimulator(
+        num_parties=spec.num_parties,
+        max_faulty=spec.max_faulty,
+        crypto=_suite(spec),
+        adversary=adversary,
+        seed=0,
+        session=_PROBE_SESSION,
+        max_rounds=spec.max_rounds,
+        collect_signatures=spec.collect_signatures,
+    )
+    result = simulator.run(factory, list(bits))
+
+    n = spec.num_parties
+    values: List[int] = []
+    grades: List[int] = []
+    coin_ok: List[bool] = []
+    for pid in range(n):
+        if result.outputs.get(pid) is None or result.finish_rounds.get(
+            pid
+        ) != iteration_rounds:
+            raise VectorModelError(
+                f"probe party {pid} did not finish in {iteration_rounds} rounds"
+            )
+        prox_output, coin = result.outputs[pid]
+        value, grade = prox_output
+        if value not in (0, 1):  # Π_iter's defensive non-bit guard
+            value, grade = 0, 0
+        values.append(int(value))
+        grades.append(int(grade))
+        coin_ok.append(coin is not None)
+    if result.metrics.rounds != iteration_rounds:
+        raise VectorModelError("probe round count mismatch")
+    tallies = tuple(
+        (
+            round_index,
+            stats.honest_messages,
+            stats.corrupt_messages,
+            stats.honest_signatures,
+            stats.corrupt_signatures,
+        )
+        for round_index, stats in result.metrics.per_round.items()
+    )
+    probe = _IterationProbe(
+        values=tuple(values),
+        grades=tuple(grades),
+        coin_ok=tuple(coin_ok),
+        tallies=tallies,
+        corrupted=frozenset(result.corrupted),
+    )
+    if len(_PROBE_MEMO) >= _PROBE_MEMO_LIMIT:
+        _PROBE_MEMO.clear()
+    _PROBE_MEMO[memo_key] = probe
+    return probe
+
+
+def _bit_input_reason(spec: TrialSpec) -> Optional[str]:
+    for value in spec.inputs:
+        # Strict ints only: bool inputs pass the protocols' `bit in (0, 1)`
+        # check but tangle value identity in repr-keyed tallies — the
+        # object path handles them, so they simply are not vectorized.
+        if type(value) is not int or value not in (0, 1):
+            return f"non-bit input {value!r}"
+    return None
+
+
+def _kappa_reason(spec: TrialSpec) -> Optional[str]:
+    params = spec.param_dict
+    if set(params) != {"kappa"}:
+        return f"unsupported protocol params {sorted(params)}"
+    kappa = params["kappa"]
+    if type(kappa) is not int or kappa < 1:
+        return f"unsupported kappa {kappa!r}"
+    return None
+
+
+def _victims_reason(spec: TrialSpec, allowed_params: frozenset) -> Optional[str]:
+    params = spec.adversary_param_dict
+    if not set(params) <= allowed_params:
+        return f"unsupported adversary params {sorted(params)}"
+    victims = params.get("victims")
+    if not isinstance(victims, tuple) or not victims:
+        return "adversary victims missing or not a sequence"
+    for victim in victims:
+        if type(victim) is not int or not (0 <= victim < spec.num_parties):
+            return f"victim {victim!r} out of range"
+    if len(set(victims)) > spec.max_faulty:
+        return "corruption budget exceeded (object path raises)"
+    return None
+
+
+# ── ba_one_third: one Prox_{2^κ+1} iteration, coin in round κ+1 ─────────
+
+
+class _BaOneThirdModel:
+    """Vector model for ``ba_one_third`` × {no adversary, ``straddle13``}.
+
+    The whole protocol is a single ``Π_iter``: the probe covers all κ+1
+    rounds, so the batch shares one transition and only the final
+    extraction varies per trial.
+    """
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _bit_input_reason(spec) or _kappa_reason(spec)
+        if reason is not None:
+            return reason
+        n, t = spec.num_parties, spec.max_faulty
+        if 3 * t >= n:
+            return "regime violation 3t >= n (object path raises)"
+        kappa = spec.param_dict["kappa"]
+        if spec.max_rounds < kappa + 1:
+            return "max_rounds below protocol length (object path raises)"
+        if spec.adversary == "straddle13":
+            reason = _victims_reason(
+                spec, frozenset({"victims", "down_group"})
+            )
+            if reason is not None:
+                return reason
+            down_group = spec.adversary_param_dict.get("down_group")
+            if down_group is not None and not isinstance(down_group, tuple):
+                return "unsupported down_group value"
+        elif spec.adversary is not None:
+            return f"no ba_one_third vector model for {spec.adversary!r}"
+        return None
+
+    @staticmethod
+    def _probe_factory(kappa: int):
+        # Wire-identical to ba_one_third_program (Π_iter, overlap_coin
+        # False), except it returns (prox_output, coin) instead of the
+        # extracted bit — extraction happens vectorized, per trial.
+        low, high = 1, 2 ** kappa
+
+        def factory(ctx, bit):
+            prox_output = yield from prox_one_third_program(ctx, bit, rounds=kappa)
+            coin = yield from threshold_coin_program(
+                ctx, ("ba13", kappa), low, high
+            )
+            return (prox_output, coin)
+
+        return factory
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        kappa = first.param_dict["kappa"]
+        n = first.num_parties
+        rounds_total = kappa + 1
+        slots = 2 ** kappa + 1
+        low, high = 1, slots - 1
+
+        probe = _run_probe(
+            first, tuple(first.inputs), cls._probe_factory(kappa), rounds_total
+        )
+
+        batch = len(specs)
+        coins = _np.fromiter(
+            (
+                _coin_value(suite, spec.session, ("ba13", kappa), low, high)
+                for spec in specs
+            ),
+            dtype=_np.int64,
+            count=batch,
+        )
+        values = _np.array(probe.values, dtype=_np.int64)[None, :]
+        grades = _np.array(probe.grades, dtype=_np.int64)[None, :]
+        ok = _np.array(probe.coin_ok, dtype=bool)[None, :]
+        coin_matrix = _np.where(ok, coins[:, None], low)
+        out_bits = _extract_array(values, grades, coin_matrix, slots)
+
+        inputs_map = dict(enumerate(first.inputs))
+        results = []
+        for row in range(batch):
+            results.append(
+                ExecutionResult(
+                    outputs={pid: int(out_bits[row, pid]) for pid in range(n)},
+                    corrupted=set(probe.corrupted),
+                    metrics=RunMetrics.from_round_tallies(
+                        rounds_total, probe.tallies
+                    ),
+                    inputs=dict(inputs_map),
+                    finish_rounds={pid: rounds_total for pid in range(n)},
+                )
+            )
+        return results
+
+
+# ── ba_one_half: ⌈κ/2⌉ iterations of Π_iter^5, coin ∥ Prox round 3 ──────
+
+
+class _BaOneHalfModel:
+    """Vector model for ``ba_one_half`` × {no adversary, ``straddle12``}.
+
+    Iterations are independent 3-round segments (the adversary's state is
+    per-iteration), so each is one probe per distinct bit configuration;
+    bit configurations are tracked lockstep in a ``(B, n)`` array and
+    re-grouped per iteration as coins split the batch.
+    """
+
+    ITERATION_ROUNDS = 3
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _bit_input_reason(spec) or _kappa_reason(spec)
+        if reason is not None:
+            return reason
+        n, t = spec.num_parties, spec.max_faulty
+        if 2 * t >= n:
+            return "regime violation 2t >= n (object path raises)"
+        kappa = spec.param_dict["kappa"]
+        iterations = -(-kappa // 2)
+        if spec.max_rounds < 3 * iterations:
+            return "max_rounds below protocol length (object path raises)"
+        if spec.adversary == "straddle12":
+            reason = _victims_reason(
+                spec, frozenset({"victims", "iteration_rounds"})
+            )
+            if reason is not None:
+                return reason
+            rounds = spec.adversary_param_dict.get("iteration_rounds", 3)
+            if rounds != _BaOneHalfModel.ITERATION_ROUNDS:
+                return "straddle12 with non-standard iteration_rounds"
+        elif spec.adversary is not None:
+            return f"no ba_one_half vector model for {spec.adversary!r}"
+        return None
+
+    @staticmethod
+    def _probe_factory():
+        # Wire-identical to one ba_one_half iteration: Π_iter^5 with the
+        # 3-round Prox (rounds 1–2 driven directly, round 3 parallel with
+        # the coin), under the iter0 subsession the fresh per-iteration
+        # adversary also derives.  Returns (prox_output, coin) raw.
+        def factory(ctx, bit):
+            iteration_ctx = ctx.subsession("iter0")
+            prox = prox_linear_half_program(iteration_ctx, bit, rounds=3)
+            outbox = next(prox)
+            for _ in range(2):
+                inbox = yield outbox
+                outbox = prox.send(inbox)
+            results = yield from run_parallel(
+                iteration_ctx,
+                {
+                    "prox": resume_with(prox, outbox),
+                    "coin": threshold_coin_program(
+                        iteration_ctx, ("ba12", 0), 1, 4
+                    ),
+                },
+            )
+            return (results["prox"], results["coin"])
+
+        return factory
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        kappa = first.param_dict["kappa"]
+        n = first.num_parties
+        iterations = -(-kappa // 2)
+        rounds_total = cls.ITERATION_ROUNDS * iterations
+        factory = cls._probe_factory()
+
+        batch = len(specs)
+        bits = _np.tile(_np.array(first.inputs, dtype=_np.int64), (batch, 1))
+        rows_per_trial: List[List[Tuple[int, int, int, int, int]]] = [
+            [] for _ in range(batch)
+        ]
+        corrupted: frozenset = frozenset()
+
+        for iteration in range(iterations):
+            # Group batch rows by bit configuration; probe each once.
+            group_of: Dict[bytes, int] = {}
+            inverse = _np.empty(batch, dtype=_np.int64)
+            probes: List[_IterationProbe] = []
+            for row in range(batch):
+                config = bits[row].tobytes()
+                group = group_of.get(config)
+                if group is None:
+                    group = group_of[config] = len(probes)
+                    probes.append(
+                        _run_probe(
+                            first,
+                            tuple(int(b) for b in bits[row]),
+                            factory,
+                            cls.ITERATION_ROUNDS,
+                        )
+                    )
+                inverse[row] = group
+            corrupted = probes[0].corrupted
+
+            coins = _np.fromiter(
+                (
+                    _coin_value(
+                        suite,
+                        f"{spec.session}/iter{iteration}",
+                        ("ba12", iteration),
+                        1,
+                        4,
+                    )
+                    for spec in specs
+                ),
+                dtype=_np.int64,
+                count=batch,
+            )
+            values = _np.array([p.values for p in probes], dtype=_np.int64)
+            grades = _np.array([p.grades for p in probes], dtype=_np.int64)
+            ok = _np.array([p.coin_ok for p in probes], dtype=bool)
+            coin_matrix = _np.where(ok[inverse], coins[:, None], 1)
+            bits = _extract_array(
+                values[inverse], grades[inverse], coin_matrix, 5
+            )
+
+            offset = cls.ITERATION_ROUNDS * iteration
+            for row in range(batch):
+                rows_per_trial[row].extend(
+                    (r + offset, hm, cm, hs, cs)
+                    for r, hm, cm, hs, cs in probes[inverse[row]].tallies
+                )
+
+        inputs_map = dict(enumerate(first.inputs))
+        results = []
+        for row, spec in enumerate(specs):
+            results.append(
+                ExecutionResult(
+                    outputs={pid: int(bits[row, pid]) for pid in range(n)},
+                    corrupted=set(corrupted),
+                    metrics=RunMetrics.from_round_tallies(
+                        rounds_total, rows_per_trial[row]
+                    ),
+                    inputs=dict(inputs_map),
+                    finish_rounds={pid: rounds_total for pid in range(n)},
+                )
+            )
+        return results
+
+
+register_vector_model("ba_one_third", None, _BaOneThirdModel)
+register_vector_model("ba_one_third", "straddle13", _BaOneThirdModel)
+register_vector_model("ba_one_half", None, _BaOneHalfModel)
+register_vector_model("ba_one_half", "straddle12", _BaOneHalfModel)

@@ -209,6 +209,27 @@ class RunMetrics:
         return tuple(flat)
 
     @classmethod
+    def from_round_tallies(cls, rounds, rows) -> "RunMetrics":
+        """Build a ``RunMetrics`` from structured per-round rows.
+
+        ``rows`` is an iterable of ``(round_index, honest_messages,
+        corrupt_messages, honest_signatures, corrupt_signatures)`` tuples;
+        entries are inserted in iteration order, so callers that replay an
+        execution's tally sequence (the vector engine backend assembling
+        per-trial metrics from memoized batch tallies) reproduce the
+        object simulator's ``per_round`` layout exactly.
+        """
+        per_round: Dict[int, RoundStats] = {}
+        for round_index, hm, cm, hs, cs in rows:
+            per_round[round_index] = RoundStats(
+                honest_messages=hm,
+                corrupt_messages=cm,
+                honest_signatures=hs,
+                corrupt_signatures=cs,
+            )
+        return cls(rounds=rounds, per_round=per_round)
+
+    @classmethod
     def from_tallies(cls, rounds: int, tallies: Sequence[int]) -> "RunMetrics":
         """Rebuild a ``RunMetrics`` from :meth:`as_tallies` output.
 

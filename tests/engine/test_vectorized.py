@@ -1,0 +1,286 @@
+"""Vector backend equivalence: lockstep batches vs the object simulator.
+
+The contract under test is absolute: for every spec, a runner with
+``backend="vector"`` returns results *bit-identical* to the reference
+object simulator — same outputs, corrupted sets, inputs, finish rounds,
+and ``RunMetrics`` down to per-round tally values **and insertion
+order**.  Specs the vector models don't support must silently take the
+object path inside the same run, so the guarantee holds for arbitrary
+mixed plans.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    ParallelRunner,
+    TrialPlan,
+    TrialSpec,
+    vector_model_pairs,
+    vector_supports,
+    vector_unsupported_reason,
+)
+from repro.engine.vectorized import execute_chunk
+from tests.conftest import PROTOCOL_SHAPES
+
+
+def canon(result):
+    """Everything an ExecutionResult holds, as comparable plain data.
+
+    ``per_round`` is canonicalized as an *ordered list*, not a dict —
+    insertion order is part of the object simulator's observable output
+    (``RunMetrics.as_tallies`` packs in that order) and the vector
+    backend must reproduce it.
+    """
+    return (
+        dict(result.outputs),
+        set(result.corrupted),
+        dict(result.inputs),
+        dict(result.finish_rounds),
+        result.metrics.rounds,
+        [
+            (
+                index,
+                stats.honest_messages,
+                stats.corrupt_messages,
+                stats.honest_signatures,
+                stats.corrupt_signatures,
+            )
+            for index, stats in result.metrics.per_round.items()
+        ],
+    )
+
+
+def assert_equivalent(plan):
+    """Both backends, serially, trial for trial."""
+    obj = ParallelRunner(workers=1, backend="object").run(plan).results
+    vec = ParallelRunner(workers=1, backend="vector").run(plan).results
+    assert len(obj) == len(vec) == len(plan)
+    for index, (a, b) in enumerate(zip(obj, vec)):
+        assert canon(a) == canon(b), f"trial {index} diverged"
+    return obj
+
+
+# Adversaries with a vector model, with valid params per protocol.
+VECTOR_ADVERSARIES = {
+    "ba_one_third": [
+        (None, None),
+        ("straddle13", {"victims": (3,)}),
+        ("straddle13", {"victims": (3,), "down_group": (0,)}),
+    ],
+    "ba_one_half": [
+        (None, None),
+        ("straddle12", {"victims": (3, 4)}),
+    ],
+}
+
+
+class TestRegistry:
+    def test_both_protocols_registered_with_and_without_adversary(self):
+        pairs = set(vector_model_pairs())
+        assert ("ba_one_third", None) in pairs
+        assert ("ba_one_third", "straddle13") in pairs
+        assert ("ba_one_half", None) in pairs
+        assert ("ba_one_half", "straddle12") in pairs
+
+
+class TestProtocolGrid:
+    """Every registered protocol × the adversaries that apply to it.
+
+    Vector-supported pairs exercise the lockstep models; everything else
+    exercises the per-spec fallback — either way the runner's output
+    must match the object path exactly.
+    """
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_SHAPES))
+    def test_no_adversary(self, protocol):
+        inputs, max_faulty, params = PROTOCOL_SHAPES[protocol]
+        plan = TrialPlan.monte_carlo(
+            f"grid-{protocol}", protocol, inputs, max_faulty,
+            trials=4, params=params, seed=17,
+        )
+        assert_equivalent(plan)
+
+    @pytest.mark.parametrize(
+        "protocol,adversary,adversary_params",
+        [
+            (proto, adv, advp)
+            for proto, combos in VECTOR_ADVERSARIES.items()
+            for adv, advp in combos
+            if adv is not None
+        ],
+    )
+    def test_vector_adversaries(self, protocol, adversary, adversary_params):
+        inputs, max_faulty, params = PROTOCOL_SHAPES[protocol]
+        plan = TrialPlan.monte_carlo(
+            f"grid-{protocol}-{adversary}", protocol, inputs, max_faulty,
+            trials=6, params=params, adversary=adversary,
+            adversary_params=adversary_params, seed=23,
+        )
+        spec = plan.trials[0]
+        assert vector_supports(spec), vector_unsupported_reason(spec)
+        assert_equivalent(plan)
+
+
+class TestRandomizedSweep:
+    """Hypothesis-style randomized configurations, derandomized.
+
+    A fixed-seed PRNG draws (protocol, κ, inputs, adversary, seeds) so
+    the sweep covers a fresh corner of the space on every parameter draw
+    while staying reproducible in CI.
+    """
+
+    @pytest.mark.parametrize("draw", range(8))
+    def test_random_config_matches_object_path(self, draw):
+        rng = random.Random(0xFEED + draw)
+        protocol = rng.choice(["ba_one_third", "ba_one_half"])
+        kappa = rng.randint(1, 5)
+        if protocol == "ba_one_third":
+            n = rng.choice([4, 7])
+            t = (n - 1) // 3
+        else:
+            n = rng.choice([5, 9])
+            t = (n - 1) // 2
+        inputs = tuple(rng.randint(0, 1) for _ in range(n))
+        adversary, adversary_params = rng.choice(
+            VECTOR_ADVERSARIES[protocol][:2]
+        )
+        if adversary is not None:
+            victims = tuple(range(n - t, n))
+            adversary_params = {"victims": victims}
+        plan = TrialPlan.monte_carlo(
+            f"rand-{draw}", protocol, inputs, t,
+            trials=9, params={"kappa": kappa},
+            adversary=adversary, adversary_params=adversary_params,
+            seed=rng.randint(0, 10_000), setup_seed=rng.randint(0, 100),
+        )
+        assert vector_supports(plan.trials[0])
+        assert_equivalent(plan)
+
+    def test_collect_signatures_off_still_matches(self):
+        plan = TrialPlan.monte_carlo(
+            "nosig", "ba_one_half", (0, 0, 1, 1, 1), 2,
+            trials=6, params={"kappa": 3}, adversary="straddle12",
+            adversary_params={"victims": (3, 4)}, seed=5,
+            collect_signatures=False,
+        )
+        assert vector_supports(plan.trials[0])
+        assert_equivalent(plan)
+
+
+class TestFallback:
+    def test_vectorizable_false_opts_out_but_matches(self):
+        plan = TrialPlan.monte_carlo(
+            "optout", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=4, params={"kappa": 2}, seed=3, vectorizable=False,
+        )
+        spec = plan.trials[0]
+        assert not vector_supports(spec)
+        assert "vectorizable" in vector_unsupported_reason(spec)
+        assert_equivalent(plan)
+
+    def test_unsupported_adversary_falls_back(self):
+        plan = TrialPlan.monte_carlo(
+            "crash", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=4, params={"kappa": 2},
+            adversary="crash", adversary_params={"victims": (3,)}, seed=3,
+        )
+        assert not vector_supports(plan.trials[0])
+        assert_equivalent(plan)
+
+    def test_unregistered_protocol_falls_back(self):
+        plan = TrialPlan.monte_carlo(
+            "fm", "feldman_micali", (0, 0, 1, 1), 1,
+            trials=3, params={"kappa": 2}, seed=3,
+        )
+        assert not vector_supports(plan.trials[0])
+        assert_equivalent(plan)
+
+    def test_non_bit_inputs_fall_back(self):
+        spec = TrialSpec(
+            protocol="ba_one_third", inputs=(0, 2, 1, 1), max_faulty=1,
+            params={"kappa": 2},
+        )
+        reason = vector_unsupported_reason(spec)
+        assert reason is not None and "bit" in reason
+
+    def test_mixed_chunk_groups_and_falls_back_per_spec(self):
+        vec_plan = TrialPlan.monte_carlo(
+            "mix-vec", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=3, params={"kappa": 2}, seed=1,
+        )
+        obj_plan = TrialPlan.monte_carlo(
+            "mix-obj", "feldman_micali", (0, 0, 1, 1), 1,
+            trials=2, params={"kappa": 2}, seed=1,
+        )
+        plan = TrialPlan.concat("mix", [vec_plan, obj_plan])
+        chunk = list(enumerate(plan.trials))
+        pairs, stats = execute_chunk(chunk, False, None)
+        assert [index for index, _ in pairs] == list(range(len(plan)))
+        assert stats["batched"] == 3
+        assert stats["fallback"] == 2
+        assert len(stats["batches"]) == 1
+        reference = ParallelRunner(workers=1).run(plan).results
+        for (_, got), expected in zip(pairs, reference):
+            assert canon(got) == canon(expected)
+
+
+class TestRunnerIntegration:
+    def test_pooled_vector_matches_serial_object(self):
+        plan = TrialPlan.monte_carlo(
+            "pooled", "ba_one_half", (0, 0, 1, 1, 1), 2,
+            trials=12, params={"kappa": 2}, adversary="straddle12",
+            adversary_params={"victims": (3, 4)}, seed=9,
+        )
+        obj = ParallelRunner(workers=1).run(plan).results
+        vec = ParallelRunner(
+            workers=2, backend="vector", chunk_size=5
+        ).run(plan).results
+        assert [canon(a) for a in obj] == [canon(b) for b in vec]
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelRunner(backend="gpu")
+
+    def test_adaptive_runner_vector_matches_object(self):
+        from repro.engine import AdaptiveRunner
+
+        plan = TrialPlan.monte_carlo(
+            "adaptive-vec", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=20, params={"kappa": 2}, adversary="straddle13",
+            adversary_params={"victims": (3,)}, seed=13,
+        )
+        kwargs = dict(workers=1, batch_size=7, early_stop=False)
+        obj = AdaptiveRunner(**kwargs).run(plan, bounds=0.25)
+        vec = AdaptiveRunner(backend="vector", **kwargs).run(plan, bounds=0.25)
+        assert [canon(r) for r in obj.executed_results()] == [
+            canon(r) for r in vec.executed_results()
+        ]
+        assert obj.verdicts() == vec.verdicts()
+
+    def test_vector_batch_telemetry_span(self, tmp_path):
+        from repro.obs import TelemetryWriter, summarize_telemetry
+
+        path = str(tmp_path / "telemetry.jsonl")
+        plan = TrialPlan.monte_carlo(
+            "tele", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=5, params={"kappa": 2}, seed=2,
+        )
+        with TelemetryWriter(path) as telemetry:
+            ParallelRunner(
+                workers=1, backend="vector", telemetry=telemetry
+            ).run(plan)
+        summary = summarize_telemetry(path)
+        assert summary["consistent"]
+        import json
+
+        events = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if '"vector_batch"' in line
+        ]
+        assert len(events) == 1
+        assert events[0]["batched"] == 5
+        assert events[0]["fallback"] == 0
+        assert events[0]["batches"] == 1
