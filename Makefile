@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest underneath.
 
-.PHONY: install test test-fast check bench bench-quick examples experiments clean
+.PHONY: install test test-fast check bench bench-quick chaos-quick examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,7 +29,10 @@ bench:
 # docs/observability.md).  REPRO_BENCH_WORKERS overrides the worker
 # count (default 2; clamped to the CPUs present).  The second line is
 # the real-backend smoke: one tiny threshold-RSA sweep (small modulus)
-# exercising pre-dealt key broadcast end to end.  `check` runs first:
+# exercising pre-dealt key broadcast end to end; the third is the
+# fault-tolerance smoke (6 trials/cell — far below the 120 that rewrite
+# BENCH_faults.json, so the committed curves are safe).  `check` runs
+# first:
 # benchmark numbers from a tree that violates the determinism rules are
 # not comparable run to run, so don't produce them.
 bench-quick: check
@@ -39,6 +42,15 @@ bench-quick: check
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
 		--kappas 1 --trials 3 --protocol one_third \
 		--workers $${REPRO_BENCH_WORKERS:-2}
+	REPRO_BENCH_FAULT_TRIALS=$${REPRO_BENCH_FAULT_TRIALS:-6} PYTHONPATH=src \
+		pytest benchmarks/bench_fault_tolerance.py --benchmark-disable -q
+
+# Bounded chaos pass: hypothesis-drawn Byzantine schedules and network
+# fault plans at a few examples per property (the full depth runs in
+# `make test`).  REPRO_CHAOS_EXAMPLES overrides the bound.
+chaos-quick:
+	REPRO_CHAOS_EXAMPLES=$${REPRO_CHAOS_EXAMPLES:-10} PYTHONPATH=src \
+		pytest tests/chaos/ -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

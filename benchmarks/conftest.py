@@ -59,23 +59,28 @@ def bench_workers(default: int = 1) -> int:
     return clamp_workers(value)
 
 
+#: The engine backends ``REPRO_BENCH_BACKEND`` may select.
+VALID_BENCH_BACKENDS = ("object", "vector")
+
+
 def bench_backend(default: str = "object") -> str:
-    """Engine backend from ``REPRO_BENCH_BACKEND``, robustly.
+    """Engine backend from ``REPRO_BENCH_BACKEND``, strictly.
 
     ``vector`` routes migrated benchmarks through the batch-vectorized
     executor (bit-identical results; unsupported specs fall back to the
-    object simulator per spec).  Anything unrecognized falls back to
-    ``default`` with a warning, mirroring :func:`bench_workers`.
+    object simulator per spec).  An unrecognized value is an error, not
+    a warning: a typo like ``REPRO_BENCH_BACKEND=vectro`` silently
+    falling back to the object simulator would produce numbers labeled
+    as one backend but measured on another.
     """
     raw = os.environ.get("REPRO_BENCH_BACKEND", "").strip()
     if not raw:
         return default
-    if raw not in ("object", "vector"):
-        warnings.warn(
-            f"ignoring REPRO_BENCH_BACKEND={raw!r} "
-            f"(must be 'object' or 'vector'); using {default!r}"
+    if raw not in VALID_BENCH_BACKENDS:
+        raise ValueError(
+            f"unknown REPRO_BENCH_BACKEND={raw!r}; "
+            f"valid backends: {', '.join(VALID_BENCH_BACKENDS)}"
         )
-        return default
     return raw
 
 
@@ -110,6 +115,8 @@ def engine_spec(
     adversary_params=None,
     seed=0,
     session="bench",
+    faults=None,
+    fault_params=None,
 ):
     """A :class:`TrialSpec` matching a legacy ``run()`` call exactly.
 
@@ -130,6 +137,8 @@ def engine_spec(
         seed=seed,
         session=session,
         setup_seed=legacy_setup_seed(len(inputs), max_faulty),
+        faults=faults,
+        fault_params=fault_params,
     )
 
 

@@ -26,7 +26,7 @@ _ADVERSARY_HOOKS: Dict[str, int] = {
     "observe": 3,          # (self, round_index, inboxes)
 }
 
-_REGISTER_FUNCS = ("register_protocol", "register_adversary")
+_REGISTER_FUNCS = ("register_protocol", "register_adversary", "register_fault_plan")
 
 
 def _call_name(func: ast.AST) -> str:

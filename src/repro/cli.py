@@ -139,6 +139,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.adversary = "straddle13" if args.protocol == "one_third" else "straddle12"
     victims = args.victims or list(range(n - t, n))
     adversary = _build_adversary(args.adversary, victims, factory)
+    faults = None
+    if args.faults:
+        import json as _json
+
+        from .engine import build_fault_plan, fault_plan_names
+
+        try:
+            fault_params = (
+                _json.loads(args.fault_params) if args.fault_params else {}
+            )
+        except ValueError as error:
+            print(
+                f"repro run: --fault-params is not valid JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            faults = build_fault_plan(args.faults, fault_params)
+        except (KeyError, TypeError, ValueError) as error:
+            print(
+                f"repro run: bad fault scenario: {error}\n"
+                f"usage: --faults takes one of {fault_plan_names()}",
+                file=sys.stderr,
+            )
+            return 2
     tracer = None
     memory_sink = None
     jsonl_sink = None
@@ -176,6 +201,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         session=f"cli{args.seed}",
         tracer=tracer,
+        faults=faults,
     )
     try:
         result = simulator.run(factory, inputs)
@@ -190,6 +216,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"rounds     : {result.metrics.rounds}")
     print(f"messages   : {result.metrics.total_messages}")
     print(f"signatures : {result.metrics.total_signatures}")
+    if faults is not None and simulator.last_fault_counts is not None:
+        counts = simulator.last_fault_counts
+        print(
+            f"faults     : {args.faults} "
+            f"(lost={counts.lost} delayed={counts.delayed} "
+            f"late={counts.delivered_late} partitioned={counts.partitioned} "
+            f"offline={counts.offline} stale={counts.stale})"
+        )
     if memory_sink is not None:
         print("\ntranscript:")
         print(memory_sink.render())
@@ -212,6 +246,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"repro trace: {error}", file=sys.stderr)
         return 2
     tracer = loaded.tracer
+    # Validate filters against what the trace actually contains before
+    # filtering: a bad --round/--party silently matching nothing would
+    # render an empty timeline indistinguishable from a quiet execution.
+    if args.round is not None:
+        total_rounds = tracer.rounds
+        bad = sorted({r for r in args.round if r < 1 or r > total_rounds})
+        if bad:
+            print(
+                f"repro trace: --round value(s) {','.join(map(str, bad))} "
+                f"out of range\nusage: --round takes round indices from 1 "
+                f"to {total_rounds} (this trace)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.party is not None:
+        num_parties = loaded.meta.get("n")
+        if not isinstance(num_parties, int):
+            seen = {event.sender for event in tracer.events}
+            seen.update(event.recipient for event in tracer.events)
+            seen.update(pid for _, pid in tracer.corruptions)
+            num_parties = max(seen, default=-1) + 1
+        if not (0 <= args.party < num_parties):
+            print(
+                f"repro trace: --party {args.party} out of range\n"
+                f"usage: --party takes a party id from 0 to "
+                f"{num_parties - 1} (this trace)",
+                file=sys.stderr,
+            )
+            return 2
     if args.round is not None or args.party is not None or args.corrupt_only:
         tracer = filter_trace(
             tracer,
@@ -250,6 +313,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(f"{'events':22s}: {len(tracer.events)}")
         print(f"{'corruptions':22s}: {len(tracer.corruptions)}")
+        if loaded.faults:
+            print(f"{'faults injected':22s}: {len(tracer.faults)}")
         print(f"{'messages':22s}: {metrics.total_messages}")
         print(f"{'signatures':22s}: {metrics.total_signatures}")
     return 0
@@ -960,6 +1025,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="corrupted party ids (default: the last t parties)",
     )
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--faults", default=None, metavar="SCENARIO",
+        help="fault-injection scenario (a repro.engine registry name, "
+        "e.g. lossy, delaying, partitioned, crash_recover)",
+    )
+    run_parser.add_argument(
+        "--fault-params", default=None, metavar="JSON",
+        help='scenario params as JSON, e.g. \'{"rate": 0.2}\'',
+    )
     run_parser.add_argument("--trace", action="store_true")
     run_parser.add_argument(
         "--trace-jsonl", default=None, metavar="PATH",

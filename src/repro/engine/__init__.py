@@ -12,8 +12,11 @@ from .adaptive import AdaptiveResult, AdaptiveRunner, ConfigOutcome
 from .plan import TrialPlan, TrialSpec, derive_trial_seed, derive_trial_session
 from .registry import (
     adversary_names,
+    build_fault_plan,
+    fault_plan_names,
     protocol_names,
     register_adversary,
+    register_fault_plan,
     register_protocol,
     register_vector_model,
     vector_model_for,
@@ -30,7 +33,12 @@ from .runner import (
     run_traced_trial,
     run_trial,
 )
-from .transport import ChunkSummary, TrialSummary, measure_payload_bytes
+from .transport import (
+    ChunkSummary,
+    TransportError,
+    TrialSummary,
+    measure_payload_bytes,
+)
 from .vectorized import (
     VectorModelError,
     run_vector_batch,
@@ -45,21 +53,25 @@ __all__ = [
     "ConfigOutcome",
     "ParallelRunner",
     "PlanResult",
+    "TransportError",
     "TrialPlan",
     "TrialSpec",
     "TrialSummary",
     "VectorModelError",
     "adversary_names",
+    "build_fault_plan",
     "clamp_workers",
     "clear_suite_cache",
     "deal_suite",
     "default_workers",
     "derive_trial_seed",
     "derive_trial_session",
+    "fault_plan_names",
     "measure_payload_bytes",
     "predeal_suites",
     "protocol_names",
     "register_adversary",
+    "register_fault_plan",
     "register_protocol",
     "register_vector_model",
     "run_traced_trial",

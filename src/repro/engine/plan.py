@@ -127,6 +127,14 @@ class TrialSpec:
     # configuration the vector models support); everything else takes
     # the object simulator.  Results are bit-identical either way.
     vectorizable: bool = True
+    # Fault-injection scenario: a registry name
+    # (repro.engine.registry.fault_plan_names) resolved by workers to a
+    # repro.network.faults.FaultPlan, like protocol/adversary names.
+    # None = the clean synchronous network.  Vector models simulate the
+    # fault-free lockstep dynamics only, so a faulted spec is never
+    # vectorizable — forced off in __post_init__.
+    faults: Optional[str] = None
+    fault_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.inputs, tuple):
@@ -137,6 +145,15 @@ class TrialSpec:
             "adversary_params",
             _coerce_params(self.adversary_params, "adversary_params"),
         )
+        object.__setattr__(
+            self,
+            "fault_params",
+            _coerce_params(self.fault_params, "fault_params"),
+        )
+        if self.fault_params and self.faults is None:
+            raise ValueError("fault_params given without a faults scenario name")
+        if self.faults is not None and self.vectorizable:
+            object.__setattr__(self, "vectorizable", False)
         if self.backend not in ("ideal", "real"):
             raise ValueError(f"unknown crypto backend {self.backend!r}")
         if self.backend == "real" and self.rsa_bits < 64:
@@ -159,6 +176,10 @@ class TrialSpec:
     @property
     def adversary_param_dict(self) -> Dict[str, Any]:
         return dict(self.adversary_params)
+
+    @property
+    def fault_param_dict(self) -> Dict[str, Any]:
+        return dict(self.fault_params)
 
     @property
     def suite_key(self) -> Tuple[str, int, int, int, int]:
@@ -184,12 +205,15 @@ class TrialSpec:
         """
         if self.config:
             return self.config
-        return (
+        key = (
             f"{self.protocol}{dict(self.params)}"
             f"|n{self.num_parties}t{self.max_faulty}"
             f"|{self.adversary}{dict(self.adversary_params)}"
             f"|{self.backend}"
         )
+        if self.faults is not None:
+            key += f"|{self.faults}{dict(self.fault_params)}"
+        return key
 
 
 @dataclass(frozen=True)
@@ -227,6 +251,8 @@ class TrialPlan:
         collect_signatures: bool = True,
         rsa_bits: int = 256,
         vectorizable: bool = True,
+        faults: Optional[str] = None,
+        fault_params: Optional[Dict[str, Any]] = None,
     ) -> "TrialPlan":
         """``trials`` independent repetitions of one configuration.
 
@@ -250,6 +276,8 @@ class TrialPlan:
             config=name,
             rsa_bits=rsa_bits,
             vectorizable=vectorizable,
+            faults=faults,
+            fault_params=_freeze_params(fault_params),
         )
         return cls(
             name=name,
@@ -291,10 +319,16 @@ class TrialPlan:
         adversaries = sorted(
             {spec.adversary for spec in self.trials if spec.adversary is not None}
         )
-        return {
+        summary = {
             "name": self.name,
             "trials": len(self.trials),
             "protocols": protocols,
             "adversaries": adversaries,
             "num_parties": sorted({spec.num_parties for spec in self.trials}),
         }
+        fault_names = sorted(
+            {spec.faults for spec in self.trials if spec.faults is not None}
+        )
+        if fault_names:
+            summary["faults"] = fault_names
+        return summary

@@ -14,7 +14,10 @@ Protocol builders have signature ``builder(**params) -> ProgramFactory``.
 Adversary builders have signature ``builder(factory, **params) ->
 Adversary`` — the resolved protocol factory is passed in because generic
 adversaries like ``two_face`` simulate honest behavior and need it; most
-builders ignore it.
+builders ignore it.  Fault-plan builders have signature
+``builder(**params) -> FaultPlan`` (see :mod:`repro.network.faults`) —
+fault scenarios name adversarial *network* behavior the same way
+adversary names describe adversarial *parties*.
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ from ..core.turpin_coan import (
 )
 from ..crypto.coin import threshold_coin_program
 from ..crypto.vrf_coin import vrf_coin_program
+from ..network.faults import Crash, FaultPlan, Partition
 from ..network.party import ProgramFactory
 from ..proxcensus.linear_half import prox_linear_half_program
 from ..proxcensus.one_third import prox_one_third_program
@@ -54,10 +58,13 @@ from ..proxcensus.quadratic_half import prox_quadratic_half_program
 
 __all__ = [
     "build_adversary",
+    "build_fault_plan",
     "build_protocol_factory",
     "protocol_names",
     "adversary_names",
+    "fault_plan_names",
     "register_adversary",
+    "register_fault_plan",
     "register_protocol",
     "register_vector_model",
     "vector_model_for",
@@ -66,9 +73,11 @@ __all__ = [
 
 ProtocolBuilder = Callable[..., ProgramFactory]
 AdversaryBuilder = Callable[..., Adversary]
+FaultPlanBuilder = Callable[..., FaultPlan]
 
 _PROTOCOLS: Dict[str, ProtocolBuilder] = {}
 _ADVERSARIES: Dict[str, AdversaryBuilder] = {}
+_FAULT_PLANS: Dict[str, FaultPlanBuilder] = {}
 # (protocol name, adversary name or None) → vector batch-model class.
 # Populated by repro.engine.vectorized at import time; the runner's
 # backend="vector" path consults it per spec and falls back to the
@@ -111,6 +120,13 @@ def register_adversary(name: str, builder: AdversaryBuilder) -> None:
     _ADVERSARIES[name] = builder
 
 
+def register_fault_plan(name: str, builder: FaultPlanBuilder) -> None:
+    """Register ``builder(**params) -> FaultPlan`` under ``name``."""
+    if not callable(builder):
+        raise TypeError(f"fault-plan builder for {name!r} is not callable")
+    _FAULT_PLANS[name] = builder
+
+
 def protocol_names() -> List[str]:
     """Registered protocol names, sorted."""
     return sorted(_PROTOCOLS)
@@ -119,6 +135,11 @@ def protocol_names() -> List[str]:
 def adversary_names() -> List[str]:
     """Registered adversary names, sorted."""
     return sorted(_ADVERSARIES)
+
+
+def fault_plan_names() -> List[str]:
+    """Registered fault-scenario names, sorted."""
+    return sorted(_FAULT_PLANS)
 
 
 def build_protocol_factory(name: str, params: Dict[str, Any]) -> ProgramFactory:
@@ -145,6 +166,21 @@ def build_adversary(
             f"unknown adversary {name!r}; registered: {adversary_names()}"
         ) from None
     return builder(factory, **params)
+
+
+def build_fault_plan(
+    name: Optional[str], params: Dict[str, Any]
+) -> Optional[FaultPlan]:
+    """Resolve a fault-scenario name (or ``None``) to a fresh plan."""
+    if name is None:
+        return None
+    try:
+        builder = _FAULT_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; registered: {fault_plan_names()}"
+        ) from None
+    return builder(**params)
 
 
 # ── Built-in protocols ───────────────────────────────────────────────────
@@ -290,5 +326,61 @@ register_adversary(
     session=None: WithholdingCoinAdversary(
         list(victims), index=index, low=low, high=high,
         preferred=preferred, session=session,
+    ),
+)
+
+
+# ── Built-in fault scenarios ─────────────────────────────────────────────
+# Adversarial networks, named like adversaries so TrialSpec can carry
+# them across process boundaries.  Params arrive as plain values or the
+# frozen-tuple form TrialSpec normalizes to; FaultPlan re-freezes them.
+
+
+def _as_crashes(crashes) -> tuple:
+    return tuple(Crash(pid=p, down=d, up=u) for p, d, u in crashes)
+
+
+register_fault_plan(
+    "lossy",
+    lambda rate=0.1: FaultPlan(loss=rate),
+)
+register_fault_plan(
+    "delaying",
+    lambda rate=0.1, max_delay=2: FaultPlan(delay=rate, max_delay=max_delay),
+)
+register_fault_plan(
+    "partitioned",
+    lambda groups, start=1, heal=None: FaultPlan(
+        partitions=(
+            Partition(
+                groups=tuple(tuple(g) for g in groups), start=start, heal=heal
+            ),
+        )
+    ),
+)
+register_fault_plan(
+    "crash_recover",
+    lambda crashes: FaultPlan(crashes=_as_crashes(crashes)),
+)
+register_fault_plan(
+    "rotating_membership",
+    lambda epoch_length, disabled: FaultPlan(
+        epoch_length=epoch_length,
+        disabled=tuple(tuple(g) for g in disabled),
+    ),
+)
+register_fault_plan(
+    "degraded",
+    # The benchmark composite: background loss/delay plus one healing
+    # split (bench_fault_tolerance sweeps rate × partition length).
+    lambda rate=0.05, max_delay=2, split=(), heal=None: FaultPlan(
+        loss=rate,
+        delay=rate,
+        max_delay=max_delay,
+        partitions=(
+            (Partition(groups=(tuple(split),), start=1, heal=heal),)
+            if split
+            else ()
+        ),
     ),
 )

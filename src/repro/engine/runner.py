@@ -64,7 +64,7 @@ from ..network.trace import Tracer
 from ..obs.sinks import JsonlTraceSink, trace_filename
 from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
-from .registry import build_adversary, build_protocol_factory
+from .registry import build_adversary, build_fault_plan, build_protocol_factory
 from .transport import ChunkSummary
 from .vectorized import execute_chunk
 
@@ -241,6 +241,7 @@ def run_trial(
         collect_signatures=spec.collect_signatures,
         legacy_metrics=legacy_metrics,
         tracer=tracer,
+        faults=build_fault_plan(spec.faults, spec.fault_param_dict),
     )
     return simulator.run(factory, list(spec.inputs))
 
@@ -258,24 +259,38 @@ def run_traced_trial(
     identify the spec.  Memory stays bounded — records stream straight
     to disk — and the file content is a pure function of the spec, so
     serial and pooled runs write byte-identical traces.
+
+    If the trial raises, the half-written trace file is removed before
+    the exception propagates: a truncated JSONL file fails
+    :func:`repro.obs.replay.load_trace` anyway, and leaving it in
+    ``trace_dir`` would make a failed pooled chunk litter the directory
+    with orphans indistinguishable (by name) from good traces.  Trials
+    that completed before the failure keep their complete files.
     """
-    sink = JsonlTraceSink(
-        os.path.join(trace_dir, trace_filename(index)),
-        meta={
-            "index": index,
-            "protocol": spec.protocol,
-            "adversary": spec.adversary,
-            "n": spec.num_parties,
-            "t": spec.max_faulty,
-            "seed": spec.seed,
-            "session": spec.session,
-        },
-    )
+    meta = {
+        "index": index,
+        "protocol": spec.protocol,
+        "adversary": spec.adversary,
+        "n": spec.num_parties,
+        "t": spec.max_faulty,
+        "seed": spec.seed,
+        "session": spec.session,
+    }
+    if spec.faults is not None:
+        meta["faults"] = spec.faults
+    sink = JsonlTraceSink(os.path.join(trace_dir, trace_filename(index)), meta=meta)
     tracer = Tracer(sink)
     try:
-        return run_trial(spec, legacy_metrics, tracer=tracer)
-    finally:
+        result = run_trial(spec, legacy_metrics, tracer=tracer)
+    except BaseException:
         tracer.close()
+        try:
+            os.remove(sink.path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    tracer.close()
+    return result
 
 
 def _run_chunk(
@@ -325,6 +340,15 @@ def _run_chunk_timed(
     started = time.perf_counter()
     payload = _run_chunk(chunk, legacy_metrics, compact, trace_dir, backend)
     return round(time.perf_counter() - started, 6), payload
+
+
+def _fault_field(plan: TrialPlan) -> dict:
+    """``run_start`` telemetry extras: fault scenarios the plan sweeps.
+
+    Empty for fault-free plans, so their spans keep the historical shape.
+    """
+    names = sorted({spec.faults for spec in plan.trials if spec.faults is not None})
+    return {"faults": names} if names else {}
 
 
 @dataclass
@@ -432,6 +456,7 @@ class ParallelRunner:
                 tele.emit(
                     "run_start", label=plan.name, mode="inline",
                     workers=1, trials=len(plan), backend=self.backend,
+                    **_fault_field(plan),
                 )
             results = [
                 result for _, result in self._run_inline(plan, tele)
@@ -488,6 +513,7 @@ class ParallelRunner:
                 tele.emit(
                     "run_start", label=plan.name, mode="inline",
                     workers=1, trials=len(plan), backend=self.backend,
+                    **_fault_field(plan),
                 )
             yield from self._run_inline(plan, tele)
             if tele is not None:
@@ -539,7 +565,7 @@ class ParallelRunner:
                 "run_start", label=plan.name, mode="pool",
                 workers=self.workers, trials=len(plan),
                 chunks=len(chunks), chunk_size=chunk_size,
-                transport=self.transport,
+                transport=self.transport, **_fault_field(plan),
             )
         predeal_started = time.perf_counter()
         dealt = predeal_suites(plan, self.workers)

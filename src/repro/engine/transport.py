@@ -38,7 +38,23 @@ from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult
 from .plan import TrialSpec
 
-__all__ = ["ChunkSummary", "SpecLookup", "TrialSummary", "measure_payload_bytes"]
+__all__ = [
+    "ChunkSummary",
+    "SpecLookup",
+    "TransportError",
+    "TrialSummary",
+    "measure_payload_bytes",
+]
+
+
+class TransportError(ValueError):
+    """A packed summary blob is truncated or malformed.
+
+    Raised instead of a bare ``IndexError`` so a corrupted worker payload
+    — a half-written pipe, a bad pickle round-trip, bit rot in a cached
+    artifact — surfaces as one well-named failure at the transport
+    boundary, not an arbitrary exception deep in varint decoding.
+    """
 
 #: Anything indexable by plan index — ``plan.trials`` for the fixed
 #: runner, the per-round ``{index: spec}`` dict for the adaptive runner.
@@ -62,10 +78,21 @@ def _write_varint(buf: bytearray, value: int) -> None:
 
 
 def _read_varint(blob: bytes, at: int) -> Tuple[int, int]:
-    """Decode one varint starting at ``at``; returns ``(value, next_at)``."""
+    """Decode one varint starting at ``at``; returns ``(value, next_at)``.
+
+    Every read is bounds-checked: a truncated blob — including one cut
+    mid-varint, where the last byte still has its continuation bit set —
+    raises :class:`TransportError` instead of ``IndexError``.
+    """
     value = 0
     shift = 0
+    size = len(blob)
     while True:
+        if at >= size:
+            raise TransportError(
+                f"truncated varint payload: needed a byte at offset {at}, "
+                f"blob is {size} bytes"
+            )
         byte = blob[at]
         at += 1
         value |= (byte & 0x7F) << shift
@@ -226,6 +253,12 @@ class ChunkSummary(NamedTuple):
         for _ in range(count):
             index, at = _read_varint(blob, at)
             length, at = _read_varint(blob, at)
+            if at + length > len(blob):
+                raise TransportError(
+                    f"truncated chunk payload: trial {index} declares a "
+                    f"{length}-byte summary at offset {at}, blob is "
+                    f"{len(blob)} bytes"
+                )
             summary = TrialSummary(
                 blob=blob[at : at + length], outputs=fallback.get(index)
             )

@@ -120,6 +120,11 @@ def unsupported_reason(spec: TrialSpec) -> Optional[str]:
         return "numpy unavailable"
     if not spec.vectorizable:
         return "spec opted out (vectorizable=False)"
+    if spec.faults is not None:
+        # Unreachable through TrialSpec (__post_init__ forces the flag
+        # off), kept as a guard: the lockstep models simulate the clean
+        # synchronous network only.
+        return f"fault injection ({spec.faults!r}) is not vectorizable"
     if spec.backend != "ideal":
         return "real-RSA backend"
     model = vector_model_for(spec.protocol, spec.adversary)

@@ -1,6 +1,7 @@
 """Synchronous authenticated network simulator and party-program model."""
 
 from .errors import AdversaryBudgetError, RoundLimitError, SimulationError
+from .faults import Crash, FaultEvent, FaultInjector, FaultPlan, Partition
 from .messages import (
     Broadcast,
     Inbox,
@@ -20,8 +21,13 @@ __all__ = [
     "AdversaryBudgetError",
     "Broadcast",
     "Context",
+    "Crash",
     "ExecutionResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Inbox",
+    "Partition",
     "Outbox",
     "ProgramFactory",
     "RoundLimitError",

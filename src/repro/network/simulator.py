@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 from ..adversary.base import Adversary, AdversaryEnv, RoundDecision, RoundView
 from ..crypto.keys import CryptoSuite
 from .errors import AdversaryBudgetError, RoundLimitError, SimulationError
+from .faults import FaultCounts, FaultInjector, FaultPlan
 from .messages import Outbox, normalize_outbox
 from .metrics import RunMetrics, count_signatures, count_signatures_reference
 from .party import Context, ProgramFactory
@@ -87,6 +88,7 @@ class SyncSimulator:
         tracer: Optional[Tracer] = None,
         collect_signatures: bool = True,
         legacy_metrics: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if crypto.num_parties != num_parties:
             raise SimulationError(
@@ -111,6 +113,19 @@ class SyncSimulator:
         # so `repro bench --compare-baseline` can measure the win.
         self.collect_signatures = collect_signatures
         self.legacy_metrics = legacy_metrics
+        # Fault injection (repro.network.faults): loss/delay/partition/
+        # crash/membership faults applied at delivery time.  None keeps
+        # the delivery path byte-identical to the pre-fault-layer code;
+        # the legacy baseline predates faults and must stay a pure
+        # measurement control, so combining them is an error.
+        if faults is not None and legacy_metrics:
+            raise SimulationError(
+                "legacy_metrics is a benchmark baseline; it does not "
+                "support fault injection"
+            )
+        self.faults = faults
+        # Per-run injection tallies of the most recent run() with faults.
+        self.last_fault_counts: Optional[FaultCounts] = None
 
     def run(self, factory: ProgramFactory, inputs: Sequence[Any]) -> ExecutionResult:
         """Execute ``factory(ctx_i, inputs[i])`` for every party to completion."""
@@ -121,6 +136,16 @@ class SyncSimulator:
         master = random.Random(self.seed)
         party_seeds = [master.getrandbits(64) for _ in range(n)]
         adversary_rng = random.Random(master.getrandbits(64))
+        # The fault RNG is drawn from the master strictly after the party
+        # seeds and adversary seed, and only when a plan is present —
+        # with faults=None the seed→randomness mapping is untouched and
+        # every execution is byte-identical to the pre-fault-layer code.
+        injector: Optional[FaultInjector] = None
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults, n, random.Random(master.getrandbits(64))
+            )
+            self.last_fault_counts = injector.counts
 
         self.adversary.setup(
             AdversaryEnv(
@@ -191,7 +216,11 @@ class SyncSimulator:
                 self.tracer.record_corruptions(round_index, corrupted)
 
             inboxes: Dict[int, Dict[int, Any]] = {pid: {} for pid in range(n)}
-            if self.legacy_metrics:
+            if injector is not None:
+                self._deliver_faulty(
+                    round_index, normalized, corrupted, inboxes, metrics, injector
+                )
+            elif self.legacy_metrics:
                 self._deliver_legacy(round_index, normalized, corrupted, inboxes, metrics)
             else:
                 self._deliver(round_index, normalized, corrupted, inboxes, metrics)
@@ -282,6 +311,123 @@ class SyncSimulator:
                         round_index, sender, recipient, payload, sender_honest
                     )
 
+    def _deliver_faulty(
+        self,
+        round_index: int,
+        normalized: Dict[int, Dict[int, Any]],
+        corrupted: Set[int],
+        inboxes: Dict[int, Dict[int, Any]],
+        metrics: RunMetrics,
+        injector: FaultInjector,
+    ) -> None:
+        """Deliver one round's messages through the fault injector.
+
+        Same tally structure as :meth:`_deliver` (per-sender signature
+        dedup, honesty split), restricted to messages that actually
+        arrive: suppressed messages tally nothing, delayed messages
+        tally in the round they arrive, with sender honesty frozen at
+        send time.  With a no-op plan every message routes ``deliver``
+        without consuming randomness, so tallies match :meth:`_deliver`
+        exactly — pinned by ``tests/chaos/test_faults.py``.
+        """
+        tracer = self.tracer
+        collect = self.collect_signatures
+        counts = injector.counts
+        offline = injector.offline(round_index)
+        stats = None
+        for sender in range(self.num_parties):
+            outbox = normalized[sender]
+            if not outbox:
+                continue
+            if stats is None:
+                stats = metrics.round_stats(round_index)
+            sender_honest = sender not in corrupted
+            messages = 0
+            signatures = 0
+            walked: Dict[int, int] = {}
+            for recipient, payload in outbox.items():
+                kind, delay = injector.route(round_index, sender, recipient, offline)
+                if kind == "deliver":
+                    inboxes[recipient][sender] = payload
+                    messages += 1
+                    counts.delivered += 1
+                    if collect:
+                        key = id(payload)
+                        count = walked.get(key)
+                        if count is None:
+                            count = walked[key] = count_signatures(payload)
+                        signatures += count
+                    if tracer is not None:
+                        tracer.record_message(
+                            round_index, sender, recipient, payload, sender_honest
+                        )
+                    continue
+                if kind == "delay":
+                    injector.defer(
+                        round_index, delay, sender, recipient, payload, sender_honest
+                    )
+                    counts.delayed += 1
+                elif kind == "loss":
+                    counts.lost += 1
+                elif kind == "partition":
+                    counts.partitioned += 1
+                else:
+                    counts.offline += 1
+                if tracer is not None:
+                    tracer.record_fault(
+                        round_index, kind, sender, recipient,
+                        delay if kind == "delay" else None,
+                    )
+            if sender_honest:
+                stats.honest_messages += messages
+                stats.honest_signatures += signatures
+            else:
+                stats.corrupt_messages += messages
+                stats.corrupt_signatures += signatures
+        # Drain delayed messages due this round, freshest send first.  A
+        # copy whose (sender, recipient) inbox slot is already taken —
+        # by a current-round delivery or a fresher delayed copy — is
+        # discarded as stale; a copy whose recipient is offline now, or
+        # that an active partition still separates, is dropped late.
+        for entry in injector.due(round_index):
+            kind = None
+            if entry.recipient in offline:
+                kind = "offline"
+            elif self.faults.partitioned(round_index, entry.sender, entry.recipient):
+                kind = "partition"
+            elif entry.sender in inboxes[entry.recipient]:
+                kind = "stale"
+            if kind is not None:
+                if kind == "offline":
+                    counts.offline += 1
+                elif kind == "partition":
+                    counts.partitioned += 1
+                else:
+                    counts.stale += 1
+                if tracer is not None:
+                    tracer.record_fault(
+                        round_index, kind, entry.sender, entry.recipient, None
+                    )
+                continue
+            inboxes[entry.recipient][entry.sender] = entry.payload
+            counts.delivered_late += 1
+            if stats is None:
+                stats = metrics.round_stats(round_index)
+            signature_count = (
+                count_signatures(entry.payload) if collect else 0
+            )
+            if entry.sender_honest:
+                stats.honest_messages += 1
+                stats.honest_signatures += signature_count
+            else:
+                stats.corrupt_messages += 1
+                stats.corrupt_signatures += signature_count
+            if tracer is not None:
+                tracer.record_message(
+                    round_index, entry.sender, entry.recipient, entry.payload,
+                    entry.sender_honest,
+                )
+
     def _deliver_legacy(
         self,
         round_index: int,
@@ -358,6 +504,7 @@ def run_protocol(
     session: str = "run",
     crypto: Optional[CryptoSuite] = None,
     max_rounds: int = 4096,
+    faults: Optional[FaultPlan] = None,
 ) -> ExecutionResult:
     """One-call convenience wrapper: deal ideal keys, build a simulator, run.
 
@@ -378,5 +525,6 @@ def run_protocol(
         seed=seed,
         session=session,
         max_rounds=max_rounds,
+        faults=faults,
     )
     return simulator.run(factory, inputs)

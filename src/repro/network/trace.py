@@ -26,10 +26,12 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from .faults import FaultEvent
 from .messages import PARALLEL_KEY
 from .metrics import count_signatures
 
 __all__ = [
+    "FaultEvent",
     "MemoryTraceSink",
     "TraceEvent",
     "TraceSink",
@@ -125,6 +127,10 @@ class TraceSink:
     def record_corruption(self, round_index: int, pid: int) -> None:
         raise NotImplementedError
 
+    def record_fault(self, event: FaultEvent) -> None:
+        """Default is a no-op: sinks that predate fault injection keep
+        working unchanged, and fault-free executions never call this."""
+
     def close(self) -> None:
         """Flush/finalize; default is a no-op for unbuffered sinks."""
 
@@ -141,7 +147,9 @@ class MemoryTraceSink(TraceSink):
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
         self.corruptions: List[Tuple[int, int]] = []  # (round, pid)
+        self.faults: List[FaultEvent] = []
         self._by_round: Dict[int, List[TraceEvent]] = {}
+        self._faults_by_round: Dict[int, List[FaultEvent]] = {}
 
     def record_event(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -153,14 +161,28 @@ class MemoryTraceSink(TraceSink):
     def record_corruption(self, round_index: int, pid: int) -> None:
         self.corruptions.append((round_index, pid))
 
+    def record_fault(self, event: FaultEvent) -> None:
+        self.faults.append(event)
+        bucket = self._faults_by_round.get(event.round_index)
+        if bucket is None:
+            bucket = self._faults_by_round[event.round_index] = []
+        bucket.append(event)
+
     @property
     def rounds(self) -> int:
         """Highest round with a recorded event."""
-        return max(self._by_round, default=0)
+        return max(
+            max(self._by_round, default=0),
+            max(self._faults_by_round, default=0),
+        )
 
     def events_in_round(self, round_index: int) -> List[TraceEvent]:
         """All events delivered in one round (shared list — don't mutate)."""
         return self._by_round.get(round_index, [])
+
+    def faults_in_round(self, round_index: int) -> List[FaultEvent]:
+        """All faults injected in one round (shared list — don't mutate)."""
+        return self._faults_by_round.get(round_index, [])
 
     def render(self, max_payload_width: int = 60) -> str:
         """Round-by-round ASCII timeline of the execution."""
@@ -170,12 +192,21 @@ class MemoryTraceSink(TraceSink):
             corrupted_at.setdefault(round_index, []).append(pid)
         for round_index in range(0, self.rounds + 1):
             events = self.events_in_round(round_index)
-            if not events and round_index not in corrupted_at:
+            faults = self.faults_in_round(round_index)
+            if not events and not faults and round_index not in corrupted_at:
                 continue
             lines.append(f"── round {round_index} " + "─" * 40)
             if round_index in corrupted_at:
                 pids = ", ".join(f"P{p}" for p in corrupted_at[round_index])
                 lines.append(f"   ⚡ corrupted: {pids}")
+            # Injected faults, one line per (kind, sender, detail) group.
+            fault_grouped: Dict[Tuple[str, int, int], List[int]] = {}
+            for fault in faults:
+                key = (fault.kind, fault.sender, fault.detail or 0)
+                fault_grouped.setdefault(key, []).append(fault.recipient)
+            for (kind, sender, detail), recipients in sorted(fault_grouped.items()):
+                label = f"{kind} +{detail}" if kind == "delay" else kind
+                lines.append(f"   ✂ P{sender} ⇢ {sorted(recipients)}: {label}")
             # Broadcasts collapse into one line per (sender, summary).
             grouped: Dict[Tuple[int, str, bool], List[int]] = {}
             for event in events:
@@ -232,6 +263,21 @@ class Tracer:
             self.sink.record_corruption(round_index, pid)
             self._known_corrupted.add(pid)
 
+    def record_fault(
+        self, round_index: int, kind: str, sender: int, recipient: int,
+        detail: Optional[int] = None,
+    ) -> None:
+        """Record one injected network fault (loss/delay/partition/...)."""
+        self.sink.record_fault(
+            FaultEvent(
+                round_index=round_index,
+                kind=kind,
+                sender=sender,
+                recipient=recipient,
+                detail=detail,
+            )
+        )
+
     def close(self) -> None:
         self.sink.close()
 
@@ -246,11 +292,18 @@ class Tracer:
         return self.sink.corruptions
 
     @property
+    def faults(self) -> List[FaultEvent]:
+        return self.sink.faults
+
+    @property
     def rounds(self) -> int:
         return self.sink.rounds
 
     def events_in_round(self, round_index: int) -> List[TraceEvent]:
         return self.sink.events_in_round(round_index)
+
+    def faults_in_round(self, round_index: int) -> List[FaultEvent]:
+        return self.sink.faults_in_round(round_index)
 
     def render(self, max_payload_width: int = 60) -> str:
         return self.sink.render(max_payload_width)

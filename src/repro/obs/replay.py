@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence
 
+from ..network.faults import FaultEvent
 from ..network.metrics import RunMetrics
 from ..network.trace import MemoryTraceSink, TraceEvent, Tracer
 from .sinks import TRACE_SCHEMA, ObsFormatError
@@ -35,6 +36,7 @@ class LoadedTrace:
     meta: Dict[str, Any] = field(default_factory=dict)
     events: int = 0
     corruptions: int = 0
+    faults: int = 0
 
 
 def _parse_line(path: str, lineno: int, line: str) -> Dict[str, Any]:
@@ -57,6 +59,7 @@ def load_trace(path: str) -> LoadedTrace:
     meta: Dict[str, Any] = {}
     events = 0
     corruptions = 0
+    faults = 0
     saw_header = False
     saw_footer = False
     with open(path, "r", encoding="utf-8") as handle:
@@ -110,15 +113,37 @@ def load_trace(path: str) -> LoadedTrace:
                         f"{path}:{lineno}: corr record missing {error}"
                     ) from None
                 corruptions += 1
+            elif kind == "fault":
+                try:
+                    tracer.sink.record_fault(
+                        FaultEvent(
+                            round_index=record["r"],
+                            kind=record["k"],
+                            sender=record["s"],
+                            recipient=record["d"],
+                            detail=record.get("x"),
+                        )
+                    )
+                except KeyError as error:
+                    raise ObsFormatError(
+                        f"{path}:{lineno}: fault record missing {error}"
+                    ) from None
+                faults += 1
             elif kind == "end":
-                if record.get("events") != events or (
-                    record.get("corruptions") != corruptions
+                # Fault-free producers omit the "faults" key entirely
+                # (byte-compat with pre-fault-layer traces) — absent
+                # means zero, and the count must still agree.
+                if (
+                    record.get("events") != events
+                    or record.get("corruptions") != corruptions
+                    or record.get("faults", 0) != faults
                 ):
                     raise ObsFormatError(
                         f"{path}:{lineno}: footer counts "
-                        f"({record.get('events')}, {record.get('corruptions')}) "
+                        f"({record.get('events')}, {record.get('corruptions')}, "
+                        f"{record.get('faults', 0)}) "
                         f"disagree with the records read "
-                        f"({events}, {corruptions})"
+                        f"({events}, {corruptions}, {faults})"
                     )
                 saw_footer = True
             else:
@@ -132,7 +157,8 @@ def load_trace(path: str) -> LoadedTrace:
             f"{path}: no end footer — the trace was truncated mid-run"
         )
     return LoadedTrace(
-        tracer=tracer, meta=meta, events=events, corruptions=corruptions
+        tracer=tracer, meta=meta, events=events, corruptions=corruptions,
+        faults=faults,
     )
 
 
@@ -166,6 +192,12 @@ def filter_trace(
         if party is not None and pid != party:
             continue
         filtered.sink.record_corruption(round_index, pid)
+    for fault in tracer.faults:
+        if wanted_rounds is not None and fault.round_index not in wanted_rounds:
+            continue
+        if party is not None and party not in (fault.sender, fault.recipient):
+            continue
+        filtered.sink.record_fault(fault)
     return filtered
 
 

@@ -12,9 +12,14 @@ and self-checking:
   "d": recipient, "h": 0|1, "g": signatures, "p": summary}`` and every
   corruption record ``{"t": "corr", "r": round, "pid": pid}``, in
   delivery order;
+* fault-injected runs additionally write ``{"t": "fault", "r": round,
+  "k": kind, "s": sender, "d": recipient}`` records (plus ``"x"`` for a
+  delay length) — see :mod:`repro.network.faults`;
 * the footer ``{"t": "end", "events": N, "corruptions": M}`` closes the
   stream — a file without it was truncated mid-run, and
-  :func:`repro.obs.replay.load_trace` rejects it.
+  :func:`repro.obs.replay.load_trace` rejects it.  A run that injected
+  faults also stamps ``"faults": K`` into the footer; fault-free traces
+  omit the key, so they stay byte-identical to pre-fault-layer files.
 
 Keys are single characters on the hot records deliberately: a traced
 execution writes one line per delivered message.
@@ -25,6 +30,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Mapping, Optional, Sequence
 
+from ..network.faults import FaultEvent
 from ..network.trace import TraceEvent, TraceSink
 
 __all__ = [
@@ -70,6 +76,7 @@ class JsonlTraceSink(TraceSink):
         self.path = path
         self.events_written = 0
         self.corruptions_written = 0
+        self.faults_written = 0
         self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
         header: dict = {"t": "trace", "schema": TRACE_SCHEMA}
         if meta:
@@ -99,16 +106,32 @@ class JsonlTraceSink(TraceSink):
         self._write({"t": "corr", "r": round_index, "pid": pid})
         self.corruptions_written += 1
 
+    def record_fault(self, event: FaultEvent) -> None:
+        record = {
+            "t": "fault",
+            "r": event.round_index,
+            "k": event.kind,
+            "s": event.sender,
+            "d": event.recipient,
+        }
+        if event.detail is not None:
+            record["x"] = event.detail
+        self._write(record)
+        self.faults_written += 1
+
     def close(self) -> None:
         if self._handle is None:
             return
-        self._write(
-            {
-                "t": "end",
-                "events": self.events_written,
-                "corruptions": self.corruptions_written,
-            }
-        )
+        footer = {
+            "t": "end",
+            "events": self.events_written,
+            "corruptions": self.corruptions_written,
+        }
+        # Stamped only when nonzero: fault-free trace files must stay
+        # byte-identical to those written before fault injection existed.
+        if self.faults_written:
+            footer["faults"] = self.faults_written
+        self._write(footer)
         self._handle.close()
         self._handle = None
 
@@ -133,6 +156,10 @@ class FanoutSink(TraceSink):
     def record_corruption(self, round_index: int, pid: int) -> None:
         for sink in self.sinks:
             sink.record_corruption(round_index, pid)
+
+    def record_fault(self, event: FaultEvent) -> None:
+        for sink in self.sinks:
+            sink.record_fault(event)
 
     def close(self) -> None:
         for sink in self.sinks:

@@ -1,0 +1,9 @@
+"""Chaos suite: randomized Byzantine schedules and network fault plans.
+
+Hypothesis draws the adversity — per-round Byzantine actions in
+``test_byzantine``, network fault plans (loss, delay, partitions,
+crashes, membership rotation) in ``test_faults``, and their
+cross-worker determinism in ``test_crash_recovery``.  Example counts
+are bounded by ``REPRO_CHAOS_EXAMPLES`` (see ``conftest.examples``)
+so CI can run a quick leg while local runs keep the deeper defaults.
+"""

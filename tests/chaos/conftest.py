@@ -1,0 +1,22 @@
+"""Shared knobs for the chaos suite."""
+
+from __future__ import annotations
+
+import os
+
+
+def examples(default: int) -> int:
+    """Per-test hypothesis example count, overridable for CI.
+
+    ``REPRO_CHAOS_EXAMPLES=N`` replaces every test's default with ``N``
+    (floored at 1) — the CI chaos leg sets a small value for a bounded
+    smoke pass; unset or unparsable values keep the test's own default,
+    so a stray environment variable can never skip the suite.
+    """
+    raw = os.environ.get("REPRO_CHAOS_EXAMPLES", "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default

@@ -30,7 +30,8 @@ from repro.proxcensus.base import check_proxcensus_consistency
 from repro.proxcensus.linear_half import prox_linear_half_program
 from repro.proxcensus.one_third import prox_one_third_program
 
-from .conftest import run
+from ..conftest import run
+from .conftest import examples
 
 ACTIONS = ("follow", "silent", "garbage", "replay", "flip")
 
@@ -118,7 +119,7 @@ def _adversary_for(n: int, t: int, plan, strike) -> PlannedAdversary:
 class TestChaosBA:
     @given(case=chaos_case())
     @settings(
-        max_examples=40, deadline=None,
+        max_examples=examples(40), deadline=None,
         suppress_health_check=[HealthCheck.data_too_large],
     )
     def test_one_third_ba_invariants(self, case):
@@ -145,7 +146,7 @@ class TestChaosBA:
 
     @given(case=chaos_case())
     @settings(
-        max_examples=30, deadline=None,
+        max_examples=examples(30), deadline=None,
         suppress_health_check=[HealthCheck.data_too_large],
     )
     def test_one_half_ba_invariants(self, case):
@@ -166,7 +167,7 @@ class TestChaosBA:
 class TestChaosProxcensus:
     @given(case=chaos_case())
     @settings(
-        max_examples=30, deadline=None,
+        max_examples=examples(30), deadline=None,
         suppress_health_check=[HealthCheck.data_too_large],
     )
     def test_one_third_proxcensus_definition2(self, case):
@@ -182,7 +183,7 @@ class TestChaosProxcensus:
 
     @given(case=chaos_case())
     @settings(
-        max_examples=30, deadline=None,
+        max_examples=examples(30), deadline=None,
         suppress_health_check=[HealthCheck.data_too_large],
     )
     def test_linear_half_proxcensus_definition2(self, case):

@@ -254,3 +254,62 @@ class TestNonTerminatingFinishRounds:
             assert rebuilt == result
             assert 3 not in rebuilt.finish_rounds
             assert None not in rebuilt.finish_rounds.values()
+
+
+class TestTruncatedPayloads:
+    """Corrupted blobs fail with ``TransportError``, never ``IndexError``.
+
+    A half-written pipe or a bit-rotted cache hands ``unpack`` a prefix
+    of a valid payload.  Every such prefix must surface as the one
+    well-named transport failure — these tests cut real packed payloads
+    at *every* byte boundary and assert the decoder never leaks a bare
+    ``IndexError`` (the pre-hardening behavior for e.g.
+    ``ChunkSummary(blob=b'\\x05\\x01')``).
+    """
+
+    def _packed_chunk(self):
+        spec = _spec("ba_one_third", "straddle13")
+        result = run_trial(spec)
+        return ChunkSummary.pack([(0, result)]), spec
+
+    def test_transport_error_is_a_value_error(self):
+        from repro.engine import TransportError
+
+        assert issubclass(TransportError, ValueError)
+
+    def test_regression_bare_index_error(self):
+        # The original report: a two-byte blob declaring five trials.
+        from repro.engine import TransportError
+
+        with pytest.raises(TransportError, match="truncated"):
+            ChunkSummary(blob=b"\x05\x01").unpack({})
+
+    def test_mid_varint_truncation(self):
+        # A multi-byte varint cut after its continuation byte: the
+        # decoder must notice the missing tail, not run off the end.
+        from repro.engine import TransportError
+
+        with pytest.raises(TransportError, match="truncated varint"):
+            ChunkSummary(blob=b"\x80").unpack({})
+
+    def test_every_trial_summary_prefix_raises_transport_error(self):
+        from repro.engine import TransportError
+
+        spec = _spec("ba_one_third", "straddle13")
+        summary = TrialSummary.pack(run_trial(spec))
+        assert summary.unpack(spec)  # the full blob still decodes
+        for cut in range(len(summary.blob)):
+            with pytest.raises(TransportError):
+                TrialSummary(blob=summary.blob[:cut]).unpack(spec)
+
+    def test_every_chunk_prefix_raises_transport_error(self):
+        from repro.engine import TransportError
+
+        chunk, spec = self._packed_chunk()
+        assert chunk.unpack({0: spec})  # the full blob still decodes
+        for cut in range(len(chunk.blob)):
+            truncated = ChunkSummary(
+                blob=chunk.blob[:cut], fallbacks=chunk.fallbacks
+            )
+            with pytest.raises(TransportError):
+                truncated.unpack({0: spec})

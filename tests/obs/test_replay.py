@@ -241,3 +241,77 @@ class TestFilters:
         kept = filter_trace(_toy_tracer(), rounds=[1], party=3)
         assert len(kept.events) == 1 and kept.events[0].sender == 3
         assert kept.corruptions == [(1, 3)]
+
+
+class TestFaultRecords:
+    """Fault spans stream, replay, filter, and stay footer-audited."""
+
+    def _faulted_trace(self, tmp_path):
+        from repro.core.ba import ba_one_third_program
+        from repro.network.faults import FaultPlan
+        from repro.network.simulator import SyncSimulator
+
+        from ..conftest import ideal_suite
+
+        path = str(tmp_path / "faulty.jsonl")
+        memory = MemoryTraceSink()
+        tracer = Tracer(FanoutSink([memory, JsonlTraceSink(path)]))
+        simulator = SyncSimulator(
+            num_parties=5,
+            max_faulty=1,
+            crypto=ideal_suite(5, 1),
+            seed=9,
+            session="fault-trace",
+            tracer=tracer,
+            faults=FaultPlan(loss=0.25, delay=0.25, max_delay=2),
+        )
+        simulator.run(
+            lambda ctx, value: ba_one_third_program(ctx, value, kappa=3),
+            (1, 0, 1, 0, 1),
+        )
+        tracer.close()
+        return path, memory
+
+    def test_fault_records_replay_byte_identically(self, tmp_path):
+        path, memory = self._faulted_trace(tmp_path)
+        loaded = load_trace(path)
+        assert loaded.faults == len(memory.faults) > 0
+        assert loaded.tracer.render() == memory.render()
+
+    def test_clean_trace_footer_has_no_faults_key(self, tmp_path):
+        # Byte-compat with pre-fault-layer traces: a run without faults
+        # writes exactly the old footer shape.
+        path = str(tmp_path / "clean.jsonl")
+        with JsonlTraceSink(path) as sink:
+            Tracer(sink).record_message(1, 0, 1, {"v": 1}, True)
+        footer = open(path, encoding="utf-8").read().splitlines()[-1]
+        assert "faults" not in json.loads(footer)
+
+    def test_fault_footer_count_is_audited(self, tmp_path):
+        path, _ = self._faulted_trace(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        footer = json.loads(lines[-1])
+        footer["faults"] += 1
+        lied = _write_lines(
+            tmp_path, "lied.jsonl", lines[:-1] + [json.dumps(footer)]
+        )
+        with pytest.raises(ObsFormatError, match="disagree"):
+            load_trace(lied)
+
+    def test_fault_record_missing_field_rejected(self, tmp_path):
+        path = _write_lines(
+            tmp_path, "shortfault.jsonl",
+            [_header(), json.dumps({"t": "fault", "r": 1, "s": 0})],
+        )
+        with pytest.raises(ObsFormatError):
+            load_trace(path)
+
+    def test_filters_apply_to_faults(self, tmp_path):
+        path, memory = self._faulted_trace(tmp_path)
+        loaded = load_trace(path)
+        some_round = memory.faults[0].round_index
+        kept = filter_trace(loaded.tracer, rounds=[some_round])
+        assert kept.faults
+        assert all(f.round_index == some_round for f in kept.faults)
+        kept = filter_trace(loaded.tracer, party=2)
+        assert all(2 in (f.sender, f.recipient) for f in kept.faults)

@@ -201,7 +201,33 @@ class TestEngineStreaming:
         bad = dataclasses.replace(spec, protocol="_no_such_protocol")
         with pytest.raises(KeyError):
             run_traced_trial(bad, str(tmp_path), 0)
-        # The file exists and is footer-terminated: the sink was closed
-        # even though the trial died.
-        loaded = load_trace(os.path.join(str(tmp_path), trace_filename(0)))
-        assert loaded.events == 0
+        # The sink was closed AND the half-written file was removed: a
+        # failed trial must not leave an orphaned, footer-less JSONL
+        # behind for `repro trace` to choke on.
+        assert not os.path.exists(os.path.join(str(tmp_path), trace_filename(0)))
+        assert os.listdir(str(tmp_path)) == []
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_mid_chunk_failure_leaves_no_orphan_trace_files(
+        self, tmp_path, workers
+    ):
+        import dataclasses
+
+        # Trial 2 of 6 dies mid-plan: trials that completed before the
+        # failure keep their (footer-terminated) traces, and the failed
+        # trial leaves nothing behind — every surviving file replays.
+        plan = _echo_plan(6)
+        trials = list(plan.trials)
+        trials[2] = dataclasses.replace(trials[2], protocol="_no_such_protocol")
+        broken = dataclasses.replace(plan, trials=tuple(trials))
+        trace_dir = str(tmp_path / "run")
+        runner = ParallelRunner(
+            workers=workers, chunk_size=3, trace_dir=trace_dir
+        )
+        with pytest.raises(KeyError):
+            runner.run(broken)
+        survivors = sorted(os.listdir(trace_dir))
+        assert trace_filename(2) not in survivors
+        for name in survivors:
+            loaded = load_trace(os.path.join(trace_dir, name))
+            assert loaded.events == 16  # complete: header, body, footer

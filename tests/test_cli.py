@@ -118,6 +118,68 @@ class TestTrace:
         assert main(["trace", clipped]) == 2
         assert "truncated" in capsys.readouterr().err
 
+    def test_round_out_of_range_exits_2(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        for bad in ("0", "99"):
+            assert main(["trace", path, "--round", bad]) == 2
+            err = capsys.readouterr().err
+            assert "out of range" in err and "usage:" in err
+
+    def test_party_out_of_range_exits_2(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        for bad in ("-1", "17"):
+            assert main(["trace", path, "--party", bad]) == 2
+            err = capsys.readouterr().err
+            assert "out of range" in err and "usage:" in err
+        # In-range values still work after the validation pass.
+        assert main(["trace", path, "--party", "0"]) == 0
+
+
+class TestRunFaults:
+    """`repro run --faults` injects a registered scenario and reports it."""
+
+    BASE = ["run", "--protocol", "one_third", "--kappa", "4",
+            "--inputs", "1,1,1,1", "--t", "1"]
+
+    def test_lossy_scenario_reports_counts(self, capsys):
+        code = main(
+            self.BASE + ["--faults", "lossy",
+                         "--fault-params", '{"rate": 0.3}', "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # heavy loss may break agreement; both report
+        assert "faults     : lossy (lost=" in out
+
+    def test_unknown_scenario_exits_2_and_lists_registered(self, capsys):
+        assert main(self.BASE + ["--faults", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bad fault scenario" in err
+        assert "lossy" in err and "crash_recover" in err
+
+    def test_bad_fault_params_json_exits_2(self, capsys):
+        assert main(
+            self.BASE + ["--faults", "lossy", "--fault-params", "{rate:"]
+        ) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_bad_fault_params_value_exits_2(self, capsys):
+        assert main(
+            self.BASE + ["--faults", "lossy", "--fault-params", '{"rate": 2}']
+        ) == 2
+        assert "bad fault scenario" in capsys.readouterr().err
+
+    def test_faulted_trace_jsonl_stats_report_faults(self, tmp_path, capsys):
+        path = str(tmp_path / "faulty.trace.jsonl")
+        code = main(
+            self.BASE + ["--faults", "lossy",
+                         "--fault-params", '{"rate": 0.4}',
+                         "--seed", "3", "--trace-jsonl", path]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        assert main(["trace", path, "--stats"]) == 0
+        assert "faults injected" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_table_printed(self, capsys):
