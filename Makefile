@@ -27,23 +27,30 @@ bench:
 # telemetry streams to bench-telemetry/telemetry.jsonl and the spans are
 # cross-checked against wall time (nonzero exit on mismatch; see
 # docs/observability.md).  REPRO_BENCH_WORKERS overrides the worker
-# count (default 2; clamped to the CPUs present).  The second line is
+# count (default 2; clamped to the CPUs present).  The `--figures` leg
+# times one representative vector-modeled plan per migrated benchmark
+# and exits nonzero if any of them reports a fallback or diverges from
+# the object path.  The second line is
 # the real-backend smoke: one tiny threshold-RSA sweep (small modulus)
 # exercising pre-dealt key broadcast end to end; the third is the
 # fault-tolerance smoke (6 trials/cell — far below the 120 that rewrite
-# BENCH_faults.json, so the committed curves are safe).  `check` runs
-# first:
+# BENCH_faults.json, so the committed curves are safe); the fourth runs
+# the whole benchmark suite on the vector backend, so a model regression
+# that silently demotes a figure to the object simulator fails fast.
+# `check` runs first:
 # benchmark numbers from a tree that violates the determinism rules are
 # not comparable run to run, so don't produce them.
 bench-quick: check
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
-		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive --vector \
+		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive --vector --figures \
 		--telemetry bench-telemetry
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
 		--kappas 1 --trials 3 --protocol one_third \
 		--workers $${REPRO_BENCH_WORKERS:-2}
 	REPRO_BENCH_FAULT_TRIALS=$${REPRO_BENCH_FAULT_TRIALS:-6} PYTHONPATH=src \
 		pytest benchmarks/bench_fault_tolerance.py --benchmark-disable -q
+	REPRO_BENCH_BACKEND=vector REPRO_BENCH_FAULT_TRIALS=6 PYTHONPATH=src \
+		pytest benchmarks/ --benchmark-disable -q
 
 # Bounded chaos pass: hypothesis-drawn Byzantine schedules and network
 # fault plans at a few examples per property (the full depth runs in

@@ -11,25 +11,31 @@
    ``prox_rounds`` of ``ba_one_half_generalized`` for both the linear and
    the quadratic Proxcensus family and measure rounds to 2^-κ: r = 3
    (linear) is the unique maximizer of bits-per-round.
+
+All sweeps drive the experiment engine (``ba_one_third_chunked`` and
+``ba_one_half_generalized`` are registry protocols), so the design-space
+points fan out across ``REPRO_BENCH_WORKERS``.
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.report import format_table
 from repro.core.ablation import (
-    ba_one_half_generalized,
-    ba_one_third_chunked,
     bits_per_round_one_half,
     bits_per_round_one_third,
     rounds_one_half_generalized,
     rounds_one_third_chunked,
 )
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 KAPPA = 12
+
+CHUNKS = (1, 2, 3, 4, 6, 12)
+HALF_SWEEP = (
+    ("linear", (2, 3, 4, 5)),
+    ("quadratic", (4, 5, 6)),
+)
 
 
 def test_single_iteration_dominates_chunked(benchmark, report_sink):
@@ -37,12 +43,19 @@ def test_single_iteration_dominates_chunked(benchmark, report_sink):
 
     def sweep():
         rows.clear()
+        results = run_plan(
+            "ablation-one-third-chunked",
+            [
+                engine_spec(
+                    "ba_one_third_chunked", [1, 0, 1, 0], 1,
+                    params={"kappa": KAPPA, "chunk": chunk},
+                    session=f"ab13-{chunk}",
+                )
+                for chunk in CHUNKS
+            ],
+        )
         measured = {}
-        for chunk in (1, 2, 3, 4, 6, 12):
-            res = run(
-                lambda c, b: ba_one_third_chunked(c, b, KAPPA, chunk),
-                [1, 0, 1, 0], 1, session=f"ab13-{chunk}",
-            )
+        for chunk, res in zip(CHUNKS, results):
             assert res.honest_agree()
             expected = rounds_one_third_chunked(KAPPA, chunk)
             assert res.metrics.rounds == expected, (chunk, res.metrics.rounds)
@@ -73,33 +86,43 @@ def test_single_iteration_dominates_chunked(benchmark, report_sink):
 
 def test_prox5_is_the_optimal_slot_count(benchmark, report_sink):
     rows = []
+    points = [
+        (family, prox_rounds)
+        for family, prox_rounds_list in HALF_SWEEP
+        for prox_rounds in prox_rounds_list
+    ]
 
     def sweep():
         rows.clear()
+        results = run_plan(
+            "ablation-one-half-family",
+            [
+                engine_spec(
+                    "ba_one_half_generalized", [1, 0, 1, 0, 1], 2,
+                    params={
+                        "kappa": KAPPA,
+                        "prox_rounds": prox_rounds,
+                        "family": family,
+                    },
+                    session=f"ab12-{family}-{prox_rounds}",
+                )
+                for family, prox_rounds in points
+            ],
+        )
         measured = {}
-        for family, prox_rounds_list in (
-            ("linear", (2, 3, 4, 5)),
-            ("quadratic", (4, 5, 6)),
-        ):
-            for prox_rounds in prox_rounds_list:
-                res = run(
-                    lambda c, b: ba_one_half_generalized(
-                        c, b, KAPPA, prox_rounds, family
-                    ),
-                    [1, 0, 1, 0, 1], 2, session=f"ab12-{family}-{prox_rounds}",
-                )
-                assert res.honest_agree()
-                expected = rounds_one_half_generalized(KAPPA, prox_rounds, family)
-                assert res.metrics.rounds == expected
-                measured[(family, prox_rounds)] = res.metrics.rounds
-                rows.append(
-                    [
-                        family,
-                        prox_rounds,
-                        res.metrics.rounds,
-                        f"{bits_per_round_one_half(prox_rounds, family):.3f}",
-                    ]
-                )
+        for (family, prox_rounds), res in zip(points, results):
+            assert res.honest_agree()
+            expected = rounds_one_half_generalized(KAPPA, prox_rounds, family)
+            assert res.metrics.rounds == expected
+            measured[(family, prox_rounds)] = res.metrics.rounds
+            rows.append(
+                [
+                    family,
+                    prox_rounds,
+                    res.metrics.rounds,
+                    f"{bits_per_round_one_half(prox_rounds, family):.3f}",
+                ]
+            )
         # Footnote 6: the paper's (linear, r=3) minimizes total rounds.
         best = min(measured, key=lambda key: measured[key])
         assert best == ("linear", 3), (best, measured)

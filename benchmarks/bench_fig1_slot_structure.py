@@ -9,34 +9,29 @@ Fig. 1 depicts the two defining geometric facts of Definition 2:
 
 This benchmark measures both over many adversarial executions of both
 multi-party Proxcensus families and prints the honest slot-occupancy
-histograms.
+histograms.  All executions drive the experiment engine, so
+``REPRO_BENCH_WORKERS`` and ``REPRO_BENCH_BACKEND=vector`` apply.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
-import pytest
-
-from repro.adversary.straddle import OneThirdStraddleAdversary
-from repro.adversary.strategies import TwoFaceAdversary
-from repro.analysis.experiments import ExperimentSetup, run_trials, slot_occupancy
 from repro.analysis.report import format_table
 from repro.proxcensus.base import slot_index, slot_label
-from repro.proxcensus.linear_half import prox_linear_half_program
-from repro.proxcensus.one_third import prox_one_third_program
 
-from .conftest import run
+from .conftest import engine_spec, monte_carlo_specs, run_plan
 
 TRIALS = 60
 
-
-def one_third(rounds):
-    return lambda c, x: prox_one_third_program(c, x, rounds=rounds)
-
-
-def linear_half(rounds):
-    return lambda c, x: prox_linear_half_program(c, x, rounds=rounds)
+#: (family, protocol, rounds, slots, n, t, victims) — one adversarial
+#: sweep per Proxcensus family and expansion depth.
+ADJACENCY_SWEEP = (
+    ("one_third", "prox_one_third", 3, 9, 4, 1, (3,)),
+    ("one_third", "prox_one_third", 4, 17, 7, 2, (5, 6)),
+    ("linear_half", "prox_linear_half", 3, 5, 5, 2, (3, 4)),
+    ("linear_half", "prox_linear_half", 4, 7, 5, 2, (3, 4)),
+)
 
 
 def _positions(result, slots):
@@ -53,20 +48,17 @@ def test_adjacency_invariant_holds_in_every_execution(benchmark, report_sink):
     """Fig. 1 brace (a): at most two adjacent slots, always."""
     def sweep():
         checked = 0
-        for family, factory, slots, n, t, victims in (
-            ("one_third", one_third(3), 9, 4, 1, [3]),
-            ("one_third", one_third(4), 17, 7, 2, [5, 6]),
-            ("linear_half", linear_half(3), 5, 5, 2, [3, 4]),
-            ("linear_half", linear_half(4), 7, 5, 2, [3, 4]),
-        ):
-            setup = ExperimentSetup(num_parties=n, max_faulty=t)
+        for family, protocol, rounds, slots, n, t, victims in ADJACENCY_SWEEP:
             inputs = [i % 2 for i in range(n)]
-            results = run_trials(
-                setup, factory, inputs, trials=TRIALS // 4,
-                adversary_factory=lambda: TwoFaceAdversary(
-                    victims=victims, factory=factory
+            results = run_plan(
+                f"fig1-adjacency-{family}-{slots}",
+                monte_carlo_specs(
+                    protocol, inputs, t, trials=TRIALS // 4,
+                    params={"rounds": rounds},
+                    adversary="two_face",
+                    adversary_params={"victims": victims},
+                    seed=slots,
                 ),
-                seed=slots,
             )
             for result in results:
                 positions = _positions(result, slots)
@@ -87,14 +79,28 @@ def test_adjacency_invariant_holds_in_every_execution(benchmark, report_sink):
 def test_validity_lands_on_extremal_slots(benchmark, report_sink):
     """Fig. 1 brace (b): pre-agreement -> extremal slot, odd and even s."""
     def check():
-        # odd s = 9 (one_third, r = 3)
-        res = run(one_third(3), [1] * 4, 1, session="f1v1")
-        assert _positions(res, 9) == {8}
-        res = run(one_third(3), [0] * 4, 1, session="f1v0")
-        assert _positions(res, 9) == {0}
-        # odd s = 5 (linear_half, r = 3)
-        res = run(linear_half(3), [1] * 5, 2, session="f1v2")
-        assert _positions(res, 5) == {4}
+        pre1, pre0, half = run_plan(
+            "fig1-validity",
+            [
+                # odd s = 9 (one_third, r = 3)
+                engine_spec(
+                    "prox_one_third", [1] * 4, 1,
+                    params={"rounds": 3}, session="f1v1",
+                ),
+                engine_spec(
+                    "prox_one_third", [0] * 4, 1,
+                    params={"rounds": 3}, session="f1v0",
+                ),
+                # odd s = 5 (linear_half, r = 3)
+                engine_spec(
+                    "prox_linear_half", [1] * 5, 2,
+                    params={"rounds": 3}, session="f1v2",
+                ),
+            ],
+        )
+        assert _positions(pre1, 9) == {8}
+        assert _positions(pre0, 9) == {0}
+        assert _positions(half, 5) == {4}
         return True
 
     assert benchmark(check)
@@ -107,14 +113,26 @@ def test_validity_lands_on_extremal_slots(benchmark, report_sink):
 def test_occupancy_histogram_under_straddle(benchmark, report_sink):
     """The printed figure: where an optimal adversary can hold parties."""
     slots = 9
-    setup = ExperimentSetup(num_parties=4, max_faulty=1)
 
     def histogram():
-        return slot_occupancy(
-            setup, one_third(3), slots, [0, 0, 1, 1], trials=TRIALS,
-            adversary_factory=lambda: OneThirdStraddleAdversary([3]),
-            seed=5,
+        results = run_plan(
+            "fig1-occupancy",
+            monte_carlo_specs(
+                "prox_one_third", [0, 0, 1, 1], 1, trials=TRIALS,
+                params={"rounds": 3},
+                adversary="straddle13",
+                adversary_params={"victims": (3,)},
+                seed=5,
+            ),
         )
+        occupancy: Counter = Counter()
+        for result in results:
+            for output in result.honest_outputs.values():
+                value, grade = output
+                if value not in (0, 1):
+                    value, grade = 0, 0
+                occupancy[slot_index(value, grade, slots)] += 1
+        return occupancy
 
     occupancy = benchmark(histogram)
     labels = [slot_label(p, slots) for p in range(slots)]

@@ -5,14 +5,12 @@ Fig. 2 tabulates the quorum conditions that map a ``Prox_4`` (resp.
 Proxcensus.  We regenerate those condition rows from the implementation's
 own case analysis and validate the expansion *behaviourally*: one extra
 round must double the slot range (2s - 1) while preserving validity and
-consistency, including from non-binary inner Proxcensus states.
+consistency, including from non-binary inner Proxcensus states.  All
+executions drive the experiment engine.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.adversary.strategies import TwoFaceAdversary
 from repro.analysis.report import format_table
 from repro.analysis.tables import fig2_expansion_conditions
 from repro.proxcensus.base import (
@@ -20,13 +18,9 @@ from repro.proxcensus.base import (
     check_proxcensus_validity,
     max_grade,
 )
-from repro.proxcensus.one_third import (
-    prox_expand_once_program,
-    prox_one_third_program,
-    slots_after_rounds,
-)
+from repro.proxcensus.one_third import slots_after_rounds
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
 
 def test_fig2_condition_rows(benchmark, report_sink):
@@ -52,18 +46,30 @@ def test_fig2_condition_rows(benchmark, report_sink):
 def test_expansion_doubles_slots_and_preserves_invariants(benchmark, report_sink):
     """Behavioural check over the iterated expansion chain 2->3->5->9->17."""
     def chain():
+        specs = []
         for rounds in (1, 2, 3, 4):
+            specs.append(
+                engine_spec(
+                    "prox_one_third", [1] * 4, 1,
+                    params={"rounds": rounds}, session=f"f2v{rounds}",
+                )
+            )
+            specs.append(
+                engine_spec(
+                    "prox_one_third", [0, 0, 1, 1], 1,
+                    params={"rounds": rounds},
+                    adversary="two_face",
+                    adversary_params={"victims": (3,)},
+                    session=f"f2c{rounds}",
+                )
+            )
+        results = run_plan("fig2-expansion-chain", specs)
+        for position, rounds in enumerate((1, 2, 3, 4)):
             slots = slots_after_rounds(rounds)
             assert slots == 2 * slots_after_rounds(rounds - 1) - 1
-            factory = lambda c, x, r=rounds: prox_one_third_program(c, x, rounds=r)
-            res = run(factory, [1] * 4, 1, session=f"f2v{rounds}")
-            check_proxcensus_validity(res.outputs.values(), slots, 1)
-            adversary = TwoFaceAdversary(victims=[3], factory=factory)
-            res = run(
-                factory, [0, 0, 1, 1], 1, adversary=adversary,
-                session=f"f2c{rounds}",
-            )
-            check_proxcensus_consistency(res.honest_outputs.values(), slots)
+            valid, attacked = results[2 * position], results[2 * position + 1]
+            check_proxcensus_validity(valid.outputs.values(), slots, 1)
+            check_proxcensus_consistency(attacked.honest_outputs.values(), slots)
         return True
 
     assert benchmark(chain)
@@ -79,13 +85,23 @@ def test_fig2_prox4_example_executed(benchmark, report_sink):
     standalone expansion API)."""
 
     def check():
-        expander = lambda c, pair: prox_expand_once_program(c, pair[0], pair[1], 4)
-        # extremal Prox_4 slot -> extremal Prox_7 slot
-        res = run(expander, [(1, 1)] * 4, 1, session="f2p4a")
-        check_proxcensus_validity(res.outputs.values(), 7, 1)
-        # adjacent Prox_4 slots -> adjacent Prox_7 slots
-        res = run(expander, [(1, 0), (1, 1), (1, 1), (1, 0)], 1, session="f2p4b")
-        check_proxcensus_consistency(res.outputs.values(), 7)
+        extremal, adjacent = run_plan(
+            "fig2-prox4-example",
+            [
+                # extremal Prox_4 slot -> extremal Prox_7 slot
+                engine_spec(
+                    "prox_expand_once", [(1, 1)] * 4, 1,
+                    params={"slots": 4}, session="f2p4a",
+                ),
+                # adjacent Prox_4 slots -> adjacent Prox_7 slots
+                engine_spec(
+                    "prox_expand_once", [(1, 0), (1, 1), (1, 1), (1, 0)], 1,
+                    params={"slots": 4}, session="f2p4b",
+                ),
+            ],
+        )
+        check_proxcensus_validity(extremal.outputs.values(), 7, 1)
+        check_proxcensus_consistency(adjacent.outputs.values(), 7)
         return True
 
     assert benchmark(check)

@@ -9,23 +9,16 @@ measures their signature traffic side by side.  The certificate gradecast
 forwards full ``n - t``-signature certificates in round 3 (Θ(n) signatures
 per message → Θ(n³) total), while 4-slot proxcast relays at most two
 dealer signatures per message (Θ(n²) total) — so the measured ratio grows
-linearly in ``n``.
+linearly in ``n``.  All executions drive the experiment engine.
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.report import format_table
-from repro.proxcensus.gradecast_cert import certificate_gradecast_program
-from repro.proxcensus.proxcast import proxcast_program
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
 
-
-def _signatures(factory, n, t, session):
-    res = run(factory, ["v"] * n, t, session=session)
-    return res.metrics.honest_signatures
+SWEEP_N = (5, 9, 13, 17)
 
 
 def test_prox4_substitution_saves_factor_n(benchmark, report_sink):
@@ -33,17 +26,26 @@ def test_prox4_substitution_saves_factor_n(benchmark, report_sink):
 
     def sweep():
         rows.clear()
-        ratios = []
-        for n in (5, 9, 13, 17):
+        specs = []
+        for n in SWEEP_N:
             t = (n - 1) // 2
-            cert = _signatures(
-                lambda c, v: certificate_gradecast_program(c, v, 0),
-                n, t, f"gc{n}",
+            specs.append(
+                engine_spec(
+                    "certificate_gradecast", ["v"] * n, t,
+                    params={"dealer": 0}, session=f"gc{n}",
+                )
             )
-            prox4 = _signatures(
-                lambda c, v: proxcast_program(c, v, slots=4, dealer=0),
-                n, t, f"px{n}",
+            specs.append(
+                engine_spec(
+                    "proxcast", ["v"] * n, t,
+                    params={"slots": 4, "dealer": 0}, session=f"px{n}",
+                )
             )
+        results = run_plan("gradecast-substitution", specs)
+        ratios = []
+        for position, n in enumerate(SWEEP_N):
+            cert = results[2 * position].metrics.honest_signatures
+            prox4 = results[2 * position + 1].metrics.honest_signatures
             ratio = cert / prox4
             ratios.append(ratio)
             rows.append([n, cert, prox4, f"{ratio:.2f}"])
@@ -62,13 +64,18 @@ def test_prox4_substitution_saves_factor_n(benchmark, report_sink):
 
 def test_both_primitives_run_in_three_rounds(benchmark):
     def check():
-        res_cert = run(
-            lambda c, v: certificate_gradecast_program(c, v, 0),
-            ["v"] * 5, 2, session="gr3a",
-        )
-        res_prox = run(
-            lambda c, v: proxcast_program(c, v, slots=4, dealer=0),
-            ["v"] * 5, 2, session="gr3b",
+        res_cert, res_prox = run_plan(
+            "gradecast-three-rounds",
+            [
+                engine_spec(
+                    "certificate_gradecast", ["v"] * 5, 2,
+                    params={"dealer": 0}, session="gr3a",
+                ),
+                engine_spec(
+                    "proxcast", ["v"] * 5, 2,
+                    params={"slots": 4, "dealer": 0}, session="gr3b",
+                ),
+            ],
         )
         assert res_cert.metrics.rounds == res_prox.metrics.rounds == 3
         return True

@@ -10,72 +10,72 @@ Paper formulas reproduced and *executed*:
 "Executed" means the protocol is actually run for each (family, r) and
 must (a) consume exactly ``r`` simulator rounds and (b) hand out the
 maximal grade ``⌊(s-1)/2⌋`` under pre-agreement — i.e. the advertised slot
-range genuinely exists in the implementation, not just in a formula.
+range genuinely exists in the implementation, not just in a formula.  The
+whole (family × rounds) sweep fans out through one engine plan.
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.report import format_table
 from repro.proxcensus.base import max_grade
-from repro.proxcensus.linear_half import prox_linear_half_program
-from repro.proxcensus.one_third import prox_one_third_program
-from repro.proxcensus.proxcast import proxcast_program
-from repro.proxcensus.quadratic_half import prox_quadratic_half_program
 from repro.proxcensus.registry import FAMILIES
 
-from .conftest import run
+from .conftest import engine_spec, run_plan
+
+SWEEP_ROUNDS = {
+    "one_third": [1, 2, 3, 4, 5],
+    "linear_half": [2, 3, 4, 5],
+    "quadratic_half": [3, 4, 5, 6],
+    "proxcast": [1, 2, 3, 4],
+}
 
 
-def _execute(family, rounds):
-    """Run the family's protocol at `rounds`; return (sim rounds, grade)."""
+def _spec(family, rounds):
     if family == "one_third":
-        res = run(
-            lambda c, x: prox_one_third_program(c, x, rounds=rounds),
-            [1] * 4, 1, session=f"sg13-{rounds}",
+        return engine_spec(
+            "prox_one_third", [1] * 4, 1,
+            params={"rounds": rounds}, session=f"sg13-{rounds}",
         )
-    elif family == "linear_half":
-        res = run(
-            lambda c, x: prox_linear_half_program(c, x, rounds=rounds),
-            [1] * 5, 2, session=f"sglh-{rounds}",
+    if family == "linear_half":
+        return engine_spec(
+            "prox_linear_half", [1] * 5, 2,
+            params={"rounds": rounds}, session=f"sglh-{rounds}",
         )
-    elif family == "quadratic_half":
-        res = run(
-            lambda c, x: prox_quadratic_half_program(c, x, rounds=rounds),
-            [1] * 5, 2, session=f"sgqh-{rounds}",
+    if family == "quadratic_half":
+        return engine_spec(
+            "prox_quadratic_half", [1] * 5, 2,
+            params={"rounds": rounds}, session=f"sgqh-{rounds}",
         )
-    elif family == "proxcast":
-        res = run(
-            lambda c, x: proxcast_program(c, x, slots=rounds + 1, dealer=0),
-            [1] * 4, 3, session=f"sgpx-{rounds}",
+    if family == "proxcast":
+        return engine_spec(
+            "proxcast", [1] * 4, 3,
+            params={"slots": rounds + 1, "dealer": 0},
+            session=f"sgpx-{rounds}",
         )
-    else:
-        raise AssertionError(family)
-    grades = {o.grade for o in res.outputs.values()}
-    assert len(grades) == 1
-    return res.metrics.rounds, grades.pop()
+    raise AssertionError(family)
 
 
 def test_slot_growth_formulas_and_executions(benchmark, report_sink):
-    sweep_rounds = {
-        "one_third": [1, 2, 3, 4, 5],
-        "linear_half": [2, 3, 4, 5],
-        "quadratic_half": [3, 4, 5, 6],
-        "proxcast": [1, 2, 3, 4],
-    }
+    points = [
+        (name, rounds)
+        for name, rounds_list in SWEEP_ROUNDS.items()
+        for rounds in rounds_list
+    ]
     rows = []
 
     def sweep():
         rows.clear()  # benchmark() re-runs this callable
-        for name, rounds_list in sweep_rounds.items():
-            family = FAMILIES[name]
-            for rounds in rounds_list:
-                slots = family.slots_for_rounds(rounds)
-                sim_rounds, grade = _execute(name, rounds)
-                assert sim_rounds == rounds, (name, rounds, sim_rounds)
-                assert grade == max_grade(slots), (name, rounds, grade, slots)
-                rows.append([name, rounds, slots, grade])
+        results = run_plan(
+            "slot-growth", [_spec(name, rounds) for name, rounds in points]
+        )
+        for (name, rounds), res in zip(points, results):
+            slots = FAMILIES[name].slots_for_rounds(rounds)
+            grades = {o.grade for o in res.outputs.values()}
+            assert len(grades) == 1
+            grade = grades.pop()
+            assert res.metrics.rounds == rounds, (name, rounds, res.metrics.rounds)
+            assert grade == max_grade(slots), (name, rounds, grade, slots)
+            rows.append([name, rounds, slots, grade])
         return True
 
     assert benchmark(sweep)

@@ -9,11 +9,7 @@ conditions predict.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.adversary.straddle import LinearHalfStraddleAdversary
 from repro.analysis.tables import render_table1, table1_prox5_conditions
-from repro.engine import register_adversary
 
 from .conftest import engine_spec, run_plan
 
@@ -24,27 +20,6 @@ PAPER_TABLE1 = {
     (1, 1): (2, 2, 3),
     (1, 2): (1, 3, 2),
 }
-
-
-class BareStraddle(LinearHalfStraddleAdversary):
-    """The straddle without the per-iteration session suffix.
-
-    A standalone ``Prox_5`` run has no enclosing BA iteration, so σ/Ω
-    shares must be forged under the bare simulator session.
-    """
-
-    def _session(self, iteration):
-        return self.env.session
-
-
-# Registered so the executed-trace spec stays picklable: the engine
-# resolves the name in whichever process runs the trial.
-register_adversary(
-    "bare_straddle12",
-    lambda factory, victims, iteration_rounds=3: BareStraddle(
-        list(victims), iteration_rounds
-    ),
-)
 
 
 def test_table1_conditions_match_paper(benchmark, report_sink):

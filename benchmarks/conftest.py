@@ -14,15 +14,9 @@ EXPERIMENTS.md.)
 from __future__ import annotations
 
 import os
-import random
 import warnings
 
 import pytest
-
-from repro.crypto.keys import CryptoSuite
-from repro.network.simulator import SyncSimulator
-
-_SUITE_CACHE = {}
 
 collect_ignore: list = []
 
@@ -84,24 +78,17 @@ def bench_backend(default: str = "object") -> str:
     return raw
 
 
-def ideal_suite(num_parties: int, max_faulty: int) -> CryptoSuite:
-    key = (num_parties, max_faulty)
-    if key not in _SUITE_CACHE:
-        _SUITE_CACHE[key] = CryptoSuite.ideal(
-            num_parties, max_faulty, random.Random(0xBE7C4 + num_parties * 31 + max_faulty)
-        )
-    return _SUITE_CACHE[key]
-
-
 def legacy_setup_seed(num_parties: int, max_faulty: int) -> int:
-    """The engine ``setup_seed`` that reproduces :func:`ideal_suite`.
+    """The engine ``setup_seed`` that reproduces the legacy bench suites.
 
-    The engine deals from ``random.Random(setup_seed + 0x5E7)`` (the
-    ``ExperimentSetup`` convention); this offsets the legacy benchmark
-    dealing seed so an engine trial sees bit-identical key material to a
-    ``run()`` call at the same ``(n, t)`` — which is what lets benchmark
-    modules migrate onto :class:`~repro.engine.plan.TrialPlan` without
-    a single measured number changing.
+    The historical serial harness dealt ideal key material from
+    ``random.Random(0xBE7C4 + n * 31 + t)``; the engine deals from
+    ``random.Random(setup_seed + 0x5E7)`` (the ``ExperimentSetup``
+    convention).  This offset makes an engine trial see bit-identical
+    key material to a legacy benchmark run at the same ``(n, t)`` —
+    which is what lets benchmark modules migrate onto
+    :class:`~repro.engine.plan.TrialPlan` without a single measured
+    number changing.
     """
     return 0xBE7C4 + num_parties * 31 + max_faulty - 0x5E7
 
@@ -117,13 +104,18 @@ def engine_spec(
     session="bench",
     faults=None,
     fault_params=None,
+    setup_seed=None,
+    rsa_bits=256,
+    backend="ideal",
 ):
     """A :class:`TrialSpec` matching a legacy ``run()`` call exactly.
 
     Seed, session and (via :func:`legacy_setup_seed`) key material all
     line up with the historical serial harness, so results are
     bit-identical — the only thing that changes is that a batch of specs
-    can fan out across ``REPRO_BENCH_WORKERS`` processes.
+    can fan out across ``REPRO_BENCH_WORKERS`` processes.  Benchmarks
+    that historically dealt from an ``ExperimentSetup`` pass its seed as
+    ``setup_seed`` instead of the default legacy dealing seed.
     """
     from repro.engine import TrialSpec
 
@@ -136,10 +128,53 @@ def engine_spec(
         adversary_params=adversary_params,
         seed=seed,
         session=session,
-        setup_seed=legacy_setup_seed(len(inputs), max_faulty),
+        setup_seed=(
+            legacy_setup_seed(len(inputs), max_faulty)
+            if setup_seed is None
+            else setup_seed
+        ),
+        rsa_bits=rsa_bits,
+        backend=backend,
         faults=faults,
         fault_params=fault_params,
     )
+
+
+def monte_carlo_specs(
+    protocol,
+    inputs,
+    max_faulty,
+    trials,
+    params=None,
+    adversary=None,
+    adversary_params=None,
+    seed=0,
+    setup_seed=0,
+):
+    """Specs matching :func:`repro.analysis.experiments.run_trials` exactly.
+
+    The legacy Monte-Carlo harness ran trial ``i`` with seed
+    ``seed * 1_000_003 + i`` under session ``exp{seed}/{i}`` on an
+    ``ExperimentSetup``'s key material (``setup_seed=0`` by default) —
+    the same schedule the engine derives, so the migrated benchmarks
+    reproduce every historical number bit-for-bit.
+    """
+    from repro.engine import TrialSpec, derive_trial_seed, derive_trial_session
+
+    return [
+        TrialSpec(
+            protocol=protocol,
+            inputs=tuple(inputs),
+            max_faulty=max_faulty,
+            params=params,
+            adversary=adversary,
+            adversary_params=adversary_params,
+            seed=derive_trial_seed(seed, trial),
+            session=derive_trial_session(seed, trial),
+            setup_seed=setup_seed,
+        )
+        for trial in range(trials)
+    ]
 
 
 def run_plan(name, specs):
@@ -155,18 +190,6 @@ def run_plan(name, specs):
     plan = TrialPlan(name=name, trials=tuple(specs))
     runner = ParallelRunner(workers=bench_workers(), backend=bench_backend())
     return runner.run(plan).results
-
-
-def run(factory, inputs, max_faulty, adversary=None, seed=0, session="bench"):
-    simulator = SyncSimulator(
-        num_parties=len(inputs),
-        max_faulty=max_faulty,
-        crypto=ideal_suite(len(inputs), max_faulty),
-        adversary=adversary,
-        seed=seed,
-        session=session,
-    )
-    return simulator.run(factory, inputs)
 
 
 @pytest.fixture(scope="session")

@@ -36,7 +36,11 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..network.messages import PARALLEL_KEY, Outbox
 from .base import Adversary, AdversaryEnv, RoundDecision, RoundView
 
-__all__ = ["OneThirdStraddleAdversary", "LinearHalfStraddleAdversary"]
+__all__ = [
+    "OneThirdStraddleAdversary",
+    "LinearHalfStraddleAdversary",
+    "BareLinearHalfStraddleAdversary",
+]
 
 
 class OneThirdStraddleAdversary(Adversary):
@@ -236,3 +240,16 @@ class LinearHalfStraddleAdversary(Adversary):
                 }
             }
         return RoundDecision(replace=replace)
+
+
+class BareLinearHalfStraddleAdversary(LinearHalfStraddleAdversary):
+    """The Prox_5 straddle without the per-iteration session suffix.
+
+    A standalone ``Prox_5`` run has no enclosing BA iteration, so σ/Ω
+    shares must be forged under the bare simulator session.  Registered
+    as ``bare_straddle12`` in the engine registry for the Table 1
+    executed-trace benchmark and the vector replay model.
+    """
+
+    def _session(self, iteration: int) -> str:
+        return self.env.session

@@ -18,11 +18,15 @@ compare per metric:
   (``plan.trials / (parallel_seconds × workers)``), when both artifacts
   ran a parallel leg;
 * ``vector`` — trials per second on the serial vector backend
-  (``plan.trials / vector_seconds``), when both artifacts recorded one.
+  (``plan.trials / vector_seconds``), when both artifacts recorded one;
+* ``figure:<name>`` — one vector-rate metric per entry of the
+  ``--figures`` leg (``figures.<name>.trials / vector_seconds``), when
+  both artifacts measured that figure.
 
 Metrics present in only one artifact are reported as ``skipped`` rather
 than failed — the committed baseline predates some keys (older artifacts
-have no ``vector_seconds``), and a missing leg must not break the gate.
+have no ``vector_seconds`` or ``figures``), and a missing leg must not
+break the gate.
 Everything here is pure stdlib; ``scripts/bench_diff.py`` is the CI
 entry point and ``repro bench --compare PATH`` runs the same check
 inline after a measurement.
@@ -75,13 +79,25 @@ def _rate(trials: Optional[int], seconds: Any, cores: Any = 1) -> Optional[float
 
 def _metric_rates(payload: Dict[str, Any]) -> Dict[str, Optional[float]]:
     trials = _trials(payload)
-    return {
+    rates = {
         "serial": _rate(trials, payload.get("serial_seconds")),
         "parallel_per_core": _rate(
             trials, payload.get("parallel_seconds"), payload.get("workers")
         ),
         "vector": _rate(trials, payload.get("vector_seconds")),
     }
+    figures = payload.get("figures")
+    if isinstance(figures, dict):
+        for name, entry in sorted(figures.items()):
+            if not isinstance(entry, dict):
+                continue
+            figure_trials = entry.get("trials")
+            if not isinstance(figure_trials, int) or figure_trials <= 0:
+                figure_trials = None
+            rates[f"figure:{name}"] = _rate(
+                figure_trials, entry.get("vector_seconds")
+            )
+    return rates
 
 
 def compare_benchmarks(
@@ -102,10 +118,15 @@ def compare_benchmarks(
         raise ValueError(f"threshold must be in (0, 1), got {threshold}")
     base_rates = _metric_rates(baseline)
     cand_rates = _metric_rates(candidate)
+    core = ["serial", "parallel_per_core", "vector"]
+    names = core + sorted(
+        (set(base_rates) | set(cand_rates)) - set(core)
+    )
     metrics: List[Dict[str, Any]] = []
     regressed: List[str] = []
-    for name in ("serial", "parallel_per_core", "vector"):
-        base, cand = base_rates[name], cand_rates[name]
+    for name in names:
+        base = base_rates.get(name)
+        cand = cand_rates.get(name)
         row: Dict[str, Any] = {
             "metric": name,
             "baseline_rate": round(base, 3) if base is not None else None,
@@ -161,10 +182,10 @@ def format_bench_report(report: Dict[str, Any]) -> str:
         lines.append(f"bench diff (threshold {report['threshold']:.0%})")
     for row in report["metrics"]:
         if row["status"] == "skipped":
-            lines.append(f"  {row['metric']:18s}: skipped (leg not in both)")
+            lines.append(f"  {row['metric']:30s}: skipped (leg not in both)")
             continue
         lines.append(
-            f"  {row['metric']:18s}: {row['baseline_rate']:10.1f} -> "
+            f"  {row['metric']:30s}: {row['baseline_rate']:10.1f} -> "
             f"{row['candidate_rate']:10.1f} trials/s/core "
             f"({row['ratio']:.2f}x)  {row['status'].upper()}"
         )

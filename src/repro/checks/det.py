@@ -237,6 +237,85 @@ class NumpyGlobalRngRule(_CallRule):
         return None
 
 
+def _is_keys_call(node: ast.AST) -> bool:
+    """``<expr>.keys()`` — the syntactic marker for a mapping view."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_dict_expr(node: ast.AST) -> bool:
+    """Syntactically-certain mapping expressions (literals, dict(), .keys())."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "dict"
+    ):
+        return True
+    return _is_keys_call(node)
+
+
+@register_rule
+class DictOrderingRule(Rule):
+    """Dict iteration order is insertion order — which is arrival order.
+
+    In protocol code the dicts are tallies keyed by received values, so
+    their insertion order encodes *message arrival order*.  A tie-break
+    that reads it — ``next(iter(tally.keys()))`` grabbing "the" key, or
+    ``min``/``max`` with a ``key=`` function over ``.keys()`` (ties
+    between equal-key elements resolve to whichever arrived first) —
+    silently couples the decision to delivery scheduling.  Pin the order
+    instead: ``next(iter(sorted(tally)))``, or fold the element into the
+    comparison key so no tie is left to iteration order (the
+    ``max(tally.items(), key=lambda kv: (kv[1], repr(kv[0])))`` idiom).
+    Order-insensitive reductions — ``len``/``sum``/``any``, ``min``/
+    ``max`` *without* ``key=`` — pass.
+    """
+
+    id = "DET107"
+    title = "tie-break fed by dict iteration order"
+    hint = "sort the keys first, or make the comparison key total so no tie remains"
+    scope = PROTOCOL_SCOPE
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Name
+            ):
+                continue
+            if node.func.id == "next" and node.args:
+                inner = node.args[0]
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "iter"
+                    and inner.args
+                    and _is_dict_expr(inner.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "next(iter(...)) over a mapping reads insertion "
+                        "(= arrival) order",
+                    )
+            elif node.func.id in ("min", "max") and node.args:
+                if _is_keys_call(node.args[0]) and any(
+                    keyword.arg == "key" for keyword in node.keywords
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}(.keys(), key=...) breaks ties by "
+                        "dict insertion (= arrival) order",
+                    )
+
+
 @register_rule
 class IdOrderingRule(Rule):
     """``id()`` values vary per process, so ordering by them is random.

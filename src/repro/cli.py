@@ -238,13 +238,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Replay a streamed JSONL trace through the timeline renderer."""
-    from .obs import ObsFormatError, filter_trace, load_trace, trace_metrics
+    from .obs import (
+        ObsFormatError,
+        diff_traces,
+        filter_trace,
+        load_trace,
+        trace_metrics,
+    )
 
     try:
         loaded = load_trace(args.file)
     except (ObsFormatError, OSError) as error:
         print(f"repro trace: {error}", file=sys.stderr)
         return 2
+    if args.diff is not None:
+        try:
+            other = load_trace(args.diff)
+        except (ObsFormatError, OSError) as error:
+            print(f"repro trace: {error}", file=sys.stderr)
+            return 2
+        divergence = diff_traces(loaded, other)
+        if divergence is None:
+            print(
+                f"traces identical: {args.file} == {args.diff} "
+                f"({loaded.events} events, {loaded.tracer.rounds} rounds)"
+            )
+            return 0
+        print(f"- {args.file}\n+ {args.diff}")
+        print(divergence.render())
+        return 1
     tracer = loaded.tracer
     # Validate filters against what the trace actually contains before
     # filtering: a bad --round/--party silently matching nothing would
@@ -554,6 +576,142 @@ def _run_adaptive_leg(
     }
 
 
+#: One representative vector-modeled Monte-Carlo plan per migrated
+#: benchmark: (figure, protocol, inputs, t, params, adversary,
+#: adversary_params).  Every entry must be vector-supported — the
+#: ``--figures`` leg exits nonzero if any spec reports a fallback, so a
+#: model regression cannot silently demote a published figure to the
+#: object simulator.
+_FIGURE_PLANS = (
+    ("fig1_slot_structure", "prox_one_third", (0, 0, 1, 1), 1,
+     {"rounds": 3}, "straddle13", {"victims": (3,)}),
+    ("fig2_expansion", "prox_one_third", (0, 0, 1, 1), 1,
+     {"rounds": 4}, "two_face", {"victims": (3,)}),
+    ("table1_prox5", "prox_linear_half", (1, 0, 1, 0, 1), 2,
+     {"rounds": 3}, "bare_straddle12", {"victims": (3, 4)}),
+    ("table2_fm_probabilistic", "fm_probabilistic", (1, 0, 1, 0), 1,
+     None, None, None),
+    ("mv_turpin_coan", "turpin_coan_classic", ("a", "b", "a", "a"), 1,
+     {"kappa": 3}, None, None),
+    ("mv_multivalued_ba", "multivalued_ba", ("a", "b", "a", "a"), 1,
+     {"kappa": 3}, None, None),
+    ("coin_threshold_withhold", "threshold_coin", (None,) * 4, 1,
+     {"index": 1, "low": 0, "high": 1}, "withhold_coin",
+     {"victims": (3,), "index": 1, "low": 0, "high": 1, "preferred": 1}),
+    ("coin_vrf_withhold", "vrf_coin", (None,) * 4, 1,
+     {"index": 1, "low": 0, "high": 1}, "withhold_coin",
+     {"victims": (3,), "index": 1, "low": 0, "high": 1, "preferred": 1}),
+    ("gradecast_substitution", "proxcast", ("v",) * 9, 4,
+     {"slots": 4, "dealer": 0}, None, None),
+    ("slot_growth", "prox_quadratic_half", (1,) * 5, 2,
+     {"rounds": 4}, None, None),
+    ("crypto_backends", "ba_one_half", (1, 0, 1, 0, 1), 2,
+     {"kappa": 4}, None, None),
+)
+
+
+def _run_figures_leg(args: argparse.Namespace) -> dict:
+    """The ``--figures`` leg of `bench`: per-benchmark vector speedups.
+
+    Each migrated benchmark contributes one representative Monte-Carlo
+    plan (a newly vector-modeled protocol × adversary pair where one
+    exists).  The plan runs through both executors; results must be
+    bit-identical, no spec may fall back, and the measured object/vector
+    wall-time ratio is recorded per figure for ``BENCH_engine.json``.
+    """
+    from .engine import (
+        ParallelRunner,
+        TrialPlan,
+        TrialSpec,
+        clear_probe_cache,
+        derive_trial_seed,
+        derive_trial_session,
+        probe_cache_stats,
+    )
+    from .engine.vectorized import unsupported_reason
+
+    trials = min(args.trials, 120)
+    figures: dict = {}
+    rows = []
+    for name, protocol, inputs, t, params, adversary, adv_params in _FIGURE_PLANS:
+        specs = tuple(
+            TrialSpec(
+                protocol=protocol,
+                inputs=inputs,
+                max_faulty=t,
+                params=params,
+                adversary=adversary,
+                adversary_params=adv_params,
+                seed=derive_trial_seed(args.seed, trial),
+                session=derive_trial_session(args.seed, trial),
+            )
+            for trial in range(trials)
+        )
+        fallback_reasons = sorted(
+            {
+                reason
+                for reason in (unsupported_reason(spec) for spec in specs)
+                if reason is not None
+            }
+        )
+        plan = TrialPlan(name=f"figure-{name}", trials=specs)
+        object_run = ParallelRunner(workers=1).run(plan)
+        clear_probe_cache()
+        before = probe_cache_stats()
+        vector_run = ParallelRunner(workers=1, backend="vector").run(plan)
+        after = probe_cache_stats()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        identical = vector_run.results == object_run.results
+        speedup = (
+            object_run.wall_seconds / vector_run.wall_seconds
+            if vector_run.wall_seconds > 0
+            else float("inf")
+        )
+        figures[name] = {
+            "protocol": protocol,
+            "adversary": adversary,
+            "trials": trials,
+            "object_seconds": round(object_run.wall_seconds, 4),
+            "vector_seconds": round(vector_run.wall_seconds, 4),
+            "speedup_vector_vs_object": round(speedup, 3),
+            "identical": identical,
+            "fallback": len(fallback_reasons),
+            "fallback_reasons": fallback_reasons,
+            "probe_cache_hits": hits,
+            "probe_cache_misses": misses,
+        }
+        rows.append(
+            [
+                name,
+                f"{protocol} × {adversary or '-'}",
+                f"{object_run.wall_seconds:.3f}s",
+                f"{vector_run.wall_seconds:.3f}s",
+                f"{speedup:.1f}x",
+                "OK" if identical else "DIFF",
+                len(fallback_reasons) or "-",
+            ]
+        )
+    print(f"\nper-benchmark vector figures ({trials} trials each)\n")
+    print(
+        format_table(
+            ["figure", "pair", "object", "vector", "speedup", "ident", "fb"],
+            rows,
+        )
+    )
+    failed = sorted(
+        name
+        for name, entry in figures.items()
+        if entry["fallback"] or not entry["identical"]
+    )
+    if failed:
+        for name in failed:
+            entry = figures[name]
+            reasons = "; ".join(entry["fallback_reasons"]) or "results differ"
+            print(f"FIGURE REGRESSION: {name}: {reasons}")
+    return {"figures": figures, "failed": failed}
+
+
 def _measure_real_setup(plan, workers: int) -> Optional[dict]:
     """Time threshold-RSA dealing for a real-backend plan, two ways.
 
@@ -767,6 +925,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.adaptive:
         adaptive_payload = _run_adaptive_leg(args, serial, workers, telemetry)
 
+    figures_payload = None
+    if args.figures:
+        figures_payload = _run_figures_leg(args)
+
     telemetry_summary = None
     if telemetry is not None:
         from .obs import summarize_telemetry
@@ -799,6 +961,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"wall {run['wall_seconds']:.3f}s x "
                     f"{run['workers']} workers)"
                 )
+        cache_hits = telemetry_summary.get("probe_cache_hits", 0)
+        cache_misses = telemetry_summary.get("probe_cache_misses", 0)
+        if cache_hits or cache_misses:
+            print(
+                f"{'probe cache (vector legs)':32s}: "
+                f"{cache_hits:8d} hits / {cache_misses} misses "
+                f"({cache_hits / (cache_hits + cache_misses):.0%} hit rate)"
+            )
+        if telemetry_summary.get("fallback_reasons"):
+            for reason, count in sorted(
+                telemetry_summary["fallback_reasons"].items()
+            ):
+                print(f"{'  vector fallback':32s}: {count:8d} x {reason}")
         print(
             f"{'telemetry spans consistent':32s}: "
             f"{'      OK' if telemetry_summary['consistent'] else '    MISMATCH'}"
@@ -879,6 +1054,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for row in rows
             ],
             "adaptive": adaptive_payload,
+            "figures": (
+                figures_payload["figures"] if figures_payload else None
+            ),
             "telemetry": (
                 {
                     "path": telemetry_path,
@@ -889,6 +1067,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     ),
                     "payload_bytes": telemetry_summary["payload_bytes"],
                     "consistent": telemetry_summary["consistent"],
+                    "probe_cache": {
+                        "hits": telemetry_summary.get("probe_cache_hits", 0),
+                        "misses": telemetry_summary.get(
+                            "probe_cache_misses", 0
+                        ),
+                        "hit_rate": (
+                            round(
+                                telemetry_summary["probe_cache_hits"]
+                                / (
+                                    telemetry_summary["probe_cache_hits"]
+                                    + telemetry_summary["probe_cache_misses"]
+                                ),
+                                4,
+                            )
+                            if telemetry_summary.get("probe_cache_hits", 0)
+                            + telemetry_summary.get("probe_cache_misses", 0)
+                            else None
+                        ),
+                    },
+                    "fallback_reasons": telemetry_summary.get(
+                        "fallback_reasons", {}
+                    ),
                 }
                 if telemetry_summary is not None
                 else None
@@ -916,6 +1116,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(format_bench_report(report))
         regression = not report["ok"]
     if adaptive_payload is not None and not adaptive_payload["verdicts_match_fixed"]:
+        return 2
+    if figures_payload is not None and figures_payload["failed"]:
         return 2
     if telemetry_summary is not None and not telemetry_summary["consistent"]:
         print("TELEMETRY MISMATCH: spans do not sum consistently with wall time")
@@ -1066,6 +1268,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=_positive_int, default=60, metavar="COLS",
         help="max payload summary width in the timeline",
     )
+    trace_parser.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="compare against a second trace file round by round; "
+        "exit 1 at the first divergence",
+    )
     trace_parser.set_defaults(handler=_cmd_trace)
 
     compare_parser = subparsers.add_parser(
@@ -1159,6 +1366,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--vector", action="store_true",
         help="also time the batch-vectorized backend (serial, numpy "
         "lockstep) and check it is bit-identical to the object path",
+    )
+    bench_parser.add_argument(
+        "--figures", action="store_true",
+        help="also time a representative vector-modeled plan per migrated "
+        "benchmark (object vs vector, bit-identity checked); exit 2 if a "
+        "vector-supported figure plan falls back to the object simulator",
     )
     bench_parser.add_argument(
         "--compare", default=None, metavar="PATH",

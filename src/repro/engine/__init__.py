@@ -41,6 +41,8 @@ from .transport import (
 )
 from .vectorized import (
     VectorModelError,
+    clear_probe_cache,
+    probe_cache_stats,
     run_vector_batch,
     supports as vector_supports,
     unsupported_reason as vector_unsupported_reason,
@@ -61,6 +63,7 @@ __all__ = [
     "adversary_names",
     "build_fault_plan",
     "clamp_workers",
+    "clear_probe_cache",
     "clear_suite_cache",
     "deal_suite",
     "default_workers",
@@ -69,6 +72,7 @@ __all__ = [
     "fault_plan_names",
     "measure_payload_bytes",
     "predeal_suites",
+    "probe_cache_stats",
     "protocol_names",
     "register_adversary",
     "register_fault_plan",

@@ -419,8 +419,15 @@ class AdaptiveRunner:
         """Run one round's batches; stream results as batches complete."""
         if pool is None:
             if self.backend == "vector":
+                tele = self.telemetry
                 for batch in batches:
-                    pairs, _ = execute_chunk(list(batch), False, None)
+                    pairs, stats = execute_chunk(list(batch), False, None)
+                    if tele is not None:
+                        tele.emit(
+                            "probe_cache",
+                            hits=stats.get("cache_hits", 0),
+                            misses=stats.get("cache_misses", 0),
+                        )
                     yield from pairs
                 return
             for batch in batches:

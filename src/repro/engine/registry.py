@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..adversary.base import Adversary
 from ..adversary.coin_bias import WithholdingCoinAdversary
 from ..adversary.straddle import (
+    BareLinearHalfStraddleAdversary,
     LinearHalfStraddleAdversary,
     OneThirdStraddleAdversary,
 )
@@ -36,6 +37,7 @@ from ..adversary.strategies import (
     TwoFaceAdversary,
 )
 from ..adversary.termination import GradeSplitAdversary
+from ..core.ablation import ba_one_half_generalized, ba_one_third_chunked
 from ..core.ba import ba_one_half_program, ba_one_third_program
 from ..core.dolev_strong import dolev_strong_ba_program
 from ..core.feldman_micali import feldman_micali_program
@@ -52,8 +54,13 @@ from ..crypto.coin import threshold_coin_program
 from ..crypto.vrf_coin import vrf_coin_program
 from ..network.faults import Crash, FaultPlan, Partition
 from ..network.party import ProgramFactory
+from ..proxcensus.gradecast_cert import certificate_gradecast_program
 from ..proxcensus.linear_half import prox_linear_half_program
-from ..proxcensus.one_third import prox_one_third_program
+from ..proxcensus.one_third import (
+    prox_expand_once_program,
+    prox_one_third_program,
+)
+from ..proxcensus.proxcast import proxcast_program
 from ..proxcensus.quadratic_half import prox_quadratic_half_program
 
 __all__ = [
@@ -92,7 +99,19 @@ def register_vector_model(protocol: str, adversary: Optional[str], model: Any) -
     (a class-level eligibility check) and ``run_batch(specs) ->
     List[ExecutionResult]`` producing results bit-identical to the
     object simulator for every spec the eligibility check admits.
+
+    Re-registering the *same* model object is a no-op (module re-imports
+    must stay idempotent); registering a *different* model for an
+    already-claimed pair raises — a silent overwrite would let one
+    import order quietly change which batch executor a sweep runs on.
     """
+    existing = _VECTOR_MODELS.get((protocol, adversary))
+    if existing is not None and existing is not model:
+        raise ValueError(
+            f"vector model for ({protocol!r}, {adversary!r}) is already "
+            f"registered as {existing!r}; unregister or rename before "
+            f"registering {model!r}"
+        )
     _VECTOR_MODELS[(protocol, adversary)] = model
 
 
@@ -235,6 +254,46 @@ register_protocol(
         lambda ctx, value: prox_quadratic_half_program(ctx, value, rounds=rounds)
     ),
 )
+register_protocol(
+    # One expansion step Prox_s -> Prox_{2s-1}: inputs are (value, grade)
+    # pairs (the state a party carries between rounds), `slots` the
+    # *source* slot count.  Used by the FIG2 expansion benchmark.
+    "prox_expand_once",
+    lambda slots: (
+        lambda ctx, pair: prox_expand_once_program(ctx, pair[0], pair[1], slots)
+    ),
+)
+register_protocol(
+    # Lemma 1 proxcast: only the dealer's input is read.
+    "proxcast",
+    lambda slots, dealer, default=0: (
+        lambda ctx, value: proxcast_program(ctx, value, slots, dealer, default)
+    ),
+)
+register_protocol(
+    "certificate_gradecast",
+    lambda dealer, default=0: (
+        lambda ctx, value: certificate_gradecast_program(
+            ctx, value, dealer, default
+        )
+    ),
+)
+register_protocol(
+    # Ablation axes (docs/EXPERIMENTS FIG-ABL): chunked Prox expansion
+    # for t<n/3 and the generalized Prox_{2r-1} family for t<n/2.
+    "ba_one_third_chunked",
+    lambda kappa, chunk: (
+        lambda ctx, bit: ba_one_third_chunked(ctx, bit, kappa, chunk)
+    ),
+)
+register_protocol(
+    "ba_one_half_generalized",
+    lambda kappa, prox_rounds=3, family="linear": (
+        lambda ctx, bit: ba_one_half_generalized(
+            ctx, bit, kappa, prox_rounds, family
+        )
+    ),
+)
 
 
 def _binary_for(regime: str, kappa: int) -> ProgramFactory:
@@ -297,6 +356,12 @@ register_adversary(
 register_adversary(
     "straddle12",
     lambda factory, victims, iteration_rounds=3: LinearHalfStraddleAdversary(
+        list(victims), iteration_rounds
+    ),
+)
+register_adversary(
+    "bare_straddle12",
+    lambda factory, victims, iteration_rounds=3: BareLinearHalfStraddleAdversary(
         list(victims), iteration_rounds
     ),
 )

@@ -543,6 +543,12 @@ class ParallelRunner:
                     batched=stats["batched"], fallback=stats["fallback"],
                     batches=len(stats["batches"]),
                     seconds=round(time.perf_counter() - started, 6),
+                    fallback_reasons=stats.get("fallback_reasons", {}),
+                )
+                tele.emit(
+                    "probe_cache", label=plan.name,
+                    hits=stats.get("cache_hits", 0),
+                    misses=stats.get("cache_misses", 0),
                 )
             yield from pairs
             return

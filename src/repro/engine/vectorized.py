@@ -40,6 +40,7 @@ path ``backend="object"`` uses, so results are identical either way.
 from __future__ import annotations
 
 import dataclasses
+from collections import Counter, OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 try:  # numpy is an engine-layer acceleration; protocol code never needs it
@@ -47,8 +48,12 @@ try:  # numpy is an engine-layer acceleration; protocol code never needs it
 except ImportError:  # pragma: no cover - the toolchain ships numpy
     _np = None
 
+from ..core.extraction import extract
+from ..core.probabilistic import ProbTermOutput
 from ..crypto.coin import coin_message_tag, threshold_coin_program
 from ..crypto.random_oracle import hash_to_range
+from ..crypto.vrf_coin import vrf_coin_from_evaluations, vrf_evaluate
+from ..network.messages import get_field
 from ..network.metrics import RunMetrics
 from ..network.party import resume_with, run_parallel
 from ..network.simulator import ExecutionResult, SyncSimulator
@@ -60,7 +65,9 @@ from .registry import build_adversary, register_vector_model, vector_model_for
 __all__ = [
     "VectorModelError",
     "batch_key",
+    "clear_probe_cache",
     "execute_chunk",
+    "probe_cache_stats",
     "run_vector_batch",
     "unsupported_reason",
 ]
@@ -74,10 +81,49 @@ class VectorModelError(RuntimeError):
 # session-independent (see module docstring), so any tag works.
 _PROBE_SESSION = "vector-probe"
 
-# (batch_key(spec), bits) → _IterationProbe.  Bounded: cleared wholesale
-# when full, like the crypto tag memos.
-_PROBE_MEMO: Dict[Any, "_IterationProbe"] = {}
-_PROBE_MEMO_LIMIT = 1024
+# (batch_key(spec), probe token) → probe.  A bounded LRU, shared across
+# chunks and batches: AdaptiveRunner streams many small batches of the
+# same configurations, so evicting least-recently-used entries (rather
+# than clearing wholesale) keeps the per-config probes hot across the
+# whole run.  Hit/miss counters feed the ``probe_cache`` telemetry spans.
+_PROBE_CACHE: "OrderedDict[Any, Any]" = OrderedDict()
+_PROBE_CACHE_LIMIT = 1024
+_PROBE_CACHE_HITS = 0
+_PROBE_CACHE_MISSES = 0
+
+
+def _probe_cached(key: Any, build) -> Any:
+    """LRU-memoized probe lookup; ``build()`` runs on a miss."""
+    global _PROBE_CACHE_HITS, _PROBE_CACHE_MISSES
+    entry = _PROBE_CACHE.get(key)
+    if entry is not None:
+        _PROBE_CACHE.move_to_end(key)
+        _PROBE_CACHE_HITS += 1
+        return entry
+    _PROBE_CACHE_MISSES += 1
+    entry = build()
+    _PROBE_CACHE[key] = entry
+    while len(_PROBE_CACHE) > _PROBE_CACHE_LIMIT:
+        _PROBE_CACHE.popitem(last=False)
+    return entry
+
+
+def probe_cache_stats() -> Dict[str, int]:
+    """Lifetime probe-cache counters for this process."""
+    return {
+        "hits": _PROBE_CACHE_HITS,
+        "misses": _PROBE_CACHE_MISSES,
+        "size": len(_PROBE_CACHE),
+        "limit": _PROBE_CACHE_LIMIT,
+    }
+
+
+def clear_probe_cache() -> None:
+    """Drop all cached probes and reset the hit/miss counters."""
+    global _PROBE_CACHE_HITS, _PROBE_CACHE_MISSES
+    _PROBE_CACHE.clear()
+    _PROBE_CACHE_HITS = 0
+    _PROBE_CACHE_MISSES = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,7 +221,9 @@ def execute_chunk(
     lockstep; everything else (plus whole batches whose probe invariants
     fail) takes the object simulator.  Returns the results in chunk order
     plus batching stats for telemetry: ``{"batched", "fallback",
-    "batches": [{"config", "size"}, ...]}``.
+    "batches": [{"config", "size"}, ...], "cache_hits", "cache_misses",
+    "fallback_reasons": {reason: count}}`` — the reason audit is what
+    makes a silent fallback visible in ``repro bench --telemetry``.
     """
     from .runner import run_traced_trial, run_trial  # circular at import time
 
@@ -184,11 +232,23 @@ def execute_chunk(
             return run_traced_trial(spec, trace_dir, index, legacy_metrics)
         return run_trial(spec, legacy_metrics=legacy_metrics)
 
+    cache_before = probe_cache_stats()
     results: Dict[int, ExecutionResult] = {}
     batches: Dict[TrialSpec, List[Tuple[int, TrialSpec]]] = {}
     fallback: List[Tuple[int, TrialSpec]] = []
+    reasons: Counter = Counter()
     for index, spec in chunk:
-        if legacy_metrics or trace_dir is not None or not supports(spec):
+        if legacy_metrics:
+            reasons["legacy metrics requested"] += 1
+            fallback.append((index, spec))
+            continue
+        if trace_dir is not None:
+            reasons["trace collection requested"] += 1
+            fallback.append((index, spec))
+            continue
+        reason = unsupported_reason(spec)
+        if reason is not None:
+            reasons[reason] += 1
             fallback.append((index, spec))
         else:
             batches.setdefault(batch_key(spec), []).append((index, spec))
@@ -198,9 +258,10 @@ def execute_chunk(
         specs = [spec for _, spec in members]
         try:
             outcomes = run_vector_batch(specs)
-        except VectorModelError:
+        except VectorModelError as exc:
             # A probe invariant failed — the conservative answer is the
             # reference simulator, which is always correct.
+            reasons[f"vector model error: {exc}"] += len(members)
             fallback.extend(members)
             stats["fallback"] += len(members)
             continue
@@ -212,6 +273,10 @@ def execute_chunk(
         )
     for index, spec in fallback:
         results[index] = object_path(index, spec)
+    cache_after = probe_cache_stats()
+    stats["cache_hits"] = cache_after["hits"] - cache_before["hits"]
+    stats["cache_misses"] = cache_after["misses"] - cache_before["misses"]
+    stats["fallback_reasons"] = dict(reasons)
     return [(index, results[index]) for index, _ in chunk], stats
 
 
@@ -260,10 +325,17 @@ def _run_probe(
     per trial by :func:`_coin_value`.
     """
     memo_key = (batch_key(spec), bits)
-    cached = _PROBE_MEMO.get(memo_key)
-    if cached is not None:
-        return cached
+    return _probe_cached(
+        memo_key, lambda: _execute_probe(spec, bits, factory, iteration_rounds)
+    )
 
+
+def _execute_probe(
+    spec: TrialSpec,
+    bits: Tuple[int, ...],
+    factory,
+    iteration_rounds: int,
+) -> _IterationProbe:
     adversary = build_adversary(spec.adversary, spec.adversary_param_dict, None)
     simulator = SyncSimulator(
         num_parties=spec.num_parties,
@@ -307,17 +379,78 @@ def _run_probe(
         )
         for round_index, stats in result.metrics.per_round.items()
     )
-    probe = _IterationProbe(
+    return _IterationProbe(
         values=tuple(values),
         grades=tuple(grades),
         coin_ok=tuple(coin_ok),
         tallies=tallies,
         corrupted=frozenset(result.corrupted),
     )
-    if len(_PROBE_MEMO) >= _PROBE_MEMO_LIMIT:
-        _PROBE_MEMO.clear()
-    _PROBE_MEMO[memo_key] = probe
-    return probe
+
+
+# ── Replay probes: one full reference execution, replicated per trial ────
+
+
+@dataclasses.dataclass(frozen=True)
+class _ReplayProbe:
+    """A complete object-simulator execution, frozen for replication.
+
+    ``outputs`` and ``finish`` preserve the simulator's recording order
+    (parties return in (round, pid) order) so replicated results are
+    bit-identical down to dict insertion order.
+    """
+
+    outputs: Tuple[Tuple[int, Any], ...]
+    finish: Tuple[Tuple[int, int], ...]
+    corrupted: frozenset
+    rounds: int
+    tallies: Tuple[Tuple[int, int, int, int, int], ...]
+
+    def replicate(self, inputs: Sequence[Any]) -> ExecutionResult:
+        """A fresh :class:`ExecutionResult` carrying this probe's outcome."""
+        return ExecutionResult(
+            outputs={pid: value for pid, value in self.outputs},
+            corrupted=set(self.corrupted),
+            metrics=RunMetrics.from_round_tallies(self.rounds, self.tallies),
+            inputs=dict(enumerate(inputs)),
+            finish_rounds={pid: r for pid, r in self.finish},
+        )
+
+
+def _freeze_result(result: ExecutionResult) -> _ReplayProbe:
+    tallies = tuple(
+        (
+            round_index,
+            stats.honest_messages,
+            stats.corrupt_messages,
+            stats.honest_signatures,
+            stats.corrupt_signatures,
+        )
+        for round_index, stats in result.metrics.per_round.items()
+    )
+    return _ReplayProbe(
+        outputs=tuple(result.outputs.items()),
+        finish=tuple(result.finish_rounds.items()),
+        corrupted=frozenset(result.corrupted),
+        rounds=result.metrics.rounds,
+        tallies=tallies,
+    )
+
+
+def _run_replay_probe(spec: TrialSpec, token: Any) -> _ReplayProbe:
+    """One real ``run_trial`` on ``spec``, frozen and LRU-cached.
+
+    Unlike :func:`_run_probe` this runs the spec *as given* (its own seed
+    and session) through the full object path — registry-resolved factory
+    and adversary included — so the probe trial's result is correct by
+    definition; replication to the rest of the batch rests on the
+    session-invariance argument of the module docstring, pinned by the
+    equivalence grid.
+    """
+    from .runner import run_trial  # circular at import time
+
+    memo_key = (batch_key(spec), token)
+    return _probe_cached(memo_key, lambda: _freeze_result(run_trial(spec)))
 
 
 def _bit_input_reason(spec: TrialSpec) -> Optional[str]:
@@ -601,7 +734,832 @@ class _BaOneHalfModel:
         return results
 
 
+# ── fm_probabilistic: per-iteration lockstep with halting parties ───────
+
+
+_FM_HALTED = "h"  # probe token for a party that has already returned
+_FM_MAX_ITERATIONS = 64  # fm_probabilistic_program's default cap
+
+
+@dataclasses.dataclass(frozen=True)
+class _FmIterationProbe:
+    """One fm iteration's transition for a (bit/halted) token configuration.
+
+    Halted parties hold ``None`` values/grades (they sent nothing); the
+    tallies cover the remaining active parties' three rounds.
+    """
+
+    values: Tuple[Optional[int], ...]
+    grades: Tuple[Optional[int], ...]
+    coin_ok: Tuple[bool, ...]
+    tallies: Tuple[Tuple[int, int, int, int, int], ...]
+
+
+def _fm_probe_factory():
+    # Wire-identical to one fm_probabilistic iteration: the 2-round
+    # Prox_5 followed by the coin, under the pt1 subsession (structure is
+    # iteration-independent; only coin *values* differ, derived per
+    # trial/iteration).  A halted token returns before the first yield —
+    # exactly what a returned party contributes to later rounds: nothing.
+    def factory(ctx, token):
+        if token == _FM_HALTED:
+            return None
+        iteration_ctx = ctx.subsession("pt1")
+        value, grade = yield from prox_one_third_program(
+            iteration_ctx, token, rounds=2
+        )
+        coin = yield from threshold_coin_program(iteration_ctx, ("pt", 1), 1, 4)
+        return (value, grade, coin)
+
+    return factory
+
+
+def _run_fm_probe(spec: TrialSpec, tokens: Tuple[Any, ...]) -> _FmIterationProbe:
+    memo_key = (batch_key(spec), ("fm-state", tokens))
+    return _probe_cached(memo_key, lambda: _execute_fm_probe(spec, tokens))
+
+
+def _execute_fm_probe(spec: TrialSpec, tokens: Tuple[Any, ...]) -> _FmIterationProbe:
+    simulator = SyncSimulator(
+        num_parties=spec.num_parties,
+        max_faulty=spec.max_faulty,
+        crypto=_suite(spec),
+        adversary=None,
+        seed=0,
+        session=_PROBE_SESSION,
+        max_rounds=spec.max_rounds,
+        collect_signatures=spec.collect_signatures,
+    )
+    result = simulator.run(_fm_probe_factory(), list(tokens))
+    rounds = 3
+    values: List[Optional[int]] = []
+    grades: List[Optional[int]] = []
+    coin_ok: List[bool] = []
+    for pid, token in enumerate(tokens):
+        if token == _FM_HALTED:
+            if result.finish_rounds.get(pid) != 0:
+                raise VectorModelError(f"halted probe party {pid} sent messages")
+            values.append(None)
+            grades.append(None)
+            coin_ok.append(False)
+            continue
+        if (
+            result.outputs.get(pid) is None
+            or result.finish_rounds.get(pid) != rounds
+        ):
+            raise VectorModelError(
+                f"fm probe party {pid} did not finish in {rounds} rounds"
+            )
+        value, grade, coin = result.outputs[pid]
+        values.append(value)
+        grades.append(grade)
+        coin_ok.append(coin is not None)
+    if result.metrics.rounds != rounds:
+        raise VectorModelError("fm probe round count mismatch")
+    tallies = tuple(
+        (
+            round_index,
+            stats.honest_messages,
+            stats.corrupt_messages,
+            stats.honest_signatures,
+            stats.corrupt_signatures,
+        )
+        for round_index, stats in result.metrics.per_round.items()
+    )
+    return _FmIterationProbe(
+        values=tuple(values),
+        grades=tuple(grades),
+        coin_ok=tuple(coin_ok),
+        tallies=tallies,
+    )
+
+
+class _FmProbabilisticModel:
+    """Vector model for ``fm_probabilistic`` × no adversary.
+
+    The probabilistic-termination loop is simulated iteration by
+    iteration: each iteration's wire dynamics come from one probe per
+    distinct (bit, halted) token configuration, the per-trial coin is the
+    usual pure function of (key material, session, iteration), and the
+    decide/adopt/coin-flip branching of
+    :func:`~repro.core.probabilistic.fm_probabilistic_program` is applied
+    in plain arithmetic.  Parties halt in *different* rounds — the model
+    reproduces the termination spread, per-party finish rounds included.
+    """
+
+    ITERATION_ROUNDS = 3
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _bit_input_reason(spec)
+        if reason is not None:
+            return reason
+        if spec.param_dict:
+            return f"unsupported protocol params {sorted(spec.param_dict)}"
+        if spec.adversary is not None:
+            return f"no fm_probabilistic vector model for {spec.adversary!r}"
+        n, t = spec.num_parties, spec.max_faulty
+        if 3 * t >= n:
+            return "regime violation 3t >= n (object path raises)"
+        if spec.max_rounds < 3 * _FM_MAX_ITERATIONS:
+            return "max_rounds below the iteration cap (object path may raise)"
+        return None
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        n = first.num_parties
+        inputs_map = dict(enumerate(first.inputs))
+
+        results = []
+        for spec in specs:
+            bits = [int(b) for b in first.inputs]
+            decided: Dict[int, Tuple[int, int]] = {}  # pid -> (value, iteration)
+            halted: set = set()
+            outputs: Dict[int, ProbTermOutput] = {}
+            finish: Dict[int, int] = {}
+            rows: List[Tuple[int, int, int, int, int]] = []
+            rounds_total = 0
+            for iteration in range(1, _FM_MAX_ITERATIONS + 1):
+                if len(halted) == n:
+                    break
+                tokens = tuple(
+                    _FM_HALTED if pid in halted else bits[pid] for pid in range(n)
+                )
+                probe = _run_fm_probe(first, tokens)
+                coin = _coin_value(
+                    suite,
+                    f"{spec.session}/pt{iteration}",
+                    ("pt", iteration),
+                    1,
+                    4,
+                )
+                offset = cls.ITERATION_ROUNDS * (iteration - 1)
+                rows.extend(
+                    (r + offset, hm, cm, hs, cs)
+                    for r, hm, cm, hs, cs in probe.tallies
+                )
+                rounds_total = cls.ITERATION_ROUNDS * iteration
+                for pid in range(n):
+                    if pid in halted:
+                        continue
+                    value, grade = probe.values[pid], probe.grades[pid]
+                    trial_coin = coin if probe.coin_ok[pid] else 1
+                    if pid in decided and decided[pid][1] < iteration:
+                        # The post-decision helper iteration is done.
+                        outputs[pid] = ProbTermOutput(*decided[pid])
+                        finish[pid] = rounds_total
+                        halted.add(pid)
+                    elif value in (0, 1) and grade == 2:
+                        decided[pid] = (value, iteration)
+                        bits[pid] = value
+                    elif value in (0, 1) and grade >= 1:
+                        bits[pid] = value
+                    else:
+                        bits[pid] = extract(0, 0, trial_coin, 5)
+                if iteration == _FM_MAX_ITERATIONS:
+                    # The program's cap: still-running parties return the
+                    # working value with decided_iteration = the cap.
+                    for pid in range(n):
+                        if pid not in halted:
+                            outputs[pid] = ProbTermOutput(
+                                value=bits[pid],
+                                decided_iteration=_FM_MAX_ITERATIONS,
+                            )
+                            finish[pid] = rounds_total
+                            halted.add(pid)
+            order = sorted(range(n), key=lambda pid: (finish[pid], pid))
+            results.append(
+                ExecutionResult(
+                    outputs={pid: outputs[pid] for pid in order},
+                    corrupted=set(),
+                    metrics=RunMetrics.from_round_tallies(rounds_total, rows),
+                    inputs=dict(inputs_map),
+                    finish_rounds={pid: finish[pid] for pid in order},
+                )
+            )
+        return results
+
+
+# ── turpin_coan_classic / multivalued_ba: deterministic + one inner coin ─
+
+
+@dataclasses.dataclass(frozen=True)
+class _LiftProbe:
+    """Per-party (candidate value, inner-BA prox value/grade, coin_ok)."""
+
+    candidates: Tuple[Any, ...]
+    values: Tuple[int, ...]
+    grades: Tuple[int, ...]
+    coin_ok: Tuple[bool, ...]
+    tallies: Tuple[Tuple[int, int, int, int, int], ...]
+    corrupted: frozenset
+
+
+def _run_lift_probe(
+    spec: TrialSpec, token: Any, factory, total_rounds: int
+) -> _LiftProbe:
+    memo_key = (batch_key(spec), token)
+    return _probe_cached(
+        memo_key, lambda: _execute_lift_probe(spec, factory, total_rounds)
+    )
+
+
+def _execute_lift_probe(spec: TrialSpec, factory, total_rounds: int) -> _LiftProbe:
+    simulator = SyncSimulator(
+        num_parties=spec.num_parties,
+        max_faulty=spec.max_faulty,
+        crypto=_suite(spec),
+        adversary=None,
+        seed=0,
+        session=_PROBE_SESSION,
+        max_rounds=spec.max_rounds,
+        collect_signatures=spec.collect_signatures,
+    )
+    result = simulator.run(factory, list(spec.inputs))
+    candidates: List[Any] = []
+    values: List[int] = []
+    grades: List[int] = []
+    coin_ok: List[bool] = []
+    for pid in range(spec.num_parties):
+        if result.outputs.get(pid) is None or result.finish_rounds.get(
+            pid
+        ) != total_rounds:
+            raise VectorModelError(
+                f"lift probe party {pid} did not finish in {total_rounds} rounds"
+            )
+        candidate, prox_output, coin = result.outputs[pid]
+        value, grade = prox_output
+        if value not in (0, 1):  # Π_iter's defensive non-bit guard
+            value, grade = 0, 0
+        candidates.append(candidate)
+        values.append(int(value))
+        grades.append(int(grade))
+        coin_ok.append(coin is not None)
+    if result.metrics.rounds != total_rounds:
+        raise VectorModelError("lift probe round count mismatch")
+    tallies = tuple(
+        (
+            round_index,
+            stats.honest_messages,
+            stats.corrupt_messages,
+            stats.honest_signatures,
+            stats.corrupt_signatures,
+        )
+        for round_index, stats in result.metrics.per_round.items()
+    )
+    return _LiftProbe(
+        candidates=tuple(candidates),
+        values=tuple(values),
+        grades=tuple(grades),
+        coin_ok=tuple(coin_ok),
+        tallies=tallies,
+        corrupted=frozenset(result.corrupted),
+    )
+
+
+def _hashable_inputs_reason(spec: TrialSpec) -> Optional[str]:
+    try:
+        hash(spec.inputs)
+    except TypeError:
+        return "unhashable inputs"
+    return None
+
+
+def _lift_params_reason(spec: TrialSpec, allowed: frozenset) -> Optional[str]:
+    params = spec.param_dict
+    if not set(params) <= allowed or "kappa" not in params:
+        return f"unsupported protocol params {sorted(params)}"
+    kappa = params["kappa"]
+    if type(kappa) is not int or kappa < 1:
+        return f"unsupported kappa {kappa!r}"
+    return None
+
+
+class _TurpinCoanModel:
+    """Vector model for ``turpin_coan_classic`` × no adversary.
+
+    The two echo rounds and the inner BA's Proxcensus are deterministic
+    and session-invariant; only the inner coin varies per trial.  The
+    probe mirrors the program but returns ``(candidate, prox_output,
+    coin)`` instead of extracting, so extraction (and the candidate vs
+    default choice) happens per trial from the derived coin value.
+    """
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _hashable_inputs_reason(spec) or _lift_params_reason(
+            spec, frozenset({"kappa", "default"})
+        )
+        if reason is not None:
+            return reason
+        if spec.adversary is not None:
+            return f"no turpin_coan_classic vector model for {spec.adversary!r}"
+        n, t = spec.num_parties, spec.max_faulty
+        if 3 * t >= n:
+            return "regime violation 3t >= n (object path raises)"
+        kappa = spec.param_dict["kappa"]
+        if spec.max_rounds < kappa + 3:
+            return "max_rounds below protocol length (object path raises)"
+        return None
+
+    @staticmethod
+    def _probe_factory(kappa: int):
+        # Rounds 1–2 are copied from turpin_coan_classic_program; the
+        # inner ba_one_third is unrolled to its Π_iter components so the
+        # probe can return the pre-extraction state.
+        def factory(ctx, value):
+            n, t = ctx.num_parties, ctx.max_faulty
+            bottom = ("tc-bottom",)
+            inbox = yield ctx.broadcast({"tc1": value})
+            tally = Counter()
+            for payload in inbox.values():
+                v = get_field(payload, "tc1")
+                try:
+                    hash(v)
+                except TypeError:
+                    continue
+                tally[v] += 1
+            echo = next((v for v, c in tally.items() if c >= n - t), bottom)
+
+            inbox = yield ctx.broadcast({"tc2": echo})
+            tally = Counter()
+            for payload in inbox.values():
+                v = get_field(payload, "tc2")
+                try:
+                    hash(v)
+                except TypeError:
+                    continue
+                if v != bottom:
+                    tally[v] += 1
+            if tally:
+                candidate, count = max(
+                    tally.items(), key=lambda kv: (kv[1], repr(kv[0]))
+                )
+            else:
+                candidate, count = None, 0
+            bit = 1 if count >= n - t else 0
+            ba_ctx = ctx.subsession("tc-ba")
+            prox_output = yield from prox_one_third_program(
+                ba_ctx, bit, rounds=kappa
+            )
+            coin = yield from threshold_coin_program(
+                ba_ctx, ("ba13", kappa), 1, 2 ** kappa
+            )
+            return (candidate, prox_output, coin)
+
+        return factory
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        kappa = first.param_dict["kappa"]
+        default = first.param_dict.get("default", "∅")
+        n = first.num_parties
+        rounds_total = kappa + 3
+        slots = 2 ** kappa + 1
+
+        probe = _run_lift_probe(
+            first, "tc", cls._probe_factory(kappa), rounds_total
+        )
+        return _finish_lift_batch(
+            specs,
+            probe,
+            suite,
+            coin_session=lambda spec: f"{spec.session}/tc-ba",
+            coin_index=("ba13", kappa),
+            slots=slots,
+            rounds_total=rounds_total,
+            n=n,
+            default=default,
+            inputs=first.inputs,
+            tally_is_candidate=True,
+        )
+
+
+class _MultivaluedBaModel:
+    """Vector model for ``multivalued_ba`` × no adversary (t < n/3 regime).
+
+    Same structure as the Turpin–Coan model: a deterministic multivalued
+    Proxcensus, then the inner binary BA whose single coin is the only
+    per-trial variation.  The ``one_half`` regime is not modeled (its
+    inner BA runs ⌈κ/2⌉ coins; those sweeps fall back per spec).
+    """
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _hashable_inputs_reason(spec) or _lift_params_reason(
+            spec, frozenset({"kappa", "regime", "default"})
+        )
+        if reason is not None:
+            return reason
+        regime = spec.param_dict.get("regime", "one_third")
+        if regime != "one_third":
+            return f"regime {regime!r} not modeled (multi-coin inner BA)"
+        if spec.adversary is not None:
+            return f"no multivalued_ba vector model for {spec.adversary!r}"
+        n, t = spec.num_parties, spec.max_faulty
+        if 3 * t >= n:
+            return "regime violation 3t >= n (object path raises)"
+        kappa = spec.param_dict["kappa"]
+        if spec.max_rounds < kappa + 3:
+            return "max_rounds below protocol length (object path raises)"
+        return None
+
+    @staticmethod
+    def _probe_factory(kappa: int):
+        def factory(ctx, value):
+            prox_ctx = ctx.subsession("mv-prox")
+            output = yield from prox_one_third_program(prox_ctx, value, rounds=2)
+            bit = 1 if output.grade == 2 else 0
+            ba_ctx = ctx.subsession("mv-ba")
+            prox_output = yield from prox_one_third_program(
+                ba_ctx, bit, rounds=kappa
+            )
+            coin = yield from threshold_coin_program(
+                ba_ctx, ("ba13", kappa), 1, 2 ** kappa
+            )
+            return (output.value, prox_output, coin)
+
+        return factory
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        kappa = first.param_dict["kappa"]
+        default = first.param_dict.get("default", "∅")
+        n = first.num_parties
+        rounds_total = kappa + 3
+        slots = 2 ** kappa + 1
+
+        probe = _run_lift_probe(
+            first, "mv", cls._probe_factory(kappa), rounds_total
+        )
+        return _finish_lift_batch(
+            specs,
+            probe,
+            suite,
+            coin_session=lambda spec: f"{spec.session}/mv-ba",
+            coin_index=("ba13", kappa),
+            slots=slots,
+            rounds_total=rounds_total,
+            n=n,
+            default=default,
+            inputs=first.inputs,
+            tally_is_candidate=False,
+        )
+
+
+def _finish_lift_batch(
+    specs,
+    probe: _LiftProbe,
+    suite,
+    coin_session,
+    coin_index,
+    slots: int,
+    rounds_total: int,
+    n: int,
+    default: Any,
+    inputs,
+    tally_is_candidate: bool,
+) -> List[ExecutionResult]:
+    """Apply the per-trial coin + extraction to a multivalued-lift probe.
+
+    ``tally_is_candidate`` distinguishes Turpin–Coan (a ``None``
+    candidate means the echo tally was empty, so the *default* is the
+    candidate too) from the Proxcensus lift (the candidate is the
+    party's graded value, never substituted).
+    """
+    low, high = 1, slots - 1
+    batch = len(specs)
+    coins = _np.fromiter(
+        (
+            _coin_value(suite, coin_session(spec), coin_index, low, high)
+            for spec in specs
+        ),
+        dtype=_np.int64,
+        count=batch,
+    )
+    values = _np.array(probe.values, dtype=_np.int64)[None, :]
+    grades = _np.array(probe.grades, dtype=_np.int64)[None, :]
+    ok = _np.array(probe.coin_ok, dtype=bool)[None, :]
+    coin_matrix = _np.where(ok, coins[:, None], low)
+    decisions = _extract_array(values, grades, coin_matrix, slots)
+
+    inputs_map = dict(enumerate(inputs))
+    results = []
+    for row in range(batch):
+        outputs = {}
+        for pid in range(n):
+            if decisions[row, pid] == 1:
+                candidate = probe.candidates[pid]
+                if tally_is_candidate and candidate is None:
+                    candidate = default
+                outputs[pid] = candidate
+            else:
+                outputs[pid] = default
+        results.append(
+            ExecutionResult(
+                outputs=outputs,
+                corrupted=set(probe.corrupted),
+                metrics=RunMetrics.from_round_tallies(rounds_total, probe.tallies),
+                inputs=dict(inputs_map),
+                finish_rounds={pid: rounds_total for pid in range(n)},
+            )
+        )
+    return results
+
+
+# ── coin protocols: one round, value is a pure function of the keys ─────
+
+
+_COIN_PARAMS = frozenset({"index", "low", "high"})
+_WITHHOLD_PARAMS = frozenset(
+    {"victims", "index", "low", "high", "preferred", "session"}
+)
+
+
+def _coin_params_reason(spec: TrialSpec) -> Optional[str]:
+    params = spec.param_dict
+    if not set(params) <= _COIN_PARAMS:
+        return f"unsupported protocol params {sorted(params)}"
+    low = params.get("low", 0)
+    high = params.get("high", 1)
+    if type(low) is not int or type(high) is not int or low > high:
+        return "invalid coin range (object path raises)"
+    return None
+
+
+def _coin_protocol_params(spec: TrialSpec) -> Tuple[Any, int, int]:
+    params = spec.param_dict
+    return params.get("index", 0), params.get("low", 0), params.get("high", 1)
+
+
+class _ThresholdCoinModel:
+    """Vector model for ``threshold_coin`` × {no adversary, ``withhold_coin``}.
+
+    The threshold coin's value is a deterministic function of the key
+    material, the session and the index — withholding shares can fail a
+    flip but never steer it.  One probe trial pins *which* parties reach
+    the threshold (session-invariant share delivery); the per-trial value
+    is derived arithmetically.  ``withhold_coin`` never sees a ``"vrf"``
+    payload here, so it degenerates to silencing its victims — covered by
+    the same probe.
+    """
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _hashable_inputs_reason(spec) or _coin_params_reason(spec)
+        if reason is not None:
+            return reason
+        if spec.adversary is None:
+            return None
+        if spec.adversary != "withhold_coin":
+            return f"no threshold_coin vector model for {spec.adversary!r}"
+        return _victims_reason(spec, _WITHHOLD_PARAMS)
+
+    @staticmethod
+    def run_batch(specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        index, low, high = _coin_protocol_params(first)
+
+        def build() -> _ReplayProbe:
+            from .runner import run_trial
+
+            frozen = _freeze_result(run_trial(first))
+            expected = _coin_value(suite, first.session, index, low, high)
+            ok: List[Tuple[int, Any]] = []
+            for pid, output in frozen.outputs:
+                if output is not None and output != expected:
+                    raise VectorModelError(
+                        f"threshold coin probe mismatch for party {pid}"
+                    )
+                ok.append((pid, output is not None))
+            # Replace the session-bound coin values with the ok mask so a
+            # cross-batch cache hit (different session) stays valid.
+            return dataclasses.replace(frozen, outputs=tuple(ok))
+
+        probe = _probe_cached((batch_key(first), "coin-ok"), build)
+        results = []
+        for spec in specs:
+            value = _coin_value(suite, spec.session, index, low, high)
+            results.append(
+                ExecutionResult(
+                    outputs={
+                        pid: (value if ok else None) for pid, ok in probe.outputs
+                    },
+                    corrupted=set(probe.corrupted),
+                    metrics=RunMetrics.from_round_tallies(
+                        probe.rounds, probe.tallies
+                    ),
+                    inputs=dict(enumerate(spec.inputs)),
+                    finish_rounds=dict(probe.finish),
+                )
+            )
+        return results
+
+
+class _VrfCoinModel:
+    """Vector model for ``vrf_coin`` × {no adversary, ``withhold_coin``}.
+
+    The VRF coin is pure arithmetic per trial: every party's evaluation
+    is the hash of its unique signature on the coin tag, and the coin is
+    derived from the minimum.  The withholding adversary's reveal scan is
+    replicated exactly (same reference outcomes, same stable sort), so
+    the model reproduces the *biased* coin, not the honest one.  One
+    probe per reveal-count pins the wire dynamics and cross-checks the
+    prediction against the object simulator.
+    """
+
+    @staticmethod
+    def unsupported_reason(spec: TrialSpec) -> Optional[str]:
+        reason = _hashable_inputs_reason(spec) or _coin_params_reason(spec)
+        if reason is not None:
+            return reason
+        if spec.adversary is None:
+            return None
+        if spec.adversary != "withhold_coin":
+            return f"no vrf_coin vector model for {spec.adversary!r}"
+        reason = _victims_reason(spec, _WITHHOLD_PARAMS)
+        if reason is not None:
+            return reason
+        adversary = spec.adversary_param_dict
+        if adversary.get("session") is not None:
+            return "session-pinned withhold_coin not modeled"
+        index, _low, _high = _coin_protocol_params(spec)
+        if adversary.get("index", 0) != index:
+            return "adversary coin index differs from protocol (not modeled)"
+        adv_low = adversary.get("low", 0)
+        adv_high = adversary.get("high", 1)
+        if type(adv_low) is not int or type(adv_high) is not int or (
+            adv_low > adv_high
+        ):
+            return "invalid adversary coin range (object path raises)"
+        return None
+
+    @classmethod
+    def run_batch(cls, specs: List[TrialSpec]) -> List[ExecutionResult]:
+        first = specs[0]
+        suite = _suite(first)
+        scheme = suite.plain
+        n = first.num_parties
+        index, low, high = _coin_protocol_params(first)
+        adversary = first.adversary_param_dict if first.adversary else {}
+        victims = tuple(dict.fromkeys(adversary.get("victims", ())))
+        corrupted = frozenset(victims)
+        honest = [pid for pid in range(n) if pid not in corrupted]
+
+        def outcome(spec: TrialSpec) -> Tuple[Tuple[int, ...], Optional[int]]:
+            """(revealed victims, coin value) for one trial's session."""
+            session = spec.session
+            honest_evals = {
+                pid: vrf_evaluate(scheme, pid, session, index)[0]
+                for pid in honest
+            }
+            reveal: Tuple[int, ...] = ()
+            if first.adversary is not None and honest_evals:
+                # Mirror WithholdingCoinAdversary.decide: the reveal scan
+                # uses the adversary's own range/preference parameters.
+                adv_low = adversary.get("low", 0)
+                adv_high = adversary.get("high", 1)
+                preferred = adversary.get("preferred", 1)
+                corrupt_evals = {
+                    pid: vrf_evaluate(scheme, pid, session, index)
+                    for pid in victims
+                }
+                baseline = vrf_coin_from_evaluations(
+                    dict(honest_evals), session, index, adv_low, adv_high
+                )
+                if baseline != preferred:
+                    for pid, (value, _proof) in sorted(
+                        corrupt_evals.items(), key=lambda kv: kv[1][0]
+                    ):
+                        candidate = vrf_coin_from_evaluations(
+                            {**honest_evals, pid: value},
+                            session, index, adv_low, adv_high,
+                        )
+                        if candidate == preferred:
+                            reveal = (pid,)
+                            break
+            valid = dict(honest_evals)
+            for pid in reveal:
+                valid[pid] = vrf_evaluate(scheme, pid, session, index)[0]
+            if first.adversary is None:
+                valid = {
+                    pid: vrf_evaluate(scheme, pid, session, index)[0]
+                    for pid in range(n)
+                }
+            return reveal, vrf_coin_from_evaluations(
+                valid, session, index, low, high
+            )
+
+        outcomes = [outcome(spec) for spec in specs]
+
+        def probe_for(spec: TrialSpec, reveal_count: int) -> _ReplayProbe:
+            def build() -> _ReplayProbe:
+                from .runner import run_trial
+
+                frozen = _freeze_result(run_trial(spec))
+                _reveal, predicted = outcome(spec)
+                for pid, output in frozen.outputs:
+                    if output != predicted:
+                        raise VectorModelError(
+                            f"vrf coin probe mismatch for party {pid}: "
+                            f"{output!r} != {predicted!r}"
+                        )
+                # Outputs are session-bound; keep only the recording order
+                # so cross-batch cache hits stay valid.
+                return dataclasses.replace(
+                    frozen,
+                    outputs=tuple((pid, None) for pid, _out in frozen.outputs),
+                )
+
+            memo_key = (batch_key(spec), ("vrf-reveal", reveal_count))
+            return _probe_cached(memo_key, build)
+
+        results = []
+        probes: Dict[int, _ReplayProbe] = {}
+        for spec, (reveal, coin) in zip(specs, outcomes):
+            reveal_count = len(reveal)
+            if reveal_count not in probes:
+                probes[reveal_count] = probe_for(spec, reveal_count)
+            probe = probes[reveal_count]
+            results.append(
+                ExecutionResult(
+                    outputs={pid: coin for pid, _none in probe.outputs},
+                    corrupted=set(probe.corrupted),
+                    metrics=RunMetrics.from_round_tallies(
+                        probe.rounds, probe.tallies
+                    ),
+                    inputs=dict(enumerate(spec.inputs)),
+                    finish_rounds=dict(probe.finish),
+                )
+            )
+        return results
+
+
+# ── deterministic protocols: whole-run replay ───────────────────────────
+
+
+class _StaticReplayModel:
+    """Vector model for deterministic, coin-free protocol runs.
+
+    The Proxcensus family (and the other registered pairs below) consume
+    no coins and no party randomness: the entire execution — outputs
+    included — is a pure function of the inputs, the corruption schedule
+    and the key material, none of which vary inside a batch.  One real
+    trial (full registry resolution, real seed/session — correct by
+    definition) is frozen and replicated across the batch; bit-identity
+    across sessions is what the equivalence grid pins.
+    """
+
+    _ADVERSARY_PARAMS = {
+        "straddle13": frozenset({"victims", "down_group"}),
+        "bare_straddle12": frozenset({"victims", "iteration_rounds"}),
+        "two_face": frozenset({"victims"}),
+    }
+
+    @classmethod
+    def unsupported_reason(cls, spec: TrialSpec) -> Optional[str]:
+        reason = _hashable_inputs_reason(spec)
+        if reason is not None:
+            return reason
+        if spec.adversary is None:
+            return None
+        allowed = cls._ADVERSARY_PARAMS.get(spec.adversary)
+        if allowed is None:
+            return f"no replay model for adversary {spec.adversary!r}"
+        return _victims_reason(spec, allowed)
+
+    @staticmethod
+    def run_batch(specs: List[TrialSpec]) -> List[ExecutionResult]:
+        probe = _run_replay_probe(specs[0], "replay")
+        return [probe.replicate(spec.inputs) for spec in specs]
+
+
 register_vector_model("ba_one_third", None, _BaOneThirdModel)
 register_vector_model("ba_one_third", "straddle13", _BaOneThirdModel)
 register_vector_model("ba_one_half", None, _BaOneHalfModel)
 register_vector_model("ba_one_half", "straddle12", _BaOneHalfModel)
+register_vector_model("fm_probabilistic", None, _FmProbabilisticModel)
+register_vector_model("turpin_coan_classic", None, _TurpinCoanModel)
+register_vector_model("multivalued_ba", None, _MultivaluedBaModel)
+register_vector_model("threshold_coin", None, _ThresholdCoinModel)
+register_vector_model("threshold_coin", "withhold_coin", _ThresholdCoinModel)
+register_vector_model("vrf_coin", None, _VrfCoinModel)
+register_vector_model("vrf_coin", "withhold_coin", _VrfCoinModel)
+register_vector_model("prox_one_third", None, _StaticReplayModel)
+register_vector_model("prox_one_third", "straddle13", _StaticReplayModel)
+register_vector_model("prox_one_third", "two_face", _StaticReplayModel)
+register_vector_model("prox_linear_half", None, _StaticReplayModel)
+register_vector_model("prox_linear_half", "two_face", _StaticReplayModel)
+register_vector_model("prox_linear_half", "bare_straddle12", _StaticReplayModel)
+register_vector_model("prox_quadratic_half", None, _StaticReplayModel)
+register_vector_model("dolev_strong", None, _StaticReplayModel)
+register_vector_model("prox_expand_once", None, _StaticReplayModel)
+register_vector_model("proxcast", None, _StaticReplayModel)
+register_vector_model("certificate_gradecast", None, _StaticReplayModel)

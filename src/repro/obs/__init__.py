@@ -19,7 +19,14 @@ Three pieces share one sink abstraction
   digest engine scheduling spans (``repro bench --telemetry``).
 """
 
-from .replay import LoadedTrace, filter_trace, load_trace, trace_metrics
+from .replay import (
+    LoadedTrace,
+    TraceDivergence,
+    diff_traces,
+    filter_trace,
+    load_trace,
+    trace_metrics,
+)
 from .sinks import (
     TRACE_SCHEMA,
     FanoutSink,
@@ -37,6 +44,8 @@ __all__ = [
     "LoadedTrace",
     "ObsFormatError",
     "TelemetryWriter",
+    "TraceDivergence",
+    "diff_traces",
     "filter_trace",
     "load_trace",
     "summarize_telemetry",

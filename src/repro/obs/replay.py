@@ -25,7 +25,14 @@ from ..network.metrics import RunMetrics
 from ..network.trace import MemoryTraceSink, TraceEvent, Tracer
 from .sinks import TRACE_SCHEMA, ObsFormatError
 
-__all__ = ["LoadedTrace", "filter_trace", "load_trace", "trace_metrics"]
+__all__ = [
+    "LoadedTrace",
+    "TraceDivergence",
+    "diff_traces",
+    "filter_trace",
+    "load_trace",
+    "trace_metrics",
+]
 
 
 @dataclass
@@ -199,6 +206,116 @@ def filter_trace(
             continue
         filtered.sink.record_fault(fault)
     return filtered
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point at which two traces disagree.
+
+    ``round_index`` is 0 for header-metadata divergence, otherwise the
+    1-based simulator round.  ``left``/``right`` render the conflicting
+    records (``None`` when one trace is missing a record the other has).
+    """
+
+    round_index: int
+    kind: str  # "meta" | "event" | "corruption" | "fault" | "rounds"
+    detail: str
+    left: Optional[str] = None
+    right: Optional[str] = None
+
+    def render(self) -> str:
+        where = (
+            "header" if self.round_index == 0 else f"round {self.round_index}"
+        )
+        lines = [f"traces diverge at {where} ({self.kind}): {self.detail}"]
+        lines.append(f"  - {self.left if self.left is not None else '(absent)'}")
+        lines.append(
+            f"  + {self.right if self.right is not None else '(absent)'}"
+        )
+        return "\n".join(lines)
+
+
+def _event_line(event: TraceEvent) -> str:
+    role = "honest" if event.sender_honest else "corrupt"
+    return (
+        f"{event.sender}->{event.recipient} [{role}, "
+        f"{event.signatures} sig] {event.summary}"
+    )
+
+
+def _fault_line(fault: FaultEvent) -> str:
+    detail = f" {fault.detail}" if fault.detail is not None else ""
+    return f"{fault.kind} {fault.sender}->{fault.recipient}{detail}"
+
+
+def diff_traces(left: LoadedTrace, right: LoadedTrace) -> Optional[TraceDivergence]:
+    """First divergence between two replayed traces, or ``None``.
+
+    Comparison is round by round in recorded (delivery) order — the
+    order itself is part of the determinism contract, so a reordered
+    but set-equal round still diverges.  Header metadata is compared
+    first: two traces of different configurations diverge before any
+    round does.
+    """
+    if left.meta != right.meta:
+        keys = sorted(set(left.meta) | set(right.meta))
+        key = next(
+            k for k in keys if left.meta.get(k) != right.meta.get(k)
+        )
+        return TraceDivergence(
+            round_index=0,
+            kind="meta",
+            detail=f"header field {key!r} differs",
+            left=f"{key}={left.meta.get(key)!r}",
+            right=f"{key}={right.meta.get(key)!r}",
+        )
+    a, b = left.tracer, right.tracer
+    for round_index in range(1, max(a.rounds, b.rounds) + 1):
+        events_a = [e for e in a.events if e.round_index == round_index]
+        events_b = [e for e in b.events if e.round_index == round_index]
+        for position in range(max(len(events_a), len(events_b))):
+            ea = events_a[position] if position < len(events_a) else None
+            eb = events_b[position] if position < len(events_b) else None
+            if ea != eb:
+                return TraceDivergence(
+                    round_index=round_index,
+                    kind="event",
+                    detail=f"message #{position + 1} of the round differs",
+                    left=_event_line(ea) if ea is not None else None,
+                    right=_event_line(eb) if eb is not None else None,
+                )
+        corr_a = [pid for r, pid in a.corruptions if r == round_index]
+        corr_b = [pid for r, pid in b.corruptions if r == round_index]
+        if corr_a != corr_b:
+            return TraceDivergence(
+                round_index=round_index,
+                kind="corruption",
+                detail="corrupted-party sets differ",
+                left=f"corrupt {corr_a}",
+                right=f"corrupt {corr_b}",
+            )
+        faults_a = [f for f in a.faults if f.round_index == round_index]
+        faults_b = [f for f in b.faults if f.round_index == round_index]
+        for position in range(max(len(faults_a), len(faults_b))):
+            fa = faults_a[position] if position < len(faults_a) else None
+            fb = faults_b[position] if position < len(faults_b) else None
+            if fa != fb:
+                return TraceDivergence(
+                    round_index=round_index,
+                    kind="fault",
+                    detail=f"fault #{position + 1} of the round differs",
+                    left=_fault_line(fa) if fa is not None else None,
+                    right=_fault_line(fb) if fb is not None else None,
+                )
+    if a.rounds != b.rounds:
+        return TraceDivergence(
+            round_index=min(a.rounds, b.rounds) + 1,
+            kind="rounds",
+            detail="one trace ends early",
+            left=f"{a.rounds} rounds",
+            right=f"{b.rounds} rounds",
+        )
+    return None
 
 
 def trace_metrics(tracer: Tracer) -> RunMetrics:

@@ -152,7 +152,10 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
         "trials": 0,
         "setup_seconds": 0.0,
         "adaptive_rounds": 0,
+        "probe_cache_hits": 0,
+        "probe_cache_misses": 0,
     }
+    fallback_reasons: Dict[str, int] = {}
     for record in records[1:]:
         kind = record["t"]
         if kind == "run_start":
@@ -186,6 +189,14 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
             totals["setup_seconds"] += record.get("seconds", 0.0)
         elif kind == "adaptive_round":
             totals["adaptive_rounds"] += 1
+        elif kind == "probe_cache":
+            totals["probe_cache_hits"] += record.get("hits", 0)
+            totals["probe_cache_misses"] += record.get("misses", 0)
+        elif kind == "vector_batch":
+            for reason, count in (record.get("fallback_reasons") or {}).items():
+                fallback_reasons[reason] = fallback_reasons.get(reason, 0) + int(
+                    count
+                )
 
     consistent = True
     for run in runs:
@@ -207,5 +218,6 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
         "runs": runs,
         "pooled_runs": len(pooled),
         "consistent": consistent,
+        "fallback_reasons": fallback_reasons,
         **totals,
     }

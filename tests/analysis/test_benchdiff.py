@@ -1,0 +1,80 @@
+"""Benchmark-diff gate: per-core rates plus per-figure vector metrics."""
+
+import pytest
+
+from repro.analysis.benchdiff import compare_benchmarks, format_bench_report
+
+
+def artifact(serial=10.0, vector=None, figures=None, trials=1000):
+    payload = {
+        "plan": {"name": "t", "trials": trials},
+        "serial_seconds": serial,
+    }
+    if vector is not None:
+        payload["vector_seconds"] = vector
+    if figures is not None:
+        payload["figures"] = figures
+    return payload
+
+
+def figure(seconds, trials=100):
+    return {"trials": trials, "vector_seconds": seconds}
+
+
+class TestCoreMetrics:
+    def test_equal_artifacts_pass(self):
+        report = compare_benchmarks(artifact(), artifact())
+        assert report["ok"]
+
+    def test_serial_regression_fails(self):
+        report = compare_benchmarks(artifact(serial=10.0), artifact(serial=20.0))
+        assert not report["ok"]
+        assert report["regressed"] == ["serial"]
+
+    def test_missing_vector_leg_skips(self):
+        report = compare_benchmarks(
+            artifact(vector=None), artifact(vector=1.0)
+        )
+        rows = {row["metric"]: row for row in report["metrics"]}
+        assert rows["vector"]["status"] == "skipped"
+        assert report["ok"]
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_benchmarks(artifact(), artifact(), threshold=1.5)
+
+
+class TestFigureMetrics:
+    def test_matching_figures_compared_ok(self):
+        base = artifact(figures={"fig1": figure(0.5)})
+        cand = artifact(figures={"fig1": figure(0.55)})
+        report = compare_benchmarks(base, cand)
+        rows = {row["metric"]: row for row in report["metrics"]}
+        assert rows["figure:fig1"]["status"] == "ok"
+        assert report["ok"]
+
+    def test_figure_vector_regression_fails(self):
+        base = artifact(figures={"fig1": figure(0.5)})
+        cand = artifact(figures={"fig1": figure(2.0)})
+        report = compare_benchmarks(base, cand)
+        assert not report["ok"]
+        assert report["regressed"] == ["figure:fig1"]
+        assert "figure:fig1" in format_bench_report(report)
+
+    def test_figure_missing_from_baseline_skips(self):
+        # Older committed baselines predate the --figures leg: a new
+        # figure must not break the gate until a baseline records it.
+        base = artifact()
+        cand = artifact(figures={"brand_new": figure(0.1)})
+        report = compare_benchmarks(base, cand)
+        rows = {row["metric"]: row for row in report["metrics"]}
+        assert rows["figure:brand_new"]["status"] == "skipped"
+        assert report["ok"]
+
+    def test_malformed_figure_entry_skips(self):
+        base = artifact(figures={"fig1": figure(0.5)})
+        cand = artifact(figures={"fig1": {"trials": 0, "vector_seconds": 0.5}})
+        report = compare_benchmarks(base, cand)
+        rows = {row["metric"]: row for row in report["metrics"]}
+        assert rows["figure:fig1"]["status"] == "skipped"
+        assert report["ok"]

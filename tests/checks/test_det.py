@@ -250,3 +250,64 @@ class TestDET106NumpyGlobalRng:
         """})
         report = check(root)
         assert report.ok and report.suppressed == 1
+
+
+class TestDET107DictOrdering:
+    def test_hit_next_iter_over_keys(self, tree):
+        root = tree({"core/bad.py": """
+            def pick(tally):
+                return next(iter(tally.keys()))
+        """})
+        report = check(root)
+        assert rule_ids(report) == ["DET107"]
+        assert report.findings[0].path == "core/bad.py"
+
+    def test_hit_max_with_key_over_keys(self, tree):
+        root = tree({"proxcensus/bad.py": """
+            def winner(tally):
+                return max(tally.keys(), key=tally.get)
+        """})
+        assert rule_ids(check(root)) == ["DET107"]
+
+    def test_hit_next_iter_over_dict_literal(self, tree):
+        root = tree({"network/bad.py": """
+            def first(pairs):
+                return next(iter({k: v for k, v in pairs}))
+        """})
+        assert rule_ids(check(root)) == ["DET107"]
+
+    def test_pass_sorted_keys_and_keyless_max(self, tree):
+        root = tree({"core/ok.py": """
+            def pick(tally):
+                return next(iter(sorted(tally)))
+
+            def biggest_key(tally):
+                return max(tally.keys())
+        """})
+        assert check(root).ok
+
+    def test_pass_items_with_total_key(self, tree):
+        # The sanctioned tie-free idiom (turpin_coan, prox tallies).
+        root = tree({"core/ok.py": """
+            def winner(tally):
+                value, _count = max(
+                    tally.items(), key=lambda kv: (kv[1], repr(kv[0]))
+                )
+                return value
+        """})
+        assert check(root).ok
+
+    def test_pass_outside_protocol_scope(self, tree):
+        root = tree({"analysis/ok.py": """
+            def pick(tally):
+                return next(iter(tally.keys()))
+        """})
+        assert check(root).ok
+
+    def test_noqa_suppresses(self, tree):
+        root = tree({"core/waived.py": """
+            def pick(tally):
+                return next(iter(tally.keys()))  # repro: noqa[DET107] test fixture
+        """})
+        report = check(root)
+        assert report.ok and report.suppressed == 1

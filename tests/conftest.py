@@ -62,4 +62,9 @@ PROTOCOL_SHAPES = {
     "multivalued_ba": (("a", "b", "c", "a"), 1, {"kappa": 2}),
     "vrf_coin": ((None, None, None, None), 1, {"index": 0}),
     "threshold_coin": ((None, None, None, None), 1, {"index": 0}),
+    "prox_expand_once": (((1, 0), (1, 1), (1, 1), (1, 0)), 1, {"slots": 4}),
+    "proxcast": (("v", "v", "v", "v"), 1, {"slots": 4, "dealer": 0}),
+    "certificate_gradecast": (("v",) * 5, 2, {"dealer": 0}),
+    "ba_one_third_chunked": ((0, 0, 1, 1), 1, {"kappa": 4, "chunk": 2}),
+    "ba_one_half_generalized": ((0, 0, 1, 1, 1), 2, {"kappa": 3}),
 }

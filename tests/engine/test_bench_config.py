@@ -8,6 +8,8 @@ the deliberately *lenient* ``REPRO_BENCH_WORKERS`` parsing (a stray
 worker count must never abort collection of the whole suite).
 """
 
+import pathlib
+
 import pytest
 
 from benchmarks.conftest import (
@@ -15,6 +17,8 @@ from benchmarks.conftest import (
     bench_backend,
     bench_workers,
 )
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
 
 
 class TestBenchBackend:
@@ -39,6 +43,36 @@ class TestBenchBackend:
         assert repr(value) in message
         for backend in VALID_BENCH_BACKENDS:
             assert backend in message
+
+
+class TestEveryBenchmarkDrivesTheEngine:
+    """No benchmark may bypass the engine with a hand-built simulator.
+
+    ``REPRO_BENCH_WORKERS`` / ``REPRO_BENCH_BACKEND`` only apply to
+    executions routed through :func:`benchmarks.conftest.run_plan`; a
+    direct ``SyncSimulator`` (or a private ``ExperimentSetup`` loop)
+    would silently ignore both and publish serial-object numbers under
+    whatever label the environment selected.
+    """
+
+    BANNED = ("SyncSimulator", "ExperimentSetup", "run_trials(")
+
+    def test_no_direct_simulator_construction_in_benchmarks(self):
+        offenders = []
+        for path in sorted(BENCHMARKS_DIR.glob("bench_*.py")):
+            source = path.read_text(encoding="utf-8")
+            for needle in self.BANNED:
+                if needle in source:
+                    offenders.append((path.name, needle))
+        assert not offenders, (
+            "benchmarks must execute through benchmarks.conftest.run_plan; "
+            f"found direct simulator/harness use: {offenders}"
+        )
+
+    def test_benchmarks_dir_exists_and_is_nonempty(self):
+        # Guard the guard: if the glob ever matches nothing, the ban
+        # above would vacuously pass.
+        assert len(list(BENCHMARKS_DIR.glob("bench_*.py"))) >= 8
 
 
 class TestBenchWorkers:

@@ -73,7 +73,44 @@ VECTOR_ADVERSARIES = {
         (None, None),
         ("straddle12", {"victims": (3, 4)}),
     ],
+    "prox_one_third": [
+        (None, None),
+        ("straddle13", {"victims": (3,)}),
+        ("two_face", {"victims": (3,)}),
+    ],
+    "prox_linear_half": [
+        (None, None),
+        ("two_face", {"victims": (3, 4)}),
+        ("bare_straddle12", {"victims": (3, 4)}),
+    ],
+    "threshold_coin": [
+        (None, None),
+        ("withhold_coin", {"victims": (3,), "preferred": 1}),
+    ],
+    "vrf_coin": [
+        (None, None),
+        ("withhold_coin", {"victims": (3,), "preferred": 1}),
+    ],
 }
+
+#: Every pair ISSUE 8 newly modeled — the registry must keep them all.
+NEW_PAIRS = (
+    ("fm_probabilistic", None),
+    ("turpin_coan_classic", None),
+    ("multivalued_ba", None),
+    ("threshold_coin", None),
+    ("threshold_coin", "withhold_coin"),
+    ("vrf_coin", None),
+    ("vrf_coin", "withhold_coin"),
+    ("prox_one_third", "straddle13"),
+    ("prox_one_third", "two_face"),
+    ("prox_linear_half", "two_face"),
+    ("prox_linear_half", "bare_straddle12"),
+    ("dolev_strong", None),
+    ("prox_expand_once", None),
+    ("proxcast", None),
+    ("certificate_gradecast", None),
+)
 
 
 class TestRegistry:
@@ -83,6 +120,27 @@ class TestRegistry:
         assert ("ba_one_third", "straddle13") in pairs
         assert ("ba_one_half", None) in pairs
         assert ("ba_one_half", "straddle12") in pairs
+
+    def test_every_newly_modeled_pair_is_registered(self):
+        pairs = set(vector_model_pairs())
+        missing = [pair for pair in NEW_PAIRS if pair not in pairs]
+        assert not missing, missing
+
+    def test_duplicate_registration_names_the_existing_model(self):
+        from repro.engine import register_vector_model
+        from repro.engine.registry import _VECTOR_MODELS
+
+        existing = _VECTOR_MODELS[("ba_one_third", None)]
+        # Same object again: idempotent (module re-imports must not blow up).
+        register_vector_model("ba_one_third", None, existing)
+        impostor = object()
+        with pytest.raises(ValueError) as excinfo:
+            register_vector_model("ba_one_third", None, impostor)
+        message = str(excinfo.value)
+        assert "ba_one_third" in message
+        assert repr(existing) in message
+        # The claim is unchanged after the failed overwrite.
+        assert _VECTOR_MODELS[("ba_one_third", None)] is existing
 
 
 class TestProtocolGrid:
@@ -158,6 +216,59 @@ class TestRandomizedSweep:
         assert vector_supports(plan.trials[0])
         assert_equivalent(plan)
 
+    @pytest.mark.parametrize("draw", range(10))
+    def test_random_new_pair_matches_object_path(self, draw):
+        """Randomized sweeps over the pairs ISSUE 8 newly modeled."""
+        rng = random.Random(0xACE0 + draw)
+        kind = draw % 5
+        if kind == 0:
+            protocol, params = "fm_probabilistic", None
+            n, t = 4, 1
+            inputs = tuple(rng.randint(0, 1) for _ in range(n))
+            adversary, adversary_params = None, None
+        elif kind == 1:
+            protocol = rng.choice(["turpin_coan_classic", "multivalued_ba"])
+            params = {"kappa": rng.randint(1, 3)}
+            n, t = 4, 1
+            inputs = tuple(rng.choice("abc") for _ in range(n))
+            adversary, adversary_params = None, None
+        elif kind == 2:
+            protocol = rng.choice(["threshold_coin", "vrf_coin"])
+            low = rng.randint(0, 3)
+            high = low + rng.randint(0, 3)
+            index = rng.randint(0, 5)
+            params = {"index": index, "low": low, "high": high}
+            n, t = 4, 1
+            inputs = (None,) * n
+            adversary = "withhold_coin"
+            adversary_params = {
+                "victims": (3,), "index": index, "low": low, "high": high,
+                "preferred": rng.randint(low, high),
+            }
+        elif kind == 3:
+            protocol = "prox_one_third"
+            params = {"rounds": rng.randint(2, 4)}
+            n, t = 4, 1
+            inputs = tuple(rng.randint(0, 1) for _ in range(n))
+            adversary = rng.choice(["straddle13", "two_face"])
+            adversary_params = {"victims": (3,)}
+        else:
+            protocol = "prox_linear_half"
+            params = {"rounds": rng.randint(2, 4)}
+            n, t = 5, 2
+            inputs = tuple(rng.randint(0, 1) for _ in range(n))
+            adversary = rng.choice(["two_face", "bare_straddle12"])
+            adversary_params = {"victims": (3, 4)}
+        plan = TrialPlan.monte_carlo(
+            f"randnew-{draw}", protocol, inputs, t,
+            trials=6, params=params,
+            adversary=adversary, adversary_params=adversary_params,
+            seed=rng.randint(0, 10_000), setup_seed=rng.randint(0, 100),
+        )
+        spec = plan.trials[0]
+        assert vector_supports(spec), vector_unsupported_reason(spec)
+        assert_equivalent(plan)
+
     def test_collect_signatures_off_still_matches(self):
         plan = TrialPlan.monte_carlo(
             "nosig", "ba_one_half", (0, 0, 1, 1, 1), 2,
@@ -221,9 +332,96 @@ class TestFallback:
         assert stats["batched"] == 3
         assert stats["fallback"] == 2
         assert len(stats["batches"]) == 1
+        # The fallback audit accounts for every demoted spec, by reason.
+        assert sum(stats["fallback_reasons"].values()) == 2
+        assert all(stats["fallback_reasons"])
         reference = ParallelRunner(workers=1).run(plan).results
         for (_, got), expected in zip(pairs, reference):
             assert canon(got) == canon(expected)
+
+
+class TestProbeCache:
+    """The cross-batch probe cache must be invisible except in speed."""
+
+    def test_cache_on_off_bit_identity_and_stats(self):
+        from repro.engine import clear_probe_cache, probe_cache_stats
+
+        plan = TrialPlan.monte_carlo(
+            "cache", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=6, params={"kappa": 2}, adversary="straddle13",
+            adversary_params={"victims": (3,)}, seed=21,
+        )
+        clear_probe_cache()
+        cold = ParallelRunner(workers=1, backend="vector").run(plan).results
+        stats_cold = probe_cache_stats()
+        assert stats_cold["misses"] >= 1
+        assert stats_cold["size"] >= 1
+        warm = ParallelRunner(workers=1, backend="vector").run(plan).results
+        stats_warm = probe_cache_stats()
+        assert stats_warm["hits"] > stats_cold["hits"]
+        assert [canon(a) for a in cold] == [canon(b) for b in warm]
+        obj = ParallelRunner(workers=1).run(plan).results
+        assert [canon(a) for a in obj] == [canon(b) for b in warm]
+        clear_probe_cache()
+        assert probe_cache_stats()["size"] == 0
+
+    def test_cache_hits_across_distinct_sessions(self):
+        """Same frozen config under different seeds/sessions shares probes.
+
+        ``batch_key`` strips seed/session/config, so a second Monte-Carlo
+        sweep of the same configuration hits the cache even though every
+        trial's session string differs — and stays bit-identical to the
+        object path either way.
+        """
+        from repro.engine import clear_probe_cache, probe_cache_stats
+
+        clear_probe_cache()
+        first = TrialPlan.monte_carlo(
+            "sessions-a", "prox_one_third", (0, 0, 1, 1), 1,
+            trials=4, params={"rounds": 3}, adversary="straddle13",
+            adversary_params={"victims": (3,)}, seed=100,
+        )
+        second = TrialPlan.monte_carlo(
+            "sessions-b", "prox_one_third", (0, 0, 1, 1), 1,
+            trials=4, params={"rounds": 3}, adversary="straddle13",
+            adversary_params={"victims": (3,)}, seed=999,
+        )
+        assert_equivalent(first)
+        before = probe_cache_stats()
+        assert_equivalent(second)
+        after = probe_cache_stats()
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_probe_cache_telemetry_span(self, tmp_path):
+        import json
+
+        from repro.engine import clear_probe_cache
+        from repro.obs import TelemetryWriter, summarize_telemetry
+
+        clear_probe_cache()
+        path = str(tmp_path / "telemetry.jsonl")
+        plan = TrialPlan.monte_carlo(
+            "tele-cache", "ba_one_third", (0, 0, 1, 1), 1,
+            trials=4, params={"kappa": 2}, seed=8,
+        )
+        with TelemetryWriter(path) as telemetry:
+            runner = ParallelRunner(
+                workers=1, backend="vector", telemetry=telemetry
+            )
+            runner.run(plan)
+            runner.run(plan)
+        summary = summarize_telemetry(path)
+        assert summary["consistent"]
+        assert summary["probe_cache_misses"] >= 1
+        assert summary["probe_cache_hits"] >= 1
+        spans = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if '"probe_cache"' in line
+        ]
+        assert len(spans) == 2
+        assert all("hits" in span and "misses" in span for span in spans)
 
 
 class TestRunnerIntegration:

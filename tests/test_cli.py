@@ -118,6 +118,61 @@ class TestTrace:
         assert main(["trace", clipped]) == 2
         assert "truncated" in capsys.readouterr().err
 
+    def test_diff_identical_traces_exits_0(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        twin = str(tmp_path / "twin.trace.jsonl")
+        with open(path, encoding="utf-8") as handle:
+            contents = handle.read()
+        with open(twin, "w", encoding="utf-8") as handle:
+            handle.write(contents)
+        assert main(["trace", path, "--diff", twin]) == 0
+        assert "traces identical" in capsys.readouterr().out
+
+    def test_diff_perturbed_trace_exits_1_with_divergence(
+        self, tmp_path, capsys
+    ):
+        """The regression pin: a single flipped payload is caught and
+        located at its round, with both conflicting lines rendered."""
+        import json
+
+        path, _ = self._stream(tmp_path, capsys)
+        perturbed = str(tmp_path / "perturbed.trace.jsonl")
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        flipped = None
+        with open(perturbed, "w", encoding="utf-8") as handle:
+            for line in lines:
+                record = json.loads(line)
+                if flipped is None and record.get("t") == "msg":
+                    record["p"] = record["p"] + "-tampered"
+                    flipped = record["r"]
+                    line = json.dumps(record)
+                handle.write(line + "\n")
+        assert flipped is not None
+        assert main(["trace", path, "--diff", perturbed]) == 1
+        out = capsys.readouterr().out
+        assert f"diverge at round {flipped}" in out
+        assert "-tampered" in out
+
+    def test_diff_against_different_run_reports_meta(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        other = str(tmp_path / "other.trace.jsonl")
+        assert main(
+            ["run", "--protocol", "one_third", "--kappa", "4",
+             "--inputs", "1,0,1,0", "--t", "1", "--adversary", "two_face",
+             "--trace-jsonl", other]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", path, "--diff", other]) == 1
+        out = capsys.readouterr().out
+        assert "diverge at header" in out
+
+    def test_diff_unreadable_other_exits_2(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path, capsys)
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["trace", path, "--diff", missing]) == 2
+        assert "repro trace:" in capsys.readouterr().err
+
     def test_round_out_of_range_exits_2(self, tmp_path, capsys):
         path, _ = self._stream(tmp_path, capsys)
         for bad in ("0", "99"):
