@@ -1,20 +1,40 @@
 """Static analysis enforcing the repo's determinism/layering/serialization
 invariants (``python -m repro check``).
 
-Dependency-free, stdlib-``ast`` only.  Four rule families:
+Dependency-free, stdlib-``ast`` only, and now *whole-program*: phase 1
+parses every module and builds a :class:`ProjectIndex` (definitions,
+classes, constant assignments, registry-registration calls); phase 2
+binds the index to every rule and dispatches per module, so rules can
+resolve names across module boundaries without importing anything they
+check.  Rule families:
 
-* **DET** — nondeterminism sources banned from protocol code
+* **DET1xx** — nondeterminism sources banned from protocol code
   (``core``/``proxcensus``/``crypto``/``network``): wall clocks, ambient
   entropy, the process-global RNG, unordered set iteration, id() ordering.
+* **DET2xx** — RNG provenance dataflow: generators must be constructed
+  from seed-derived expressions, ``rng`` parameters must not silently
+  fall back to ambient state, RNG values must not be parked in
+  module-level state.
 * **LAY** — the import layer map and module-level cycle detection.
 * **SER** — pickle/deep-freeze safety of everything crossing a process
   boundary (TrialSpec params, pool submissions).
 * **API** — registry and adversary-hook contract coherence.
+* **VEC** — vector-model contracts: registrations resolve to real
+  registry entries, model bodies stay pure, fallback reasons stay in
+  the engine vocabulary, ``batch_key`` strips per-trial identity.
+* **OBS** — trace/telemetry string literals pinned to the schema
+  vocabularies exported by ``repro.obs``.
+* **SUP** — meta: stale ``# repro: noqa[...]`` suppressions.
+
+``repro check --fix`` (:func:`fix_tree`) applies a whitelisted subset of
+mechanical rewrites; ``--baseline`` demotes known findings for
+incremental adoption; ``--sarif`` emits SARIF 2.1.0 for CI annotation.
 
 See ``docs/static-analysis.md`` for the rule catalogue and suppression
 syntax (``# repro: noqa[RULE]``).
 """
 
+from .fix import FixResult, fix_tree
 from .framework import (
     CheckError,
     Finding,
@@ -22,17 +42,23 @@ from .framework import (
     Rule,
     SourceModule,
     all_rule_classes,
+    load_baseline,
     register_rule,
     run_check,
 )
+from .index import ProjectIndex
 
 __all__ = [
     "CheckError",
     "Finding",
+    "FixResult",
+    "ProjectIndex",
     "Report",
     "Rule",
     "SourceModule",
     "all_rule_classes",
+    "fix_tree",
+    "load_baseline",
     "register_rule",
     "run_check",
 ]

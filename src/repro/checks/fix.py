@@ -1,0 +1,174 @@
+"""``repro check --fix``: safe mechanical rewrites for a whitelisted subset.
+
+Only rules whose fix is provably behavior-preserving *at the AST level*
+participate; everything else stays a finding for a human.  The
+whitelist:
+
+* **DET104** (``wrap_sorted``) — wrap the offending set expression in
+  ``sorted(...)``.  Iteration order becomes pinned; elements unchanged.
+* **DET106** (``numpy_rng``) — rewrite a module-level draw
+  ``np.random.<fn>(...)`` to ``np.random.default_rng(0).<fn>(...)`` for
+  the draw names whose Generator API is call-compatible.  The rewrite is
+  deterministic by construction; the pinned ``0`` seed is deliberately
+  conspicuous in the diff — thread the real per-trial seed through and
+  replace it.
+* **SUP901** (``drop_noqa``) — delete a stale ``# repro: noqa[...]``
+  comment (the whole comment, to end of line).
+
+:func:`fix_tree` runs check → apply → re-check until no fixable finding
+remains (nested fixes converge in a pass or two), so a second ``--fix``
+invocation is always a byte-for-byte no-op — the idempotence the test
+suite pins.  With ``write=False`` the loop runs against a throwaway
+copy of the tree and only the unified diffs come back (``--diff`` /
+``make check-fix-dry``).
+"""
+
+from __future__ import annotations
+
+import difflib
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .det import GENERATOR_COMPATIBLE_DRAWS  # noqa: F401  (re-export; DET106 whitelist)
+from .framework import Finding, Report, run_check
+
+__all__ = ["FixResult", "fix_tree", "FIXABLE_KINDS", "GENERATOR_COMPATIBLE_DRAWS"]
+
+#: Rewrite kinds this module knows how to apply (Finding.fix_kind values).
+FIXABLE_KINDS = frozenset({"wrap_sorted", "numpy_rng", "drop_noqa"})
+
+_MAX_PASSES = 8
+
+
+@dataclass
+class FixResult:
+    """Outcome of one :func:`fix_tree` run."""
+
+    applied: int
+    passes: int
+    changed_files: List[str] = field(default_factory=list)
+    diffs: List[str] = field(default_factory=list)
+    report: Optional[Report] = None  # the post-fix check report
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.changed_files)
+
+
+def _apply_edits(text: str, findings: Sequence[Finding]) -> Tuple[str, int]:
+    """Apply every fixable finding's edit to one file's source text.
+
+    Edits are decomposed into point operations (insertions and one-line
+    deletions) and applied bottom-up, so earlier edits never shift the
+    coordinates of later ones.  Overlap is impossible by construction
+    within a single pass (each op touches a distinct AST span); exact
+    duplicates are deduped defensively.
+    """
+    lines = text.split("\n")
+    # (line, col, priority, kind, payload); applied in descending order.
+    ops: List[Tuple[int, int, int, str, str]] = []
+    for finding in findings:
+        if not finding.fix_kind or finding.fix_span is None:
+            continue
+        start_line, start_col, end_line, end_col = finding.fix_span
+        if finding.fix_kind == "wrap_sorted":
+            ops.append((end_line, end_col, 0, "insert", ")"))
+            ops.append((start_line, start_col, 1, "insert", "sorted("))
+        elif finding.fix_kind == "numpy_rng":
+            ops.append((end_line, end_col, 0, "insert", ".default_rng(0)"))
+        elif finding.fix_kind == "drop_noqa":
+            ops.append((start_line, start_col, 0, "delete_to_eol", ""))
+    applied = 0
+    seen = set()
+    for op in sorted(ops, reverse=True):
+        if op in seen:
+            continue
+        seen.add(op)
+        line, col, _, kind, payload = op
+        if not (1 <= line <= len(lines)):
+            continue
+        source = lines[line - 1]
+        if kind == "insert":
+            lines[line - 1] = source[:col] + payload + source[col:]
+        else:  # delete_to_eol — drop the comment, tidy trailing space
+            lines[line - 1] = source[:col].rstrip()
+        applied += 1
+    # wrap_sorted contributes two ops per finding but is one fix.
+    return "\n".join(lines), applied
+
+
+def fix_tree(
+    root,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    write: bool = True,
+) -> FixResult:
+    """Apply every whitelisted fix under ``root`` until none remain.
+
+    With ``write=False``, the rewrites run against a temporary copy and
+    the tree on disk is untouched — ``diffs`` still describes exactly
+    what ``--fix`` would do.
+    """
+    root = Path(root)
+    if write:
+        return _fix_in_place(root, select, ignore)
+    with tempfile.TemporaryDirectory(prefix="repro-check-fix-") as tmp:
+        scratch = Path(tmp) / "tree"
+        shutil.copytree(root, scratch, ignore=shutil.ignore_patterns("__pycache__"))
+        return _fix_in_place(scratch, select, ignore)
+
+
+def _fix_in_place(
+    root: Path,
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> FixResult:
+    originals: Dict[str, str] = {}
+    changed: List[str] = []
+    total = 0
+    passes = 0
+    report = run_check(root, select=select, ignore=ignore)
+    while passes < _MAX_PASSES:
+        passes += 1
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in report.findings:
+            if (
+                finding.fix_kind in FIXABLE_KINDS
+                and finding.fix_span is not None
+            ):
+                by_path.setdefault(finding.path, []).append(finding)
+        if not by_path:
+            break
+        for rel, findings in sorted(by_path.items()):
+            path = root / rel
+            text = path.read_text(encoding="utf-8")
+            originals.setdefault(rel, text)
+            new_text, applied = _apply_edits(text, findings)
+            if applied and new_text != text:
+                path.write_text(new_text, encoding="utf-8")
+                total += len(findings)
+                if rel not in changed:
+                    changed.append(rel)
+        # Re-check: fixes may unmask (or resolve) further fixable findings.
+        report = run_check(root, select=select, ignore=ignore)
+    diffs: List[str] = []
+    for rel in sorted(changed):
+        before = originals.get(rel, "")
+        after = (root / rel).read_text(encoding="utf-8")
+        diff = difflib.unified_diff(
+            before.splitlines(keepends=True),
+            after.splitlines(keepends=True),
+            fromfile=f"a/{rel}",
+            tofile=f"b/{rel}",
+        )
+        diffs.append("".join(diff))
+    return FixResult(
+        applied=total,
+        passes=passes,
+        changed_files=sorted(changed),
+        diffs=diffs,
+        report=report,
+    )

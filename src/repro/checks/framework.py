@@ -11,23 +11,31 @@ dispatches every parsed module to a set of rules enforcing the
 determinism, layering and serialization invariants the engine's
 guarantees rest on.
 
-Architecture
-------------
-* :class:`SourceModule` — one parsed file: path, dotted module name,
-  AST, source lines, and a lazily-built import-origin map shared by all
-  rules (so the file is read and parsed exactly once).
-* :class:`Rule` — one invariant.  ``check(module)`` yields
-  :class:`Finding`\\ s for a single module; ``finalize()`` yields
-  whole-tree findings (import cycles, duplicate registrations) after
-  every module has been visited.  Rules are registered with
-  :func:`register_rule` and instantiated fresh per run, so cross-module
-  state never leaks between invocations.
-* :func:`run_check` — discovery, parsing, dispatch, per-line
-  ``# repro: noqa[RULE]`` suppression, and the :class:`Report`.
+Architecture (two-phase)
+------------------------
+* **Phase 1 — parse and index.**  Every ``*.py`` under the root is read
+  and parsed exactly once into a :class:`SourceModule` (path, dotted
+  module name, AST, source lines, lazily-built import-origin map), then
+  the whole list is folded into a :class:`repro.checks.index.ProjectIndex`
+  — the project-wide symbol table (top-level defs, literal constants,
+  ``register_*`` call sites) cross-module rules read.
+* **Phase 2 — dispatch.**  Each rule is ``bind``-ed to the index, then
+  ``check(module)`` yields :class:`Finding`\\ s per module and
+  ``finalize()`` yields whole-tree findings (import cycles, registry
+  coherence) after every module has been visited.  Rules are registered
+  with :func:`register_rule` and instantiated fresh per run, so
+  cross-module state never leaks between invocations.
+* :func:`run_check` — discovery, both phases, per-line
+  ``# repro: noqa[RULE]`` suppression, stale-suppression detection
+  (SUP901), optional baseline demotion, and the :class:`Report`
+  (text, ``--json``, or SARIF 2.1.0 for CI annotation).
 
 Every rule carries an ``id`` (``DET101`` …), a one-line ``title`` and a
 ``hint`` (how to fix); ``--json`` emits all three so CI artifacts are
-self-describing.  See ``docs/static-analysis.md`` for the catalogue.
+self-describing.  Findings from the mechanically-fixable rules also
+carry a ``fix_kind``/``fix_span`` pair that :mod:`repro.checks.fix`
+turns into source edits (``repro check --fix``).  See
+``docs/static-analysis.md`` for the catalogue.
 """
 
 from __future__ import annotations
@@ -37,7 +45,18 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 __all__ = [
     "CheckError",
@@ -46,6 +65,7 @@ __all__ = [
     "Rule",
     "SourceModule",
     "all_rule_classes",
+    "load_baseline",
     "register_rule",
     "run_check",
 ]
@@ -57,7 +77,13 @@ class CheckError(Exception):
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``fix_kind``/``fix_span`` are set only by the mechanically-fixable
+    rules: the kind names a rewrite :mod:`repro.checks.fix` knows how to
+    apply, the span is raw AST coordinates ``(lineno, col_offset,
+    end_lineno, end_col_offset)`` of the text the rewrite touches.
+    """
 
     rule: str
     path: str  # posix path relative to the scanned root
@@ -65,6 +91,8 @@ class Finding:
     col: int
     message: str
     hint: str = ""
+    fix_kind: str = ""
+    fix_span: Optional[Tuple[int, int, int, int]] = None
 
     def render(self, root: str = "") -> str:
         where = f"{root}/{self.path}" if root else self.path
@@ -171,6 +199,14 @@ class Rule:
     def applies(self, module: SourceModule) -> bool:
         return self.scope is None or module.top in self.scope
 
+    def bind(self, index: Any) -> None:
+        """Receive the phase-1 :class:`~repro.checks.index.ProjectIndex`.
+
+        Called once per run, before any ``check``/``finalize``.  The
+        default is a no-op so purely-local rules stay oblivious;
+        cross-module rules stash the index here.
+        """
+
     def check(self, module: SourceModule) -> Iterator[Finding]:
         return iter(())
 
@@ -178,8 +214,24 @@ class Rule:
         return iter(())
 
     def finding(
-        self, module: SourceModule, node: ast.AST, message: str
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        fix_kind: str = "",
+        fix_node: Optional[ast.AST] = None,
     ) -> Finding:
+        fix_span = None
+        if fix_kind:
+            span_node = fix_node if fix_node is not None else node
+            end_line = getattr(span_node, "end_lineno", None)
+            end_col = getattr(span_node, "end_col_offset", None)
+            if end_line is not None and end_col is not None:
+                fix_span = (
+                    span_node.lineno, span_node.col_offset, end_line, end_col
+                )
+            else:  # no span, no mechanical fix
+                fix_kind = ""
         return Finding(
             rule=self.id,
             path=module.rel,
@@ -187,6 +239,8 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
             hint=self.hint,
+            fix_kind=fix_kind,
+            fix_span=fix_span,
         )
 
 
@@ -212,7 +266,7 @@ def all_rule_classes() -> List[Type[Rule]]:
 def _load_builtin_rules() -> None:
     # Imported for their @register_rule side effects; local to avoid a
     # circular import at package-load time.
-    from . import api, det, lay, ser  # noqa: F401
+    from . import api, dataflow, det, lay, obs_rules, ser, vec  # noqa: F401
 
 
 def _matches(rule_id: str, selectors: Sequence[str]) -> bool:
@@ -258,20 +312,146 @@ def _suppressed(lines: Optional[List[str]], finding: Finding) -> bool:
     if match is None:
         return False
     if match.group(1) is None:
-        return True  # bare "# repro: noqa" silences every rule on the line
+        return True  # a bare (selector-less) waiver silences every rule
     wanted = [part.strip() for part in match.group(1).split(",") if part.strip()]
     return _matches(finding.rule, wanted)
 
 
+def _explicitly_waives_sup901(lines: Optional[List[str]], lineno: int) -> bool:
+    """True if the line's noqa names SUP901/SUP among its selectors."""
+    if lines is None or not (1 <= lineno <= len(lines)):
+        return False
+    match = _NOQA.search(lines[lineno - 1])
+    if match is None or match.group(1) is None:
+        return False
+    wanted = [part.strip() for part in match.group(1).split(",") if part.strip()]
+    return _matches("SUP901", wanted)
+
+
+@register_rule
+class StaleSuppressionRule(Rule):
+    """A ``# repro: noqa[RULE]`` comment that no longer suppresses anything.
+
+    Suppressions are debt: each one pins a rule to a line with a
+    justification.  When the offending code is later fixed or moved, the
+    comment silently outlives its reason — and a stale blanket waiver on
+    a line is exactly where the *next* violation hides.  The framework
+    tracks which noqa comments actually matched a finding this run; any
+    comment that matched none is reported here (and ``--fix`` deletes
+    it).  A comment naming only rules outside the active ``--select``
+    set is left alone — a narrowed run cannot judge it.
+
+    The rule is implemented inside :func:`run_check` (it needs the
+    post-suppression ledger), not via ``check``/``finalize``; this class
+    exists so SUP901 shows up in ``--list-rules``, selectors and the
+    catalogue like any other rule.
+    """
+
+    id = "SUP901"
+    title = "stale noqa suppression (matched no finding)"
+    hint = "delete the comment, or re-justify it against a rule that still fires"
+
+
+def _stale_noqa_findings(
+    lines_by_path: Dict[str, List[str]],
+    used_noqa_lines: set,
+    active_ids: set,
+) -> Iterator[Finding]:
+    """SUP901: every noqa comment that suppressed nothing this run.
+
+    ``used_noqa_lines`` is the ledger of ``(path, line)`` pairs whose
+    noqa matched at least one finding.  A comment with explicit
+    selectors is only judged when every selector names at least one
+    *active* rule — otherwise the narrowed run has no standing to call
+    it stale.
+    """
+    families = {rule_id.rstrip("0123456789") for rule_id in active_ids}
+    judgeable = active_ids | families
+    for path in sorted(lines_by_path):
+        for lineno, text in enumerate(lines_by_path[path], start=1):
+            match = _NOQA.search(text)
+            if match is None or (path, lineno) in used_noqa_lines:
+                continue
+            if match.group(1) is not None:
+                wanted = [
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                ]
+                if not all(
+                    any(_matches(rule_id, [sel]) for rule_id in judgeable)
+                    for sel in wanted
+                ):
+                    continue
+                label = "noqa[" + ", ".join(wanted) + "]"
+            else:
+                label = "bare noqa"
+            yield Finding(
+                rule="SUP901",
+                path=path,
+                line=lineno,
+                col=match.start() + 1,
+                message=f"stale suppression: {label} matched no finding",
+                hint=StaleSuppressionRule.hint,
+                fix_kind="drop_noqa",
+                fix_span=(lineno, match.start(), lineno, len(text)),
+            )
+
+
+_BASELINE_SCHEMA = "repro-check-baseline/1"
+
+
+def load_baseline(path) -> List[Dict[str, Any]]:
+    """Read a baseline file: known findings demoted instead of reported.
+
+    The format is ``{"schema": "repro-check-baseline/1", "entries":
+    [{"rule", "path", "message"}, ...]}``.  Entries match findings by
+    (rule, path, message) — deliberately *not* by line number, so code
+    motion above a baselined finding does not resurrect it.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise CheckError(f"cannot read baseline {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise CheckError(f"baseline {path} is not valid JSON: {error}")
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != _BASELINE_SCHEMA
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise CheckError(
+            f"baseline {path} must be "
+            f'{{"schema": "{_BASELINE_SCHEMA}", "entries": [...]}}'
+        )
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict) or not {"rule", "path"} <= set(entry):
+            raise CheckError(
+                f"baseline {path}: every entry needs rule/path keys"
+            )
+    return payload["entries"]
+
+
+def _baseline_key(entry: Mapping[str, Any]) -> Tuple[str, str, str]:
+    return (
+        str(entry.get("rule", "")),
+        str(entry.get("path", "")),
+        str(entry.get("message", "")),
+    )
+
+
 @dataclass
 class Report:
-    """Outcome of one check run, renderable as text or JSON."""
+    """Outcome of one check run, renderable as text, JSON, or SARIF."""
 
     root: str
     files: int
     findings: List[Finding]
     suppressed: int
     rules: List[str] = field(default_factory=list)
+    baselined: int = 0
+    baseline_entries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -290,6 +470,8 @@ class Report:
             "rules": self.rules,
             "ok": self.ok,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "baseline_entries": self.baseline_entries,
             "counts_by_rule": self.counts_by_rule(),
             "findings": [
                 {
@@ -305,9 +487,65 @@ class Report:
         }
         return json.dumps(payload, indent=2) + "\n"
 
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 — what CI uploads so PR diffs get inline annotations."""
+        by_id = {cls.id: cls for cls in all_rule_classes()}
+        rule_meta = []
+        for rule_id in self.rules:
+            cls = by_id.get(rule_id)
+            descriptor: Dict[str, Any] = {"id": rule_id}
+            if cls is not None:
+                descriptor["shortDescription"] = {"text": cls.title}
+                if cls.hint:
+                    descriptor["help"] = {"text": f"fix: {cls.hint}"}
+            rule_meta.append(descriptor)
+        results = [
+            {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {
+                    "text": f.message + (f" (fix: {f.hint})" if f.hint else "")
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col,
+                            },
+                        }
+                    }
+                ],
+            }
+            for f in self.findings
+        ]
+        payload = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-check",
+                            "informationUri": "docs/static-analysis.md",
+                            "rules": rule_meta,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
     def render(self) -> str:
         out = [finding.render(self.root) for finding in self.findings]
         noise = f", {self.suppressed} suppressed" if self.suppressed else ""
+        if self.baselined:
+            noise += f", {self.baselined} baselined"
         verdict = "clean" if self.ok else f"{len(self.findings)} finding(s)"
         out.append(f"repro check: {verdict} in {self.files} file(s){noise}")
         return "\n".join(out)
@@ -324,27 +562,41 @@ def run_check(
     root,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Sequence[Mapping[str, Any]]] = None,
 ) -> Report:
     """Walk every ``*.py`` under ``root`` once and apply all rules.
 
     ``root`` must be the *package root* (the directory holding ``core/``,
     ``crypto/`` …): layer scoping and relative-import resolution are
-    computed from paths relative to it.  Findings come back sorted by
-    (path, line, col, rule); per-line ``# repro: noqa[RULE]`` comments
-    suppress matching findings and are tallied in ``Report.suppressed``.
+    computed from paths relative to it.
+
+    Phase 1 parses every file and builds the
+    :class:`~repro.checks.index.ProjectIndex`; phase 2 binds the index
+    to each rule and dispatches.  Findings come back sorted by (path,
+    line, col, rule); per-line ``# repro: noqa[RULE]`` comments suppress
+    matching findings and are tallied in ``Report.suppressed``; noqa
+    comments that matched *nothing* become SUP901 findings.  ``baseline``
+    entries (see :func:`load_baseline`) demote matching findings into
+    ``Report.baselined`` instead of failing the run.
     """
     given = str(root)
     root = Path(root)
     if not root.is_dir():
         raise CheckError(f"not a directory: {given}")
     rules = build_rules(select, ignore)
+
+    # Phase 1: parse everything, then index the whole tree.
     findings: List[Finding] = []
     lines_by_path: Dict[str, List[str]] = {}
+    modules: List[SourceModule] = []
     files = 0
     for path in _iter_source_files(root):
         files += 1
         rel = path.relative_to(root)
-        text = path.read_text(encoding="utf-8")
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise CheckError(f"cannot read {path}: {error}")
         lines = text.splitlines()
         lines_by_path[rel.as_posix()] = lines
         try:
@@ -361,7 +613,16 @@ def run_check(
                 )
             )
             continue
-        module = SourceModule(path, rel, tree, lines)
+        modules.append(SourceModule(path, rel, tree, lines))
+
+    from .index import ProjectIndex  # deferred: index imports SourceModule
+
+    index = ProjectIndex(modules)
+
+    # Phase 2: bind the index, dispatch per module, then finalize.
+    for rule in rules:
+        rule.bind(index)
+    for module in modules:
         for rule in rules:
             if rule.applies(module):
                 findings.extend(rule.check(module))
@@ -370,11 +631,46 @@ def run_check(
 
     kept: List[Finding] = []
     suppressed = 0
+    used_noqa_lines: set = set()
     for finding in findings:
         if _suppressed(lines_by_path.get(finding.path), finding):
             suppressed += 1
+            used_noqa_lines.add((finding.path, finding.line))
         else:
             kept.append(finding)
+
+    active_ids = {rule.id for rule in rules}
+    if "SUP901" in active_ids:
+        for finding in _stale_noqa_findings(
+            lines_by_path, used_noqa_lines, active_ids
+        ):
+            # A stale-noqa finding is itself suppressible, but only by
+            # an *explicit* SUP selector (a deliberate placeholder).
+            # The stale comment's own bare waiver doesn't count — that
+            # would make every stale blanket waiver self-concealing.
+            if _explicitly_waives_sup901(
+                lines_by_path.get(finding.path), finding.line
+            ):
+                suppressed += 1
+            else:
+                kept.append(finding)
+
+    baselined = 0
+    if baseline:
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in baseline:
+            key = _baseline_key(entry)
+            budget[key] = budget.get(key, 0) + 1
+        remaining: List[Finding] = []
+        for finding in kept:
+            key = (finding.rule, finding.path, finding.message)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                remaining.append(finding)
+        kept = remaining
+
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return Report(
         root=given,
@@ -382,4 +678,6 @@ def run_check(
         findings=kept,
         suppressed=suppressed,
         rules=[rule.id for rule in rules],
+        baselined=baselined,
+        baseline_entries=len(baseline or []),
     )

@@ -1,0 +1,160 @@
+"""OBS rules: trace/telemetry string literals pinned to schema constants.
+
+The ``repro-trace/1`` and ``repro-telemetry/1`` JSONL schemas are
+stringly-typed at every boundary: sinks write ``{"t": "msg", ...}``,
+``load_trace`` switches on ``kind == "msg"``, ``summarize_telemetry``
+switches on span names, and the engine emits spans by name.  A typo on
+either side — writer or reader — doesn't crash; records just silently
+fall through the switch and vanish from summaries.  These rules pin
+every such literal to the exported vocabularies
+(``repro.obs.TRACE_RECORD_TYPES`` / ``TELEMETRY_EVENT_TYPES``), read
+from the AST via the phase-1 index (the checks layer imports nothing it
+checks).
+
+If the vocabulary constants are absent from the scanned tree the rules
+stay inert — there is nothing to pin against.  The self-check suite
+seeds a deleted-constant tree to make sure that failure mode is at
+least visible in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator, List, Optional
+
+from .framework import Finding, Rule, SourceModule, register_rule
+from .index import ProjectIndex
+
+__all__: List[str] = []
+
+_OBS_SCOPE = frozenset({"obs", "engine", "cli", "analysis"})
+
+_TRACE_VOCAB = "TRACE_RECORD_TYPES"
+_TELEMETRY_VOCAB = "TELEMETRY_EVENT_TYPES"
+
+
+def _vocab(index: Optional[ProjectIndex], name: str) -> Optional[frozenset]:
+    if index is None:
+        return None
+    value = index.constant("obs", name)
+    if isinstance(value, (frozenset, set)) and all(
+        isinstance(item, str) for item in value
+    ):
+        return frozenset(value)
+    return None
+
+
+class _VocabRule(Rule):
+    scope = _OBS_SCOPE
+
+    def __init__(self) -> None:
+        self.index: Optional[ProjectIndex] = None
+
+    def bind(self, index: Any) -> None:
+        self.index = index
+
+
+def _is_record_type_subscript(node: ast.AST) -> bool:
+    """``<expr>["t"]`` — the schema's record-type field access."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    key = node.slice
+    if isinstance(key, ast.Index):  # pragma: no cover (py<3.9 AST)
+        key = key.value
+    return isinstance(key, ast.Constant) and key.value == "t"
+
+
+@register_rule
+class TraceRecordTypeRule(_VocabRule):
+    """Record-type literals must be drawn from the schema vocabularies.
+
+    Covers both sides of the stream: dict literals with a ``"t"`` key
+    (writers) and comparisons against ``record["t"]`` or a ``kind``
+    local (readers).  The allowed set is the union of the trace and
+    telemetry vocabularies — both schemas share the one-character
+    ``"t"`` discriminator.
+    """
+
+    id = "OBS601"
+    title = "record-type literal outside the obs schema vocabulary"
+    hint = "use a value from repro.obs TRACE_RECORD_TYPES/TELEMETRY_EVENT_TYPES (extend the constant first)"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        trace = _vocab(self.index, _TRACE_VOCAB)
+        telemetry = _vocab(self.index, _TELEMETRY_VOCAB)
+        if trace is None and telemetry is None:
+            return
+        allowed = (trace or frozenset()) | (telemetry or frozenset())
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value == "t"
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value not in allowed
+                    ):
+                        yield self.finding(
+                            module,
+                            value,
+                            f"record type {value.value!r} is not in the "
+                            "obs schema vocabulary",
+                        )
+            elif isinstance(node, ast.Compare):
+                sides = [node.left] + list(node.comparators)
+                if not any(
+                    _is_record_type_subscript(side)
+                    or (isinstance(side, ast.Name) and side.id == "kind")
+                    for side in sides
+                ):
+                    continue
+                for side in sides:
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, str)
+                        and side.value not in allowed
+                    ):
+                        yield self.finding(
+                            module,
+                            side,
+                            f"record type {side.value!r} compared against "
+                            "the stream is not in the obs schema vocabulary",
+                        )
+
+
+@register_rule
+class TelemetrySpanNameRule(_VocabRule):
+    """``.emit("<span>")`` names must come from TELEMETRY_EVENT_TYPES.
+
+    ``summarize_telemetry`` switches on span names; a writer emitting a
+    name the summarizer doesn't know produces records that pass schema
+    validation and then disappear from every digest.  Any ``.emit()``
+    call whose first argument is a string literal is checked against the
+    telemetry vocabulary.
+    """
+
+    id = "OBS602"
+    title = "telemetry span name outside TELEMETRY_EVENT_TYPES"
+    hint = "add the span to TELEMETRY_EVENT_TYPES in repro/obs/telemetry.py (and teach summarize_telemetry about it)"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        telemetry = _vocab(self.index, _TELEMETRY_VOCAB)
+        if telemetry is None:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value not in telemetry
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"span name {node.args[0].value!r} is not in "
+                    f"{_TELEMETRY_VOCAB}",
+                )

@@ -32,11 +32,14 @@ Subcommands
     ``DIR/telemetry.jsonl`` and fails if they don't sum consistently
     with the reported wall times.
 ``check``
-    Stdlib-AST static analysis enforcing the repo's determinism,
-    layering and serialization invariants (rule families DET/LAY/SER/API;
-    see ``docs/static-analysis.md``).  Exit 1 on findings, with
-    ``--json`` for CI artifacts and per-line ``# repro: noqa[RULE]``
-    suppressions.
+    Two-phase whole-program static analysis enforcing the repo's
+    determinism, layering, serialization and observability invariants
+    (rule families DET/LAY/SER/API/VEC/OBS/SUP; see
+    ``docs/static-analysis.md``).  Exit 1 on findings; ``--json`` /
+    ``--sarif`` write CI artifacts, ``--baseline`` demotes known
+    findings, ``--fix`` applies the whitelisted mechanical rewrites
+    (``--diff`` previews them), and per-line ``# repro: noqa[RULE]``
+    suppressions are themselves checked for staleness (SUP901).
 
 Examples::
 
@@ -52,8 +55,10 @@ Examples::
     python -m repro error-sweep --protocol one_half --kappas 1,2,4 --trials 200
     python -m repro bench --workers 4 --trials 300 --json BENCH_engine.json
     python -m repro bench --adaptive --max-trials 600 --trials 300
-    python -m repro check --json check-report.json
+    python -m repro check --json check-report.json --sarif check-report.sarif
     python -m repro check --select DET,LAY src/repro
+    python -m repro check --fix
+    python -m repro check --diff
 """
 
 from __future__ import annotations
@@ -1138,8 +1143,24 @@ def _default_check_root() -> str:
     return os.path.dirname(os.path.abspath(__file__))
 
 
+def _write_check_artifact(path: str, payload: str) -> Optional[str]:
+    """Write a report artifact; return an error message instead of raising."""
+    try:
+        with open(path, "w") as handle:
+            handle.write(payload)
+    except OSError as error:
+        return f"cannot write {path}: {error.strerror or error}"
+    return None
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .checks import CheckError, all_rule_classes, run_check
+    from .checks import (
+        CheckError,
+        all_rule_classes,
+        fix_tree,
+        load_baseline,
+        run_check,
+    )
 
     if args.list_rules:
         for cls in all_rule_classes():
@@ -1149,15 +1170,52 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0
     root = args.path or _default_check_root()
     try:
-        report = run_check(root, select=args.select, ignore=args.ignore)
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        if args.diff:
+            result = fix_tree(
+                root, select=args.select, ignore=args.ignore, write=False
+            )
+            for diff in result.diffs:
+                print(diff, end="")
+            print(
+                f"--diff: {result.applied} fix(es) in "
+                f"{len(result.changed_files)} file(s) would be applied "
+                "(tree untouched)"
+            )
+            return 0
+        if args.fix:
+            result = fix_tree(root, select=args.select, ignore=args.ignore)
+            print(
+                f"--fix: applied {result.applied} fix(es) in "
+                f"{len(result.changed_files)} file(s)"
+                + (
+                    ": " + ", ".join(result.changed_files)
+                    if result.changed_files
+                    else ""
+                )
+            )
+            report = run_check(
+                root, select=args.select, ignore=args.ignore, baseline=baseline
+            )
+        else:
+            report = run_check(
+                root, select=args.select, ignore=args.ignore, baseline=baseline
+            )
     except CheckError as error:
         print(f"repro check: {error}", file=sys.stderr)
         return 2
     print(report.render())
-    if args.json:
-        with open(args.json, "w") as handle:
-            handle.write(report.to_json())
-        print(f"wrote {args.json}")
+    for path, payload in (
+        (args.json, report.to_json()),
+        (args.sarif, report.to_sarif()),
+    ):
+        if not path:
+            continue
+        problem = _write_check_artifact(path, payload)
+        if problem is not None:
+            print(f"repro check: {problem}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -1404,6 +1462,25 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the machine-readable report (CI artifact)",
+    )
+    check_parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 report (CI PR annotations)",
+    )
+    check_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="demote findings listed in this baseline file to "
+        "non-failing (incremental adoption)",
+    )
+    check_parser.add_argument(
+        "--fix", action="store_true",
+        help="apply the whitelisted mechanical fixes (DET104/DET106/"
+        "SUP901) in place, then re-check",
+    )
+    check_parser.add_argument(
+        "--diff", action="store_true",
+        help="print the unified diff --fix would apply, without "
+        "writing anything",
     )
     check_parser.add_argument(
         "--list-rules", action="store_true",

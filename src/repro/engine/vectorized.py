@@ -154,6 +154,47 @@ def batch_key(spec: TrialSpec) -> TrialSpec:
     return dataclasses.replace(spec, seed=0, session="", config="")
 
 
+#: The complete vocabulary of exact fallback-reason strings the
+#: ``*_reason`` helpers may return.  ``repro check`` (VEC503) pins every
+#: constant return in this module to this set, so a reworded reason
+#: cannot silently fork from the strings that dashboards and tests
+#: aggregate on.  Parameterized reasons are covered by the prefix tuple
+#: below instead.
+FALLBACK_REASONS = frozenset(
+    {
+        "numpy unavailable",
+        "spec opted out (vectorizable=False)",
+        "real-RSA backend",
+        "adversary victims missing or not a sequence",
+        "corruption budget exceeded (object path raises)",
+        "regime violation 3t >= n (object path raises)",
+        "regime violation 2t >= n (object path raises)",
+        "max_rounds below protocol length (object path raises)",
+        "max_rounds below the iteration cap (object path may raise)",
+        "unsupported down_group value",
+        "straddle12 with non-standard iteration_rounds",
+        "unhashable inputs",
+        "invalid coin range (object path raises)",
+        "invalid adversary coin range (object path raises)",
+        "session-pinned withhold_coin not modeled",
+        "adversary coin index differs from protocol (not modeled)",
+    }
+)
+
+#: Allowed heads for parameterized (f-string) fallback reasons.  A
+#: reason that interpolates spec details must start with one of these.
+FALLBACK_REASON_PREFIXES = (
+    "fault injection",
+    "no ",
+    "non-bit input",
+    "unsupported ",
+    "victim ",
+    "regime ",
+    "invalid ",
+    "vector model error:",
+)
+
+
 def unsupported_reason(spec: TrialSpec) -> Optional[str]:
     """Why this spec cannot take the vector path (``None`` = it can).
 

@@ -28,16 +28,24 @@ from .replay import (
     trace_metrics,
 )
 from .sinks import (
+    TRACE_RECORD_TYPES,
     TRACE_SCHEMA,
     FanoutSink,
     JsonlTraceSink,
     ObsFormatError,
     trace_filename,
 )
-from .telemetry import TELEMETRY_SCHEMA, TelemetryWriter, summarize_telemetry
+from .telemetry import (
+    TELEMETRY_EVENT_TYPES,
+    TELEMETRY_SCHEMA,
+    TelemetryWriter,
+    summarize_telemetry,
+)
 
 __all__ = [
+    "TELEMETRY_EVENT_TYPES",
     "TELEMETRY_SCHEMA",
+    "TRACE_RECORD_TYPES",
     "TRACE_SCHEMA",
     "FanoutSink",
     "JsonlTraceSink",

@@ -35,6 +35,7 @@ from ..network.trace import TraceEvent, TraceSink
 
 __all__ = [
     "TRACE_SCHEMA",
+    "TRACE_RECORD_TYPES",
     "FanoutSink",
     "JsonlTraceSink",
     "ObsFormatError",
@@ -45,6 +46,11 @@ __all__ = [
 #: the suffix when a record shape changes; readers reject other versions
 #: loudly instead of misparsing them.
 TRACE_SCHEMA = "repro-trace/1"
+
+#: Every legal ``"t"`` discriminator in a ``repro-trace/1`` stream.
+#: Writers and readers are both pinned to this set by ``repro check``
+#: (OBS601) — a typo on either side silently drops records otherwise.
+TRACE_RECORD_TYPES = frozenset({"trace", "msg", "corr", "fault", "end"})
 
 
 class ObsFormatError(ValueError):

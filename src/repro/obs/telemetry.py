@@ -25,9 +25,27 @@ from typing import IO, Any, Dict, List, Mapping, Optional
 
 from .sinks import ObsFormatError, _dump
 
-__all__ = ["TELEMETRY_SCHEMA", "TelemetryWriter", "summarize_telemetry"]
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_EVENT_TYPES",
+    "TelemetryWriter",
+    "summarize_telemetry",
+]
 
 TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+#: Every span name the engine may ``emit()`` plus the header/footer
+#: discriminators.  ``summarize_telemetry`` switches on these; ``repro
+#: check`` (OBS602) pins every ``.emit("<name>", ...)`` literal to this
+#: set so unknown spans cannot silently vanish from digests.
+TELEMETRY_EVENT_TYPES = frozenset(
+    {
+        "telemetry", "run_start", "run_complete", "chunk_dispatch",
+        "chunk_complete", "predeal", "adaptive_round", "adaptive_complete",
+        "probe_cache", "vector_batch", "real_setup", "bench_complete",
+        "end",
+    }
+)
 
 #: Tolerance for span-consistency checks: perf_counter deltas taken at
 #: slightly different instants legitimately disagree by scheduling

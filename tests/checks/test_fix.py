@@ -1,0 +1,140 @@
+"""`repro check --fix`: the whitelisted rewrites and their guarantees.
+
+Two properties are load-bearing and pinned here byte-for-byte:
+
+* every rewrite reparses to the same AST as a hand-written fix, and
+* running the fixer twice equals running it once (idempotence).
+"""
+
+import ast
+import textwrap
+
+from repro.checks import fix_tree, run_check
+from repro.cli import main
+
+_BROKEN = """
+    import numpy as np
+
+
+    def order(pids):
+        out = []
+        for pid in set(pids):
+            out.append(pid)
+        return out
+
+
+    def tags(names):
+        return ",".join({n.strip() for n in names})
+
+
+    def draw(n):
+        return np.random.normal(size=n)
+
+
+    def fine(x):
+        return x + 1  # repro: noqa[DET101] legacy waiver
+"""
+
+# What a careful human would write for the same file.
+_HAND_FIXED = """
+    import numpy as np
+
+
+    def order(pids):
+        out = []
+        for pid in sorted(set(pids)):
+            out.append(pid)
+        return out
+
+
+    def tags(names):
+        return ",".join(sorted({n.strip() for n in names}))
+
+
+    def draw(n):
+        return np.random.default_rng(0).normal(size=n)
+
+
+    def fine(x):
+        return x + 1
+"""
+
+
+class TestFixTree:
+    def test_fixed_file_matches_hand_fix_ast(self, tree):
+        root = tree({"core/broken.py": _BROKEN})
+        result = fix_tree(root)
+        assert result.changed_files == ["core/broken.py"]
+        fixed = (root / "core" / "broken.py").read_text()
+        want = ast.dump(ast.parse(textwrap.dedent(_HAND_FIXED)))
+        assert ast.dump(ast.parse(fixed)) == want
+        assert run_check(root).findings == []
+
+    def test_fix_is_idempotent_byte_for_byte(self, tree):
+        root = tree({"core/broken.py": _BROKEN})
+        fix_tree(root)
+        once = (root / "core" / "broken.py").read_bytes()
+        second = fix_tree(root)
+        assert second.applied == 0 and not second.changed
+        assert (root / "core" / "broken.py").read_bytes() == once
+
+    def test_dry_run_leaves_tree_untouched_but_reports_diffs(self, tree):
+        root = tree({"core/broken.py": _BROKEN})
+        before = (root / "core" / "broken.py").read_bytes()
+        result = fix_tree(root, write=False)
+        assert (root / "core" / "broken.py").read_bytes() == before
+        assert result.changed_files == ["core/broken.py"]
+        diff = "".join(result.diffs)
+        assert "a/core/broken.py" in diff and "b/core/broken.py" in diff
+        assert "+    for pid in sorted(set(pids)):" in diff
+
+    def test_unfixable_findings_are_left_alone(self, tree):
+        # DET101 has no registered rewrite: report, don't touch.
+        root = tree({
+            "core/clock.py": "import time\n\n\ndef f():\n    return time.time()\n"
+        })
+        before = (root / "core" / "clock.py").read_bytes()
+        result = fix_tree(root)
+        assert result.applied == 0
+        assert (root / "core" / "clock.py").read_bytes() == before
+        assert result.report is not None and not result.report.ok
+
+    def test_non_generator_compatible_numpy_draw_is_not_rewritten(self, tree):
+        # np.random.seed has no Generator equivalent — stays a finding.
+        root = tree({
+            "core/seeded.py": "import numpy as np\n\nnp.random.seed(7)\n"
+        })
+        result = fix_tree(root)
+        assert result.applied == 0
+        assert [f.rule for f in result.report.findings] == ["DET106"]
+
+
+class TestFixCli:
+    def test_fix_flag_applies_and_exits_zero_when_clean(self, tree, capsys):
+        root = tree({"core/broken.py": _BROKEN})
+        assert main(["check", str(root), "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 4 fix(es)" in out
+        assert "clean" in out
+
+    def test_diff_flag_exits_zero_and_writes_nothing(self, tree, capsys):
+        root = tree({"core/broken.py": _BROKEN})
+        before = (root / "core" / "broken.py").read_bytes()
+        assert main(["check", str(root), "--diff"]) == 0
+        assert (root / "core" / "broken.py").read_bytes() == before
+        assert "tree untouched" in capsys.readouterr().out
+
+    def test_fix_exits_one_when_unfixable_findings_remain(self, tree, capsys):
+        root = tree({
+            "core/mixed.py": """
+                import time
+
+
+                def f(pids):
+                    t = time.time()
+                    return [t] + [p for p in set(pids)]
+            """,
+        })
+        assert main(["check", str(root), "--fix"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out  # the clock read survives the fixer

@@ -35,7 +35,9 @@ class TestNoqa:
             "core/bad.py": "import time\nT = time.time()  # repro: noqa[DET104]\n"
         })
         report = check(root)
-        assert rule_ids(report) == ["DET101"]
+        # The DET101 finding survives, and the useless DET104 waiver is
+        # itself flagged stale (SUP901).
+        assert rule_ids(report) == ["DET101", "SUP901"]
         assert report.suppressed == 0
 
 

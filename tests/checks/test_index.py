@@ -1,0 +1,139 @@
+"""Phase-1 ProjectIndex: the symbol model cross-module rules read."""
+
+import ast
+
+from repro.checks import run_check
+from repro.checks.framework import SourceModule
+from repro.checks.index import NON_LITERAL, ProjectIndex
+
+
+def _index(tree, files):
+    root = tree(files)
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        text = path.read_text()
+        modules.append(
+            SourceModule(path, rel, ast.parse(text), text.splitlines())
+        )
+    return ProjectIndex(modules)
+
+
+class TestRegistrations:
+    def test_collects_and_decodes_register_calls(self, tree):
+        index = _index(tree, {
+            "engine/registry.py": """
+                def register_protocol(name, factory):
+                    pass
+            """,
+            "core/protos.py": """
+                from ..engine.registry import register_protocol
+
+                register_protocol("ba_one_third", lambda: None)
+                register_protocol("ba_one_half", lambda: None)
+            """,
+        })
+        calls = index.registrations["register_protocol"]
+        # The def site is not a call; only the two core/ call sites count.
+        assert [c.arg(0) for c in calls] == ["ba_one_third", "ba_one_half"]
+        assert index.registered_names("register_protocol") == {
+            "ba_one_third", "ba_one_half",
+        }
+
+    def test_non_literal_args_are_sentinel_not_none(self, tree):
+        index = _index(tree, {
+            "core/protos.py": """
+                from ..engine.registry import register_vector_model
+
+                NAME = "computed"
+                register_vector_model(NAME, None, object)
+            """,
+        })
+        call = index.registrations["register_vector_model"][0]
+        assert call.arg(0) is NON_LITERAL
+        assert call.arg(1) is None  # literal None is a real value
+        assert call.arg(9) is NON_LITERAL  # out of range
+
+
+class TestConstants:
+    def test_recovers_frozenset_vocabulary_without_importing(self, tree):
+        index = _index(tree, {
+            "obs/sinks.py": """
+                TRACE_RECORD_TYPES = frozenset({"trace", "msg", "end"})
+            """,
+        })
+        assert index.constant("obs", "TRACE_RECORD_TYPES") == {
+            "trace", "msg", "end",
+        }
+
+    def test_union_spelling_and_tuple(self, tree):
+        index = _index(tree, {
+            "engine/vectorized.py": """
+                A = frozenset({"x"})
+                B = A | frozenset({"y"})
+                PREFIXES = ("no ", "unsupported ")
+            """,
+        })
+        # B unions a Name, which is not a literal — only PREFIXES resolves.
+        assert index.constant("engine", "PREFIXES") == ("no ", "unsupported ")
+        assert index.constant("engine", "B") is None
+
+    def test_missing_layer_or_name_is_none(self, tree):
+        index = _index(tree, {"core/a.py": "X = 1\n"})
+        assert index.constant("obs", "X") is None
+        assert index.constant("core", "Y") is None
+
+
+class TestResolveClass:
+    def test_own_module_and_one_import_hop(self, tree):
+        index = _index(tree, {
+            "engine/models.py": """
+                class CrashModel:
+                    pass
+            """,
+            "engine/vectorized.py": """
+                from .models import CrashModel
+
+                class LocalModel:
+                    pass
+            """,
+        })
+        vec = index.by_name["engine.vectorized"]
+        local = index.resolve_class(vec, "LocalModel")
+        assert local is not None and local[1].name == "LocalModel"
+        imported = index.resolve_class(vec, "CrashModel")
+        assert imported is not None
+        assert imported[0].name == "engine.models"
+        assert imported[1].name == "CrashModel"
+        assert index.resolve_class(vec, "Ghost") is None
+
+
+class TestRunCheckIntegration:
+    def test_rules_see_across_modules(self, tree):
+        # VEC501 requires the index: the registration lives in engine/,
+        # the protocol name is registered (or not) in core/.
+        root = tree({
+            "core/protos.py": """
+                from ..engine.registry import register_protocol
+
+                register_protocol("ba_real", lambda: None)
+            """,
+            "engine/registry.py": """
+                def register_protocol(name, factory):
+                    pass
+
+                def register_vector_model(protocol, adversary, model):
+                    pass
+            """,
+            "engine/vectorized.py": """
+                from .registry import register_vector_model
+
+                class M:
+                    pass
+
+                register_vector_model("ba_phantom", None, M)
+            """,
+        })
+        report = run_check(root, select=["VEC501"])
+        assert [f.rule for f in report.findings] == ["VEC501"]
+        assert "ba_phantom" in report.findings[0].message

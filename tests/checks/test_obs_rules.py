@@ -1,0 +1,125 @@
+"""OBS rules: trace/telemetry literals pinned to the schema vocabularies."""
+
+from .conftest import check, rule_ids
+
+# Indented to match the inline fixture bodies it is concatenated with,
+# so the `tree` fixture's dedent sees one uniform block.
+_VOCAB = """
+            TRACE_RECORD_TYPES = frozenset({"trace", "msg", "corr", "end"})
+            TELEMETRY_EVENT_TYPES = frozenset({"telemetry", "run_start", "end"})
+"""
+
+
+class TestObs601RecordTypes:
+    def test_writer_and_reader_in_vocabulary_pass(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB + """
+            def write(handle, r):
+                handle.write({"t": "msg", "r": r})
+
+            def read(record):
+                kind = record["t"]
+                if kind == "corr":
+                    return 1
+                return 0
+            """,
+        }), select=["OBS601"])
+        assert report.findings == []
+
+    def test_writer_typo_is_flagged(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB + """
+            def write(handle, r):
+                handle.write({"t": "mgs", "r": r})
+            """,
+        }), select=["OBS601"])
+        assert rule_ids(report) == ["OBS601"]
+        assert "'mgs'" in report.findings[0].message
+
+    def test_reader_typo_is_flagged(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "engine/runner.py": """
+                def digest(record):
+                    if record["t"] == "mesg":
+                        return 1
+                    return 0
+            """,
+        }), select=["OBS601"])
+        assert rule_ids(report) == ["OBS601"]
+        assert report.findings[0].path == "engine/runner.py"
+
+    def test_unrelated_string_comparisons_pass(self, tree):
+        # Comparisons that never touch record["t"] or a `kind` local are
+        # not record-type switches.
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "cli.py": """
+                def pick(mode):
+                    if mode == "anything-goes":
+                        return 1
+                    return 0
+            """,
+        }), select=["OBS601"])
+        assert report.findings == []
+
+    def test_inert_without_vocabulary_constants(self, tree):
+        report = check(tree({
+            "obs/sinks.py": """
+                def write(handle):
+                    handle.write({"t": "utter-nonsense"})
+            """,
+        }), select=["OBS601"])
+        assert report.findings == []
+
+    def test_noqa_suppresses(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB + """
+            def write(handle):
+                handle.write({"t": "mgs"})  # repro: noqa[OBS601] fixture
+            """,
+        }), select=["OBS601"])
+        assert report.findings == [] and report.suppressed == 1
+
+
+class TestObs602SpanNames:
+    def test_known_span_passes(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "engine/runner.py": """
+                def run(tele):
+                    tele.emit("run_start", workers=1)
+            """,
+        }), select=["OBS602"])
+        assert report.findings == []
+
+    def test_unknown_span_is_flagged(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "engine/runner.py": """
+                def run(tele):
+                    tele.emit("run_strat", workers=1)
+            """,
+        }), select=["OBS602"])
+        assert rule_ids(report) == ["OBS602"]
+        assert "'run_strat'" in report.findings[0].message
+
+    def test_out_of_scope_layer_passes(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "core/party.py": """
+                def f(bus):
+                    bus.emit("whatever")
+            """,
+        }), select=["OBS602"])
+        assert report.findings == []
+
+    def test_noqa_suppresses(self, tree):
+        report = check(tree({
+            "obs/sinks.py": _VOCAB,
+            "engine/runner.py": """
+                def run(tele):
+                    tele.emit("run_strat")  # repro: noqa[OBS602] fixture
+            """,
+        }), select=["OBS602"])
+        assert report.findings == [] and report.suppressed == 1

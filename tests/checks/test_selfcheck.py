@@ -61,3 +61,195 @@ class TestSelfCheck:
         assert payload["ok"] is True
         assert payload["findings"] == []
         assert payload["files_scanned"] > 50
+
+    def test_repo_tree_has_zero_suppressions_and_stale_comments(self):
+        # The gate is stricter than "no findings": nothing in the shipped
+        # tree is waived, and SUP901 confirms no waiver comment lingers.
+        report = run_check(PACKAGE_ROOT)
+        assert report.suppressed == 0
+        assert report.baselined == 0
+
+    def test_fixer_is_a_noop_on_the_clean_tree(self, tmp_path):
+        from repro.checks import fix_tree
+
+        root = _copy_tree(tmp_path)
+        result = fix_tree(root)
+        assert result.applied == 0 and result.changed_files == []
+
+
+class TestSeededNewFamilies:
+    """Each new rule id must catch its violation seeded into the real tree."""
+
+    def _seed(self, tmp_path, capsys, rel, source, rule):
+        root = _copy_tree(tmp_path)
+        target = root.joinpath(*rel.split("/"))
+        target.write_text(source)
+        assert main(["check", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert rule in out
+        assert rel in out
+
+    def test_det201_argless_rng(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "core/seeded.py",
+            "import random\n\n\ndef f():\n    return random.Random()\n",
+            "DET201",
+        )
+
+    def test_det202_silent_fallback(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "core/seeded.py",
+            "import random\n\n\ndef f(seed, rng=None):\n"
+            "    rng = rng or random.Random(seed)\n"
+            "    return rng\n\n\ndef g(rng=None):\n"
+            "    rng = rng or random.Random()\n    return rng\n",
+            "DET202",
+        )
+
+    def test_det203_module_rng(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "network/seeded.py",
+            "import random\n\n_RNG = random.Random(0)\n",
+            "DET203",
+        )
+
+    def test_vec501_unknown_protocol(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "engine/seeded.py",
+            "from .registry import register_vector_model\n\n\n"
+            "class _M:\n    pass\n\n\n"
+            'register_vector_model("ba_phantom", None, _M)\n',
+            "VEC501",
+        )
+
+    def test_vec502_impure_model(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "engine/seeded.py",
+            "import time\n\nfrom .registry import register_vector_model\n\n\n"
+            "class _M:\n    def run(self):\n        return time.time()\n\n\n"
+            'register_vector_model("ba_one_third", None, _M)\n',
+            "VEC502",
+        )
+
+    def test_vec503_novel_reason(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "engine/seeded.py",
+            "def _novel_reason(spec):\n"
+            '    return "a reason outside the vocabulary"\n',
+            "VEC503",
+        )
+
+    def test_vec504_leaky_batch_key(self, tmp_path, capsys):
+        root = _copy_tree(tmp_path)
+        vectorized = root / "engine" / "vectorized.py"
+        text = vectorized.read_text()
+        assert 'seed=0, session=""' in text
+        vectorized.write_text(text.replace('seed=0, session=""', "seed=0"))
+        assert main(["check", str(root)]) == 1
+        assert "VEC504" in capsys.readouterr().out
+
+    def test_obs601_record_type_typo(self, tmp_path, capsys):
+        root = _copy_tree(tmp_path)
+        sinks = root / "obs" / "sinks.py"
+        text = sinks.read_text()
+        assert '{"t": "corr"' in text
+        sinks.write_text(text.replace('{"t": "corr"', '{"t": "corrr"'))
+        assert main(["check", str(root)]) == 1
+        assert "OBS601" in capsys.readouterr().out
+
+    def test_obs602_unknown_span(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "engine/seeded.py",
+            "def run(tele):\n"
+            '    tele.emit("run_strat", workers=1)\n',
+            "OBS602",
+        )
+
+    def test_sup901_stale_waiver(self, tmp_path, capsys):
+        self._seed(
+            tmp_path, capsys, "core/seeded.py",
+            "X = 1  # repro: noqa[DET101] nothing here reads a clock\n",
+            "SUP901",
+        )
+
+
+class TestCliErrorPaths:
+    def test_json_into_missing_directory_exits_two(self, capsys):
+        code = main([
+            "check", str(PACKAGE_ROOT),
+            "--json", "/nonexistent-dir/report.json",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot write" in err
+
+    def test_sarif_into_missing_directory_exits_two(self, capsys):
+        code = main([
+            "check", str(PACKAGE_ROOT),
+            "--sarif", "/nonexistent-dir/report.sarif",
+        ])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_unreadable_source_path_exits_two(self, tmp_path, capsys):
+        # A directory named like a module defeats read_text() even as
+        # root (chmod tricks don't); the walk must fail loudly, not
+        # traceback.
+        root = _copy_tree(tmp_path)
+        (root / "core" / "evil.py").mkdir()
+        assert main(["check", str(root)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "evil.py" in err
+
+    def test_missing_baseline_file_exits_two(self, capsys):
+        code = main([
+            "check", str(PACKAGE_ROOT),
+            "--baseline", "/nonexistent-dir/base.json",
+        ])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestBaselineAndSarif:
+    def test_baseline_demotes_known_findings(self, tmp_path, capsys):
+        import json
+
+        root = _copy_tree(tmp_path)
+        seeded = root / "core" / "seeded.py"
+        seeded.write_text("import time\nT = time.time()\n")
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({
+            "schema": "repro-check-baseline/1",
+            "entries": [{
+                "rule": "DET101",
+                "path": "core/seeded.py",
+                "message": "call to time.time() reads the wall clock",
+            }],
+        }))
+        assert main(["check", str(root), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_sarif_artifact_structure(self, tmp_path):
+        import json
+
+        artifact = tmp_path / "report.sarif"
+        assert main([
+            "check", str(PACKAGE_ROOT), "--sarif", str(artifact),
+        ]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert run["results"] == []  # the tree is clean
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET201", "VEC501", "OBS601", "SUP901"} <= rule_ids
+
+    def test_empty_repo_baseline_file_is_valid_and_empty(self):
+        import json
+
+        repo_root = PACKAGE_ROOT.parent.parent
+        baseline = repo_root / "check-baseline.json"
+        payload = json.loads(baseline.read_text())
+        assert payload["schema"] == "repro-check-baseline/1"
+        assert payload["entries"] == []
