@@ -49,11 +49,16 @@ bench:
 # that silently demotes a figure to the object simulator fails fast.
 # `check` runs first:
 # benchmark numbers from a tree that violates the determinism rules are
-# not comparable run to run, so don't produce them.
+# not comparable run to run, so don't produce them.  The first bench
+# also captures the repro-metrics/1 artifact and per-chunk profiles;
+# the final step fuses everything into bench-report.md via
+# `repro report --check`, which exits 2 if any artifact fails its
+# schema gate or the telemetry spans are inconsistent.
 bench-quick: check
 	PYTHONPATH=src python -m repro bench --kappas 1,2 --trials 40 \
 		--workers $${REPRO_BENCH_WORKERS:-2} --adaptive --vector --figures \
-		--telemetry bench-telemetry
+		--telemetry bench-telemetry --metrics bench-metrics.json \
+		--profile bench-profile --json bench-quick.json
 	PYTHONPATH=src python -m repro bench --backend real --rsa-bits 64 \
 		--kappas 1 --trials 3 --protocol one_third \
 		--workers $${REPRO_BENCH_WORKERS:-2}
@@ -61,6 +66,9 @@ bench-quick: check
 		pytest benchmarks/bench_fault_tolerance.py --benchmark-disable -q
 	REPRO_BENCH_BACKEND=vector REPRO_BENCH_FAULT_TRIALS=6 PYTHONPATH=src \
 		pytest benchmarks/ --benchmark-disable -q
+	PYTHONPATH=src python -m repro report --metrics bench-metrics.json \
+		--telemetry bench-telemetry --bench bench-quick.json \
+		--profile bench-profile --check --out bench-report.md
 
 # Bounded chaos pass: hypothesis-drawn Byzantine schedules and network
 # fault plans at a few examples per property (the full depth runs in
@@ -78,5 +86,7 @@ experiments:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info bench-telemetry
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info bench-telemetry \
+		bench-profile
+	rm -f bench-metrics.json bench-quick.json bench-report.md
 	find . -name __pycache__ -type d -exec rm -rf {} +

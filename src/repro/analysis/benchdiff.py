@@ -51,11 +51,28 @@ DEFAULT_THRESHOLD = 0.25
 
 
 def load_bench(path: str) -> Dict[str, Any]:
-    """Read one ``BENCH_engine.json`` artifact."""
+    """Read one ``BENCH_*.json`` artifact.
+
+    Artifacts written since the ``schema`` field landed declare a
+    ``repro-bench*`` schema and anything else is rejected here — a
+    wrong-family JSON (a metrics document, a telemetry digest) must
+    fail loudly, not diff as all-skipped.  Artifacts *without* the
+    field are committed history and load fine; likewise top-level keys
+    this reader does not know are tolerated (``compare_benchmarks``
+    only ever reads the keys it understands), so newer producers never
+    break the gate.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if not isinstance(payload, dict):
         raise ValueError(f"{path}: benchmark artifact must be a JSON object")
+    schema = payload.get("schema")
+    if schema is not None and not (
+        isinstance(schema, str) and schema.startswith("repro-bench")
+    ):
+        raise ValueError(
+            f"{path}: schema {schema!r} is not a repro-bench artifact"
+        )
     return payload
 
 

@@ -7,7 +7,8 @@ switches on span names, and the engine emits spans by name.  A typo on
 either side — writer or reader — doesn't crash; records just silently
 fall through the switch and vanish from summaries.  These rules pin
 every such literal to the exported vocabularies
-(``repro.obs.TRACE_RECORD_TYPES`` / ``TELEMETRY_EVENT_TYPES``), read
+(``repro.obs.TRACE_RECORD_TYPES`` / ``TELEMETRY_EVENT_TYPES`` /
+``METRIC_NAMES``), read
 from the AST via the phase-1 index (the checks layer imports nothing it
 checks).
 
@@ -31,6 +32,7 @@ _OBS_SCOPE = frozenset({"obs", "engine", "cli", "analysis"})
 
 _TRACE_VOCAB = "TRACE_RECORD_TYPES"
 _TELEMETRY_VOCAB = "TELEMETRY_EVENT_TYPES"
+_METRICS_VOCAB = "METRIC_NAMES"
 
 
 def _vocab(index: Optional[ProjectIndex], name: str) -> Optional[frozenset]:
@@ -157,4 +159,44 @@ class TelemetrySpanNameRule(_VocabRule):
                     node,
                     f"span name {node.args[0].value!r} is not in "
                     f"{_TELEMETRY_VOCAB}",
+                )
+
+
+@register_rule
+class MetricNameRule(_VocabRule):
+    """``.inc("<name>")`` / ``.observe("<name>")`` must come from METRIC_NAMES.
+
+    The ``repro-metrics/1`` registry validates names at runtime, but
+    only on the paths a test actually drives; a misspelled metric on a
+    rare branch (a fault kind, an adaptive round) would first surface
+    as a crash in production collection.  Same shape as OBS602: any
+    call to ``.inc()``/``.observe()`` whose first argument is a string
+    literal is pinned to the exported vocabulary.  Non-literal first
+    arguments (e.g. the adaptive runner's ``estimate.observe(event)``)
+    are out of scope.
+    """
+
+    id = "OBS603"
+    title = "metric name outside METRIC_NAMES"
+    hint = "add the metric to METRIC_NAMES in repro/obs/metrics.py (histograms also need an entry in HISTOGRAM_BUCKETS)"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        names = _vocab(self.index, _METRICS_VOCAB)
+        if names is None:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("inc", "observe")
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value not in names
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"metric name {node.args[0].value!r} is not in "
+                    f"{_METRICS_VOCAB}",
                 )

@@ -316,6 +316,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"trace: {args.file} ({described})\n")
     print(tracer.render(max_payload_width=args.width))
     if args.stats:
+        from .obs import metrics_from_trace
+
         metrics = trace_metrics(tracer)
         rows = []
         for round_index in sorted(metrics.per_round):
@@ -329,21 +331,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                     stats.corrupt_signatures,
                 ]
             )
+        # Column headers and counter names below come from the pinned
+        # repro-metrics/1 vocabulary (METRIC_NAMES), so `--stats` output
+        # cross-references directly against `repro report` tables.
         print("\nper-round tallies (replayed from the trace)\n")
         print(
             format_table(
-                ["round", "msgs honest", "msgs corrupt",
-                 "sigs honest", "sigs corrupt"],
+                ["round", "messages_honest", "messages_corrupt",
+                 "signatures_honest", "signatures_corrupt"],
                 rows,
             )
         )
         print()
         print(f"{'events':22s}: {len(tracer.events)}")
         print(f"{'corruptions':22s}: {len(tracer.corruptions)}")
-        if loaded.faults:
-            print(f"{'faults injected':22s}: {len(tracer.faults)}")
-        print(f"{'messages':22s}: {metrics.total_messages}")
-        print(f"{'signatures':22s}: {metrics.total_signatures}")
+        registry = metrics_from_trace(tracer.events, tracer.faults)
+        names = sorted({name for name, _ in registry.counters})
+        for name in names:
+            if name == "round_messages":
+                continue  # the per-round table above already shows these
+            print(f"{name:22s}: {registry.counter_total(name)}")
     return 0
 
 
@@ -856,6 +863,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         finally:
             set_tag_memoization(previous)
 
+    metrics_leg = None
+    if args.metrics:
+        # Dedicated serial collection leg: metrics hooks are opt-in and
+        # not free, so they never run inside the timed legs above — the
+        # serial/parallel/vector rates stay comparable across runs with
+        # and without --metrics.
+        from .obs import write_metrics_artifact
+
+        metrics_leg = ParallelRunner(workers=1, metrics=True).run(plan)
+        if metrics_leg.results != serial.results:
+            print("DETERMINISM VIOLATION: metrics leg differs from serial")
+            return 2
+        write_metrics_artifact(args.metrics, metrics_leg.metrics_payload())
+
+    profile_leg = None
+    if args.profile:
+        # One extra profiled leg (pooled when workers allow, so the
+        # dumps cover the worker chunks), again outside the timed legs:
+        # cProfile overhead must not leak into --compare rates.
+        profile_leg = ParallelRunner(
+            workers=workers, profile_dir=args.profile, telemetry=telemetry
+        ).run(plan)
+        if profile_leg.results != serial.results:
+            print("DETERMINISM VIOLATION: profiled leg differs from serial")
+            return 2
+
     rows = []
     for start in range(0, len(plan), per_config):
         specs = plan.trials[start : start + per_config]
@@ -926,6 +959,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"signature-heavy k={max(args.kappas)} slice)"
     )
 
+    if metrics_leg is not None:
+        from .obs import METRICS_SCHEMA
+
+        print(f"{'metrics artifact':32s}: {args.metrics} ({METRICS_SCHEMA})")
+    if profile_leg is not None:
+        print(
+            f"{'profile dumps':32s}: {args.profile} "
+            f"(profiled leg {profile_leg.wall_seconds:8.3f}s, "
+            f"{workers} worker{'s' if workers > 1 else ''})"
+        )
+
     adaptive_payload = None
     if args.adaptive:
         adaptive_payload = _run_adaptive_leg(args, serial, workers, telemetry)
@@ -986,6 +1030,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.json or args.compare:
         payload = {
+            "schema": "repro-bench/1",
             "plan": plan.describe(),
             "trials_per_config": per_config,
             "kappas": list(args.kappas),
@@ -1129,6 +1174,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if regression:
         return 3
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Fuse run artifacts into one deterministic markdown/HTML report."""
+    from .obs import (
+        ObsFormatError,
+        build_report,
+        check_report,
+        load_report_inputs,
+        render_html,
+    )
+
+    if not (args.metrics or args.telemetry or args.bench or args.profile):
+        print(
+            "repro report: nothing to report\nusage: pass at least one of "
+            "--metrics/--telemetry/--bench/--profile",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        inputs = load_report_inputs(
+            metrics_path=args.metrics,
+            telemetry_path=args.telemetry,
+            bench_paths=args.bench or [],
+            profile_dir=args.profile,
+            top=args.top,
+        )
+    except (ObsFormatError, OSError, ValueError) as error:
+        print(f"repro report: {error}", file=sys.stderr)
+        return 2
+    if args.check:
+        # Gate before rendering: a report built from malformed inputs
+        # must not be published at all, not published-with-caveats.
+        violations = check_report(
+            metrics=inputs["metrics"],
+            telemetry=inputs["telemetry"],
+            benches=inputs["benches"],
+        )
+        if violations:
+            for violation in violations:
+                print(f"repro report: {violation}", file=sys.stderr)
+            return 2
+    markdown = build_report(
+        metrics=inputs["metrics"],
+        telemetry=inputs["telemetry"],
+        benches=inputs["benches"],
+        profile=inputs["profile"],
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown, end="")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(markdown))
+        print(f"wrote {args.html}")
+    if args.check:
+        print("report inputs: OK (schemas valid, telemetry consistent)")
     return 0
 
 
@@ -1441,7 +1547,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="--compare regression tolerance as a rate-loss fraction "
         "(default 0.25 = fail when >25%% slower per core)",
     )
+    bench_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="run a dedicated serial metrics-collection leg (never timed "
+        "into the serial rate) and write the repro-metrics/1 artifact to "
+        "PATH; digest with `repro report --metrics PATH`",
+    )
+    bench_parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="run one extra cProfile-wrapped leg (pooled when --workers "
+        "allows) writing per-chunk .pstats dumps to DIR, outside the "
+        "timed legs; digest with `repro report --profile DIR`",
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="fuse metrics/telemetry/bench/profile artifacts into one "
+        "deterministic markdown report",
+    )
+    report_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="repro-metrics/1 JSON artifact (from `repro bench --metrics`)",
+    )
+    report_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="telemetry JSONL file, or the directory holding telemetry.jsonl",
+    )
+    report_parser.add_argument(
+        "--bench", action="append", default=None, metavar="PATH",
+        help="BENCH_*.json timing payload (repeatable)",
+    )
+    report_parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="directory of cProfile .pstats dumps (from `repro bench "
+        "--profile`)",
+    )
+    report_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the markdown report to PATH instead of stdout",
+    )
+    report_parser.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a minimal self-contained HTML rendering",
+    )
+    report_parser.add_argument(
+        "--top", type=_positive_int, default=10, metavar="N",
+        help="hot functions listed from the profile (default 10)",
+    )
+    report_parser.add_argument(
+        "--check", action="store_true",
+        help="validate every input against its declared schema and the "
+        "telemetry consistency verdict; exit 2 on violation",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
 
     check_parser = subparsers.add_parser(
         "check",

@@ -30,6 +30,7 @@ from .runner import (
     deal_suite,
     default_workers,
     predeal_suites,
+    run_measured_trial,
     run_traced_trial,
     run_trial,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "register_fault_plan",
     "register_protocol",
     "register_vector_model",
+    "run_measured_trial",
     "run_traced_trial",
     "run_trial",
     "run_vector_batch",

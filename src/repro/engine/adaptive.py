@@ -51,6 +51,7 @@ from typing import (
 
 from ..analysis.stats import _Z995, SequentialEstimate
 from ..network.simulator import ExecutionResult
+from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
 from .runner import (
@@ -58,6 +59,7 @@ from .runner import (
     _run_chunk_timed,
     _seed_suite_cache,
     predeal_suites,
+    run_measured_trial,
     run_trial,
 )
 from .vectorized import execute_chunk
@@ -127,6 +129,10 @@ class AdaptiveResult:
     wall_seconds: float
     budget: int
     spent: int
+    # Per-trial metrics registries, plan-ordered with None for trials
+    # the allocator never ran; present iff the runner was built with
+    # metrics=True.
+    trial_metrics: Optional[List[Optional[MetricsRegistry]]] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -143,6 +149,16 @@ class AdaptiveResult:
     def executed_results(self) -> List[ExecutionResult]:
         """The results that exist, still in plan order."""
         return [result for result in self.results if result is not None]
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Merge of every executed trial's metrics registry."""
+        if self.trial_metrics is None:
+            raise ValueError(
+                "run was not collected with metrics=True; no registries"
+            )
+        return MetricsRegistry.merged(
+            registry for registry in self.trial_metrics if registry is not None
+        )
 
 
 class AdaptiveRunner:
@@ -196,6 +212,7 @@ class AdaptiveRunner:
         transport: str = "compact",
         telemetry: Optional[TelemetryWriter] = None,
         backend: str = "object",
+        metrics: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -208,6 +225,10 @@ class AdaptiveRunner:
         if backend not in ("object", "vector"):
             raise ValueError(
                 f"backend must be 'object' or 'vector', got {backend!r}"
+            )
+        if metrics and transport == "pickle":
+            raise ValueError(
+                "metrics collection requires the compact transport"
             )
         self.workers = workers
         self.batch_size = batch_size
@@ -222,6 +243,9 @@ class AdaptiveRunner:
         # allocation-round batch through the lockstep executor (per-spec
         # fallback inside), with bit-identical results either way.
         self.backend = backend
+        # Same semantics as ParallelRunner: per-trial MetricsRegistry
+        # collection, landing on AdaptiveResult.trial_metrics.
+        self.metrics = metrics
         self._chunk_seq = 0
 
     def run(
@@ -263,6 +287,7 @@ class AdaptiveRunner:
             index: name for name, indices in groups.items() for index in indices
         }
         results: List[Optional[ExecutionResult]] = [None] * len(plan)
+        sink: Optional[Dict[int, MetricsRegistry]] = {} if self.metrics else None
         spent = 0
         rounds = 0
         tele = self.telemetry
@@ -317,7 +342,7 @@ class AdaptiveRunner:
                     [(index, plan.trials[index]) for index in indices]
                     for _name, indices in allocations
                 ]
-                for index, result in self._execute(batches, pool):
+                for index, result in self._execute(batches, pool, sink):
                     results[index] = result
                     outcomes[owner[index]].estimate.observe(event(result))
                 spent += sum(len(batch) for batch in batches)
@@ -350,6 +375,11 @@ class AdaptiveRunner:
             wall_seconds=time.perf_counter() - started,
             budget=budget,
             spent=spent,
+            trial_metrics=(
+                [sink.get(index) for index in range(len(plan))]
+                if sink is not None
+                else None
+            ),
         )
 
     # ── scheduling ───────────────────────────────────────────────────
@@ -415,13 +445,16 @@ class AdaptiveRunner:
         self,
         batches: Sequence[Sequence[Tuple[int, TrialSpec]]],
         pool: Optional[ProcessPoolExecutor],
+        sink: Optional[Dict[int, MetricsRegistry]] = None,
     ) -> Iterator[Tuple[int, ExecutionResult]]:
         """Run one round's batches; stream results as batches complete."""
         if pool is None:
             if self.backend == "vector":
                 tele = self.telemetry
                 for batch in batches:
-                    pairs, stats = execute_chunk(list(batch), False, None)
+                    pairs, stats = execute_chunk(
+                        list(batch), False, None, metrics=sink
+                    )
                     if tele is not None:
                         tele.emit(
                             "probe_cache",
@@ -432,7 +465,12 @@ class AdaptiveRunner:
                 return
             for batch in batches:
                 for index, spec in batch:
-                    yield index, run_trial(spec)
+                    if sink is not None:
+                        result, registry = run_measured_trial(spec, None, index)
+                        sink[index] = registry
+                        yield index, result
+                    else:
+                        yield index, run_trial(spec)
             return
         compact = self.transport == "compact"
         tele = self.telemetry
@@ -442,7 +480,8 @@ class AdaptiveRunner:
         dispatched = {}
         for batch in batches:
             future = pool.submit(
-                entry, list(batch), False, compact, None, self.backend
+                entry, list(batch), False, compact, None, self.backend,
+                sink is not None,
             )
             futures.append(future)
             if tele is not None:
@@ -465,6 +504,8 @@ class AdaptiveRunner:
                         payload_bytes=len(pickle.dumps(payload)),
                     )
                 if compact:
+                    if sink is not None:
+                        sink.update(payload.unpack_metrics())
                     yield from payload.unpack(specs)
                 else:
                     for index, result in payload:

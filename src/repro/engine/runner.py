@@ -55,12 +55,13 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..crypto.keys import CryptoSuite
 from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult, SyncSimulator
 from ..network.trace import Tracer
+from ..obs.metrics import MetricsRegistry, build_metrics_payload
 from ..obs.sinks import JsonlTraceSink, trace_filename
 from ..obs.telemetry import TelemetryWriter
 from .plan import TrialPlan, TrialSpec
@@ -73,6 +74,7 @@ __all__ = [
     "PlanResult",
     "run_trial",
     "run_traced_trial",
+    "run_measured_trial",
     "clamp_workers",
     "deal_suite",
     "default_workers",
@@ -226,6 +228,7 @@ def run_trial(
     spec: TrialSpec,
     legacy_metrics: bool = False,
     tracer: Optional[Tracer] = None,
+    collector: Optional[MetricsRegistry] = None,
 ) -> ExecutionResult:
     """Execute one trial in this process (suite cached per-process)."""
     factory = build_protocol_factory(spec.protocol, spec.param_dict)
@@ -242,6 +245,7 @@ def run_trial(
         legacy_metrics=legacy_metrics,
         tracer=tracer,
         faults=build_fault_plan(spec.faults, spec.fault_param_dict),
+        collector=collector,
     )
     return simulator.run(factory, list(spec.inputs))
 
@@ -251,6 +255,7 @@ def run_traced_trial(
     trace_dir: str,
     index: int,
     legacy_metrics: bool = False,
+    collector: Optional[MetricsRegistry] = None,
 ) -> ExecutionResult:
     """Run one trial with a streaming per-trial trace attached.
 
@@ -281,7 +286,7 @@ def run_traced_trial(
     sink = JsonlTraceSink(os.path.join(trace_dir, trace_filename(index)), meta=meta)
     tracer = Tracer(sink)
     try:
-        result = run_trial(spec, legacy_metrics, tracer=tracer)
+        result = run_trial(spec, legacy_metrics, tracer=tracer, collector=collector)
     except BaseException:
         tracer.close()
         try:
@@ -293,12 +298,37 @@ def run_traced_trial(
     return result
 
 
+def run_measured_trial(
+    spec: TrialSpec,
+    trace_dir: Optional[str] = None,
+    index: int = 0,
+    legacy_metrics: bool = False,
+) -> Tuple[ExecutionResult, MetricsRegistry]:
+    """Run one trial with a fresh metrics collector attached.
+
+    Returns the execution result plus its finalized per-trial
+    :class:`~repro.obs.metrics.MetricsRegistry`.  The collector hook
+    never consumes randomness, so the result is bit-identical to
+    :func:`run_trial` for the same spec.
+    """
+    registry = MetricsRegistry()
+    if trace_dir is not None:
+        result = run_traced_trial(
+            spec, trace_dir, index, legacy_metrics, collector=registry
+        )
+    else:
+        result = run_trial(spec, legacy_metrics, collector=registry)
+    registry.finalize_trial(result)
+    return result, registry
+
+
 def _run_chunk(
     chunk: Sequence[Tuple[int, TrialSpec]],
     legacy_metrics: bool,
     compact: bool = False,
     trace_dir: Optional[str] = None,
     backend: str = "object",
+    metrics: bool = False,
 ) -> Union[List[Tuple[int, ExecutionResult]], ChunkSummary]:
     """Worker entry point: run a contiguous slice of the plan.
 
@@ -310,10 +340,24 @@ def _run_chunk(
     result pipe).  ``backend="vector"`` routes the chunk through the
     batch-vectorized executor (unsupported specs fall back per-spec to
     the object simulator inside the chunk); results and packing are
-    bit-identical either way.
+    bit-identical either way.  With ``metrics`` each trial collects a
+    per-trial registry, packed into the summary's ``metrics`` field
+    (metrics runs require the compact transport — enforced upstream).
     """
+    registries: Dict[int, MetricsRegistry] = {}
     if backend == "vector":
-        pairs, _ = execute_chunk(chunk, legacy_metrics, trace_dir)
+        pairs, _ = execute_chunk(
+            chunk, legacy_metrics, trace_dir,
+            metrics=registries if metrics else None,
+        )
+    elif metrics:
+        pairs = []
+        for index, spec in chunk:
+            result, registry = run_measured_trial(
+                spec, trace_dir, index, legacy_metrics
+            )
+            registries[index] = registry
+            pairs.append((index, result))
     elif trace_dir is None:
         pairs = [(index, run_trial(spec, legacy_metrics)) for index, spec in chunk]
     else:
@@ -322,7 +366,7 @@ def _run_chunk(
             for index, spec in chunk
         ]
     if compact:
-        return ChunkSummary.pack(pairs)
+        return ChunkSummary.pack(pairs, metrics=registries if metrics else None)
     return pairs
 
 
@@ -332,14 +376,46 @@ def _run_chunk_timed(
     compact: bool = False,
     trace_dir: Optional[str] = None,
     backend: str = "object",
+    metrics: bool = False,
+    profile_path: Optional[str] = None,
 ) -> Tuple[float, Union[List[Tuple[int, ExecutionResult]], ChunkSummary]]:
     """Worker entry point for telemetry runs: payload plus in-worker
     execution seconds.  Timed *inside* the worker because the parent only
     sees dispatch→completion spans, which include queue wait — summing
-    those would overstate busy-time whenever chunks outnumber workers."""
+    those would overstate busy-time whenever chunks outnumber workers.
+
+    With ``profile_path`` the chunk additionally runs under ``cProfile``
+    and dumps its stats there — the profiled region is exactly the timed
+    region, so profile seconds attribute directly to the chunk's
+    ``chunk_complete`` telemetry span."""
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        profiler.enable()
+        try:
+            payload = _run_chunk(
+                chunk, legacy_metrics, compact, trace_dir, backend, metrics
+            )
+        finally:
+            profiler.disable()
+        # The timed region is exactly the profiled region — the stats
+        # dump stays outside it so profile seconds attribute cleanly to
+        # the chunk's telemetry span.
+        seconds = round(time.perf_counter() - started, 6)
+        profiler.dump_stats(profile_path)
+        return seconds, payload
     started = time.perf_counter()
-    payload = _run_chunk(chunk, legacy_metrics, compact, trace_dir, backend)
+    payload = _run_chunk(
+        chunk, legacy_metrics, compact, trace_dir, backend, metrics
+    )
     return round(time.perf_counter() - started, 6), payload
+
+
+def _safe_label(name: str) -> str:
+    """Plan name reduced to filename-safe characters for profile dumps."""
+    return "".join(c if c.isalnum() or c in "-_." else "-" for c in name) or "plan"
 
 
 def _fault_field(plan: TrialPlan) -> dict:
@@ -362,6 +438,11 @@ class PlanResult:
     chunk_size: int = 1
     transport: str = "compact"
     trace_dir: Optional[str] = None
+    # Per-trial metrics registries in plan order, present iff the runner
+    # was built with metrics=True.  Deterministic for a given (seed,
+    # plan): serial, pooled and vector-fallback runs all produce equal
+    # registries (pinned by tests/engine/test_metrics_engine.py).
+    trial_metrics: Optional[List[MetricsRegistry]] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -388,6 +469,47 @@ class PlanResult:
             self.results
         )
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """Plan-wide merge of every trial's metrics registry."""
+        if self.trial_metrics is None:
+            raise ValueError(
+                "run was not collected with metrics=True; no registries"
+            )
+        return MetricsRegistry.merged(self.trial_metrics)
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The ``repro-metrics/1`` artifact document for this run.
+
+        Metadata is derived from the plan alone — never worker count,
+        backend or wall clock — so the document is identical across
+        serial, pooled and vector runs of the same ``(seed, plan)``.
+        """
+        if self.trial_metrics is None:
+            raise ValueError(
+                "run was not collected with metrics=True; no registries"
+            )
+        configs: "OrderedDict[str, Tuple[Dict[str, Any], MetricsRegistry]]"
+        configs = OrderedDict()
+        for name, indices in self.plan.configs().items():
+            spec = self.plan.trials[indices[0]]
+            config_meta = {
+                "protocol": spec.protocol,
+                "adversary": spec.adversary,
+                "num_parties": spec.num_parties,
+                "max_faulty": spec.max_faulty,
+                "backend": spec.backend,
+                "faults": spec.faults,
+                "trials": len(indices),
+            }
+            configs[name] = (
+                config_meta,
+                MetricsRegistry.merged(
+                    self.trial_metrics[index] for index in indices
+                ),
+            )
+        meta = {"plan": self.plan.name, "trials": len(self.plan)}
+        return build_metrics_payload(meta, configs)
+
 
 class ParallelRunner:
     """Runs :class:`TrialPlan`s, serially or across worker processes.
@@ -410,6 +532,8 @@ class ParallelRunner:
         trace_dir: Optional[str] = None,
         telemetry: Optional[TelemetryWriter] = None,
         backend: str = "object",
+        metrics: bool = False,
+        profile_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -423,6 +547,14 @@ class ParallelRunner:
             raise ValueError(
                 f"backend must be 'object' or 'vector', got {backend!r}"
             )
+        if metrics and legacy_metrics:
+            raise ValueError(
+                "metrics collection does not support the legacy baseline"
+            )
+        if metrics and transport == "pickle":
+            raise ValueError(
+                "metrics collection requires the compact transport"
+            )
         self.workers = workers
         self.chunk_size = chunk_size
         self.legacy_metrics = legacy_metrics
@@ -433,6 +565,14 @@ class ParallelRunner:
         # repro.engine.vectorized; everything else (and every trial, with
         # "object") takes the reference simulator.  Bit-identical results.
         self.backend = backend
+        # metrics=True attaches a per-trial MetricsRegistry collector to
+        # every simulator (repro.obs.metrics); registries ride back on
+        # the compact transport and land on PlanResult.trial_metrics.
+        self.metrics = metrics
+        # profile_dir wraps worker chunks (or the inline run) in cProfile
+        # and dumps one .pstats file per chunk there (repro bench
+        # --profile); profiling never touches what the trials compute.
+        self.profile_dir = profile_dir
 
     def _run_one(self, index: int, spec: TrialSpec) -> ExecutionResult:
         """One inline trial, traced iff the runner collects traces."""
@@ -445,12 +585,25 @@ class ParallelRunner:
     def _prepare_trace_dir(self) -> None:
         if self.trace_dir is not None:
             os.makedirs(self.trace_dir, exist_ok=True)
+        if self.profile_dir is not None:
+            os.makedirs(self.profile_dir, exist_ok=True)
+
+    def _trial_metrics_list(
+        self, sink: Optional[Dict[int, MetricsRegistry]], total: int
+    ) -> Optional[List[MetricsRegistry]]:
+        if sink is None:
+            return None
+        missing = [index for index in range(total) if index not in sink]
+        if missing:  # pragma: no cover - would indicate a dropped chunk
+            raise RuntimeError(f"trials {missing} produced no metrics")
+        return [sink[index] for index in range(total)]
 
     def run(self, plan: TrialPlan) -> PlanResult:
         """Execute every trial; results return in plan order."""
         started = time.perf_counter()
         self._prepare_trace_dir()
         tele = self.telemetry
+        sink: Optional[Dict[int, MetricsRegistry]] = {} if self.metrics else None
         if self.workers == 1 or len(plan) <= 1:
             if tele is not None:
                 tele.emit(
@@ -458,9 +611,29 @@ class ParallelRunner:
                     workers=1, trials=len(plan), backend=self.backend,
                     **_fault_field(plan),
                 )
-            results = [
-                result for _, result in self._run_inline(plan, tele)
-            ]
+            profiler = None
+            if self.profile_dir is not None:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+            try:
+                results = [
+                    result for _, result in self._run_inline(plan, tele, sink)
+                ]
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+            if profiler is not None:
+                path = os.path.join(
+                    self.profile_dir, f"inline-{_safe_label(plan.name)}.pstats"
+                )
+                profiler.dump_stats(path)
+                if tele is not None:
+                    tele.emit(
+                        "profile", label=plan.name, path=path,
+                        seconds=round(time.perf_counter() - started, 6),
+                    )
             if tele is not None:
                 tele.emit("run_complete", label=plan.name, trials=len(results))
             return PlanResult(
@@ -470,11 +643,12 @@ class ParallelRunner:
                 wall_seconds=time.perf_counter() - started,
                 transport=self.transport,
                 trace_dir=self.trace_dir,
+                trial_metrics=self._trial_metrics_list(sink, len(plan)),
             )
 
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
         collected: List[Optional[ExecutionResult]] = [None] * len(plan)
-        for index, result in self._iter_pooled(plan, chunk_size):
+        for index, result in self._iter_pooled(plan, chunk_size, sink):
             collected[index] = result
         missing = [i for i, result in enumerate(collected) if result is None]
         if missing:  # pragma: no cover - pool misbehavior, not reachable normally
@@ -487,10 +661,13 @@ class ParallelRunner:
             chunk_size=chunk_size,
             transport=self.transport,
             trace_dir=self.trace_dir,
+            trial_metrics=self._trial_metrics_list(sink, len(plan)),
         )
 
     def run_iter(
-        self, plan: TrialPlan
+        self,
+        plan: TrialPlan,
+        metrics_sink: Optional[Dict[int, MetricsRegistry]] = None,
     ) -> Iterator[Tuple[int, ExecutionResult]]:
         """Stream ``(plan_index, result)`` pairs as trials complete.
 
@@ -505,7 +682,15 @@ class ParallelRunner:
         A worker exception is re-raised at the first completed failure
         and outstanding work is cancelled — late chunks cannot hide an
         early crash behind hours of remaining work.
+
+        With ``metrics=True`` pass ``metrics_sink``: per-trial registries
+        land there keyed by plan index as their chunks complete.
         """
+        if self.metrics and metrics_sink is None:
+            raise ValueError(
+                "metrics=True streaming needs a metrics_sink (or use run())"
+            )
+        sink = metrics_sink if self.metrics else None
         self._prepare_trace_dir()
         if self.workers == 1 or len(plan) <= 1:
             tele = self.telemetry
@@ -515,15 +700,18 @@ class ParallelRunner:
                     workers=1, trials=len(plan), backend=self.backend,
                     **_fault_field(plan),
                 )
-            yield from self._run_inline(plan, tele)
+            yield from self._run_inline(plan, tele, sink)
             if tele is not None:
                 tele.emit("run_complete", label=plan.name, trials=len(plan))
             return
         chunk_size = self.chunk_size or self._auto_chunk_size(len(plan))
-        yield from self._iter_pooled(plan, chunk_size)
+        yield from self._iter_pooled(plan, chunk_size, sink)
 
     def _run_inline(
-        self, plan: TrialPlan, tele: Optional[TelemetryWriter]
+        self,
+        plan: TrialPlan,
+        tele: Optional[TelemetryWriter],
+        sink: Optional[Dict[int, MetricsRegistry]] = None,
     ) -> Iterator[Tuple[int, ExecutionResult]]:
         """Inline (no-pool) execution, in plan order.
 
@@ -535,7 +723,8 @@ class ParallelRunner:
         if self.backend == "vector":
             started = time.perf_counter()
             pairs, stats = execute_chunk(
-                list(enumerate(plan.trials)), self.legacy_metrics, self.trace_dir
+                list(enumerate(plan.trials)), self.legacy_metrics, self.trace_dir,
+                metrics=sink,
             )
             if tele is not None:
                 tele.emit(
@@ -553,10 +742,20 @@ class ParallelRunner:
             yield from pairs
             return
         for index, spec in enumerate(plan.trials):
-            yield index, self._run_one(index, spec)
+            if sink is not None:
+                result, registry = run_measured_trial(
+                    spec, self.trace_dir, index, self.legacy_metrics
+                )
+                sink[index] = registry
+                yield index, result
+            else:
+                yield index, self._run_one(index, spec)
 
     def _iter_pooled(
-        self, plan: TrialPlan, chunk_size: int
+        self,
+        plan: TrialPlan,
+        chunk_size: int,
+        sink: Optional[Dict[int, MetricsRegistry]] = None,
     ) -> Iterator[Tuple[int, ExecutionResult]]:
         """Fan chunks across the pool; yield results as chunks complete."""
         indexed = list(enumerate(plan.trials))
@@ -585,17 +784,30 @@ class ParallelRunner:
             initializer=_seed_suite_cache,
             initargs=(dealt,),
         )
-        entry = _run_chunk if tele is None else _run_chunk_timed
+        timed = tele is not None or self.profile_dir is not None
         futures = []
         dispatched = {}
+        profile_paths = {}
         for number, chunk in enumerate(chunks):
-            future = pool.submit(
-                entry, chunk, self.legacy_metrics, compact, self.trace_dir,
-                self.backend,
-            )
+            if timed:
+                profile_path = None
+                if self.profile_dir is not None:
+                    profile_path = os.path.join(
+                        self.profile_dir, f"chunk-{number:05d}.pstats"
+                    )
+                future = pool.submit(
+                    _run_chunk_timed, chunk, self.legacy_metrics, compact,
+                    self.trace_dir, self.backend, self.metrics, profile_path,
+                )
+                profile_paths[future] = profile_path
+            else:
+                future = pool.submit(
+                    _run_chunk, chunk, self.legacy_metrics, compact,
+                    self.trace_dir, self.backend, self.metrics,
+                )
             futures.append(future)
+            dispatched[future] = (number, tele.elapsed() if tele else 0.0)
             if tele is not None:
-                dispatched[future] = (number, tele.elapsed())
                 tele.emit(
                     "chunk_dispatch", chunk=number, trials=len(chunk),
                     first_index=chunk[0][0],
@@ -605,15 +817,24 @@ class ParallelRunner:
                 # .result() re-raises the first worker failure promptly;
                 # the finally block then cancels everything still queued.
                 payload = future.result()
-                if tele is not None:
+                if timed:
                     seconds, payload = payload
                     number, opened = dispatched[future]
-                    tele.emit(
-                        "chunk_complete", chunk=number, seconds=seconds,
-                        span=round(tele.elapsed() - opened, 6),
-                        payload_bytes=len(pickle.dumps(payload)),
-                    )
+                    if tele is not None:
+                        tele.emit(
+                            "chunk_complete", chunk=number, seconds=seconds,
+                            span=round(tele.elapsed() - opened, 6),
+                            payload_bytes=len(pickle.dumps(payload)),
+                        )
+                        profile_path = profile_paths.get(future)
+                        if profile_path is not None:
+                            tele.emit(
+                                "profile", chunk=number, path=profile_path,
+                                seconds=seconds,
+                            )
                 if compact:
+                    if sink is not None:
+                        sink.update(payload.unpack_metrics())
                     yield from payload.unpack(plan.trials)
                 else:
                     for index, result in payload:

@@ -32,7 +32,17 @@ changing a single measured number.
 from __future__ import annotations
 
 import pickle
-from typing import Any, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..network.metrics import RunMetrics
 from ..network.simulator import ExecutionResult
@@ -216,17 +226,28 @@ class ChunkSummary(NamedTuple):
     ``blob`` holds the trial count, then per trial its plan index, its
     summary-blob length and the summary blob itself — all varints — so
     the pickle framing is paid once per *chunk*.  ``fallbacks`` carries
-    the rare non-integer output dicts, keyed by plan index.
+    the rare non-integer output dicts, keyed by plan index.  ``metrics``
+    carries optional per-trial packed
+    :class:`~repro.obs.metrics.MetricsRegistry` blobs (canonical varint
+    form), present only when the runner collects metrics — the field
+    defaults keep old pickled summaries loadable.
     """
 
     blob: bytes
     fallbacks: Tuple[Tuple[int, Tuple[Tuple[int, Any], ...]], ...] = ()
+    metrics: Tuple[Tuple[int, bytes], ...] = ()
 
     @classmethod
     def pack(
-        cls, indexed_results: Sequence[Tuple[int, ExecutionResult]]
+        cls,
+        indexed_results: Sequence[Tuple[int, ExecutionResult]],
+        metrics: Optional[Mapping[int, Any]] = None,
     ) -> "ChunkSummary":
-        """Pack one chunk's ``(plan_index, result)`` pairs."""
+        """Pack one chunk's ``(plan_index, result)`` pairs.
+
+        ``metrics`` maps plan index → ``MetricsRegistry`` (anything with
+        a canonical ``pack()``); registries ride along as packed blobs.
+        """
         buf = bytearray()
         fallbacks: List[Tuple[int, Tuple[Tuple[int, Any], ...]]] = []
         _write_varint(buf, len(indexed_results))
@@ -237,7 +258,16 @@ class ChunkSummary(NamedTuple):
             buf += summary.blob
             if summary.outputs is not None:
                 fallbacks.append((index, summary.outputs))
-        return cls(blob=bytes(buf), fallbacks=tuple(fallbacks))
+        packed_metrics: Tuple[Tuple[int, bytes], ...] = ()
+        if metrics is not None:
+            packed_metrics = tuple(
+                (index, metrics[index].pack())
+                for index, _ in indexed_results
+                if index in metrics
+            )
+        return cls(
+            blob=bytes(buf), fallbacks=tuple(fallbacks), metrics=packed_metrics
+        )
 
     def unpack(self, specs: SpecLookup) -> List[Tuple[int, ExecutionResult]]:
         """Rebuild the chunk's ``(plan_index, result)`` pairs.
@@ -265,6 +295,14 @@ class ChunkSummary(NamedTuple):
             at += length
             pairs.append((index, summary.unpack(specs[index])))
         return pairs
+
+    def unpack_metrics(self) -> Dict[int, Any]:
+        """Rebuild the chunk's plan index → ``MetricsRegistry`` mapping."""
+        from ..obs.metrics import MetricsRegistry
+
+        return {
+            index: MetricsRegistry.unpack(blob) for index, blob in self.metrics
+        }
 
 
 def measure_payload_bytes(

@@ -254,6 +254,7 @@ def execute_chunk(
     chunk: Sequence[Tuple[int, TrialSpec]],
     legacy_metrics: bool = False,
     trace_dir: Optional[str] = None,
+    metrics: Optional[Dict[int, Any]] = None,
 ) -> Tuple[List[Tuple[int, ExecutionResult]], Dict[str, Any]]:
     """Run a chunk of (index, spec) pairs, batching what the models support.
 
@@ -265,10 +266,28 @@ def execute_chunk(
     "batches": [{"config", "size"}, ...], "cache_hits", "cache_misses",
     "fallback_reasons": {reason: count}}`` — the reason audit is what
     makes a silent fallback visible in ``repro bench --telemetry``.
+
+    ``metrics`` (a mutable index → registry mapping, filled in place)
+    requests per-trial metrics collection.  The lockstep models compute
+    decisions without materializing per-message deliveries, so metrics
+    collection — like tracing — forces every spec through the object
+    simulator, accounted per-spec under the ``"metrics collection
+    requested"`` fallback reason.  Results stay bit-identical; that is
+    what makes vector-with-metrics artifacts equal serial/pooled ones.
     """
-    from .runner import run_traced_trial, run_trial  # circular at import time
+    from .runner import (  # circular at import time
+        run_measured_trial,
+        run_traced_trial,
+        run_trial,
+    )
 
     def object_path(index: int, spec: TrialSpec) -> ExecutionResult:
+        if metrics is not None:
+            result, registry = run_measured_trial(
+                spec, trace_dir, index, legacy_metrics
+            )
+            metrics[index] = registry
+            return result
         if trace_dir is not None:
             return run_traced_trial(spec, trace_dir, index, legacy_metrics)
         return run_trial(spec, legacy_metrics=legacy_metrics)
@@ -281,6 +300,10 @@ def execute_chunk(
     for index, spec in chunk:
         if legacy_metrics:
             reasons["legacy metrics requested"] += 1
+            fallback.append((index, spec))
+            continue
+        if metrics is not None:
+            reasons["metrics collection requested"] += 1
             fallback.append((index, spec))
             continue
         if trace_dir is not None:

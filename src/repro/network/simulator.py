@@ -89,6 +89,7 @@ class SyncSimulator:
         collect_signatures: bool = True,
         legacy_metrics: bool = False,
         faults: Optional[FaultPlan] = None,
+        collector: Optional[Any] = None,
     ) -> None:
         if crypto.num_parties != num_parties:
             raise SimulationError(
@@ -124,6 +125,18 @@ class SyncSimulator:
                 "support fault injection"
             )
         self.faults = faults
+        # Protocol-metrics collector (repro.obs.metrics.MetricsRegistry,
+        # duck-typed here because network must not import obs): gets
+        # on_message()/on_fault() callbacks from the delivery path, same
+        # seam as the tracer.  collector=None keeps delivery byte-identical
+        # to the pre-metrics code; the legacy baseline predates the seam
+        # and must stay a pure measurement control.
+        if collector is not None and legacy_metrics:
+            raise SimulationError(
+                "legacy_metrics is a benchmark baseline; it does not "
+                "support metrics collection"
+            )
+        self.collector = collector
         # Per-run injection tallies of the most recent run() with faults.
         self.last_fault_counts: Optional[FaultCounts] = None
 
@@ -272,6 +285,7 @@ class SyncSimulator:
         per-message path (``legacy_metrics=True``).
         """
         tracer = self.tracer
+        collector = self.collector
         collect = self.collect_signatures
         stats = None
         for sender in range(self.num_parties):
@@ -310,6 +324,11 @@ class SyncSimulator:
                     tracer.record_message(
                         round_index, sender, recipient, payload, sender_honest
                     )
+            if collector is not None:
+                for recipient, payload in outbox.items():
+                    collector.on_message(
+                        round_index, sender, recipient, payload, sender_honest
+                    )
 
     def _deliver_faulty(
         self,
@@ -331,6 +350,7 @@ class SyncSimulator:
         exactly — pinned by ``tests/chaos/test_faults.py``.
         """
         tracer = self.tracer
+        collector = self.collector
         collect = self.collect_signatures
         counts = injector.counts
         offline = injector.offline(round_index)
@@ -361,6 +381,10 @@ class SyncSimulator:
                         tracer.record_message(
                             round_index, sender, recipient, payload, sender_honest
                         )
+                    if collector is not None:
+                        collector.on_message(
+                            round_index, sender, recipient, payload, sender_honest
+                        )
                     continue
                 if kind == "delay":
                     injector.defer(
@@ -378,6 +402,8 @@ class SyncSimulator:
                         round_index, kind, sender, recipient,
                         delay if kind == "delay" else None,
                     )
+                if collector is not None:
+                    collector.on_fault(round_index, kind)
             if sender_honest:
                 stats.honest_messages += messages
                 stats.honest_signatures += signatures
@@ -408,6 +434,8 @@ class SyncSimulator:
                     tracer.record_fault(
                         round_index, kind, entry.sender, entry.recipient, None
                     )
+                if collector is not None:
+                    collector.on_fault(round_index, kind)
                 continue
             inboxes[entry.recipient][entry.sender] = entry.payload
             counts.delivered_late += 1
@@ -424,6 +452,11 @@ class SyncSimulator:
                 stats.corrupt_signatures += signature_count
             if tracer is not None:
                 tracer.record_message(
+                    round_index, entry.sender, entry.recipient, entry.payload,
+                    entry.sender_honest,
+                )
+            if collector is not None:
+                collector.on_message(
                     round_index, entry.sender, entry.recipient, entry.payload,
                     entry.sender_honest,
                 )
@@ -505,6 +538,7 @@ def run_protocol(
     crypto: Optional[CryptoSuite] = None,
     max_rounds: int = 4096,
     faults: Optional[FaultPlan] = None,
+    collector: Optional[Any] = None,
 ) -> ExecutionResult:
     """One-call convenience wrapper: deal ideal keys, build a simulator, run.
 
@@ -526,5 +560,6 @@ def run_protocol(
         session=session,
         max_rounds=max_rounds,
         faults=faults,
+        collector=collector,
     )
     return simulator.run(factory, inputs)

@@ -19,6 +19,28 @@ Three pieces share one sink abstraction
   digest engine scheduling spans (``repro bench --telemetry``).
 """
 
+from .metrics import (
+    DELIVERY_METRIC_NAMES,
+    HISTOGRAM_BUCKETS,
+    MESSAGE_KINDS,
+    METRIC_NAMES,
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    build_metrics_payload,
+    load_metrics_artifact,
+    metrics_from_trace,
+    summary_kind,
+    validate_metrics_payload,
+    write_metrics_artifact,
+)
+from .report import (
+    build_report,
+    check_report,
+    load_profile_summary,
+    load_report_inputs,
+    render_html,
+)
 from .replay import (
     LoadedTrace,
     TraceDivergence,
@@ -43,20 +65,38 @@ from .telemetry import (
 )
 
 __all__ = [
+    "DELIVERY_METRIC_NAMES",
+    "HISTOGRAM_BUCKETS",
+    "MESSAGE_KINDS",
+    "METRICS_SCHEMA",
+    "METRIC_NAMES",
     "TELEMETRY_EVENT_TYPES",
     "TELEMETRY_SCHEMA",
     "TRACE_RECORD_TYPES",
     "TRACE_SCHEMA",
     "FanoutSink",
+    "Histogram",
     "JsonlTraceSink",
     "LoadedTrace",
+    "MetricsRegistry",
     "ObsFormatError",
     "TelemetryWriter",
     "TraceDivergence",
+    "build_metrics_payload",
+    "build_report",
+    "check_report",
     "diff_traces",
     "filter_trace",
+    "load_metrics_artifact",
+    "load_profile_summary",
+    "load_report_inputs",
     "load_trace",
+    "metrics_from_trace",
+    "render_html",
     "summarize_telemetry",
+    "summary_kind",
     "trace_filename",
     "trace_metrics",
+    "validate_metrics_payload",
+    "write_metrics_artifact",
 ]

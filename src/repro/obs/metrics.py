@@ -1,0 +1,791 @@
+"""Deterministic protocol metrics: counters + fixed-bucket histograms.
+
+:class:`MetricsRegistry` is the aggregation substrate behind
+``repro bench --metrics`` and ``repro report``: cheap integer counters
+and fixed-bucket histograms with a **pinned name vocabulary**
+(:data:`METRIC_NAMES`, enforced at runtime here and statically by the
+OBS603 check rule), an **order-independent merge** so per-trial
+registries collected by any number of workers in any completion order
+fold to the same totals, and a canonical **varint pack/unpack** so
+packed registries ride the engine's compact ``ChunkSummary`` transport.
+
+Collection happens inside the simulator's delivery seam — the same hook
+pattern as ``Tracer`` / ``FaultInjector``: ``SyncSimulator(collector=…)``
+calls :meth:`MetricsRegistry.on_message` / :meth:`~MetricsRegistry.on_fault`
+per delivered message / injected fault, and ``collector=None`` leaves the
+delivery path byte-identical to the pre-metrics code.  Everything a
+delivered message contributes is derived from its *trace summary* (the
+``summarize_payload`` string and ``count_signatures`` tally already
+stamped on every :class:`~repro.network.trace.TraceEvent`), so the same
+metrics can be recomputed from a replayed JSONL trace —
+:func:`metrics_from_trace` — and ``repro trace --stats`` and live
+collection agree name-for-name, count-for-count.  The only additions the
+live path can see that a trace cannot are payload internals: slot
+occupancy of composite messages and per-class crypto-object counts.
+
+The serialized artifact is ``repro-metrics/1``: a single canonical JSON
+document (:func:`build_metrics_payload` / :func:`write_metrics_artifact`)
+with per-config registries plus merged totals, deterministic for a given
+``(seed, plan)`` regardless of worker count or backend — pinned by
+``tests/engine/test_metrics_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..network.trace import FaultEvent, TraceEvent, summarize_payload
+from .sinks import ObsFormatError
+
+__all__ = [
+    "DELIVERY_METRIC_NAMES",
+    "HISTOGRAM_BUCKETS",
+    "MESSAGE_KINDS",
+    "METRICS_SCHEMA",
+    "METRIC_NAMES",
+    "Histogram",
+    "MetricsRegistry",
+    "build_metrics_payload",
+    "load_metrics_artifact",
+    "metrics_from_trace",
+    "summary_kind",
+    "validate_metrics_payload",
+    "write_metrics_artifact",
+]
+
+#: Schema tag of the metrics artifact (``repro report`` input).
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: The complete metric-name vocabulary.  Every ``inc``/``observe`` call
+#: must name one of these — enforced at runtime by the registry and
+#: statically by the OBS603 rule, which pins string-literal call sites
+#: across obs/engine/cli/analysis to this frozenset.  Kept as a single
+#: literal so the checks-layer AST index can recover the value without
+#: importing this module.
+METRIC_NAMES = frozenset(
+    {
+        "agreements",
+        "coin_flip_rounds",
+        "coin_share_msgs",
+        "crypto_ops",
+        "decisions",
+        "fault_hits",
+        "messages",
+        "messages_corrupt",
+        "messages_honest",
+        "round_messages",
+        "rounds_to_decision",
+        "sig_combine_ops",
+        "sig_verify_ops",
+        "signatures_corrupt",
+        "signatures_honest",
+        "slot_occupancy",
+        "trial_messages",
+        "trial_signatures",
+        "trials",
+    }
+)
+
+#: Fixed bucket upper bounds per histogram metric (values above the last
+#: bound land in the overflow bucket).  Fixed buckets are what make the
+#: merge order-independent: merging histograms is element-wise addition.
+HISTOGRAM_BUCKETS: Dict[str, Tuple[int, ...]] = {
+    "rounds_to_decision": (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 96, 128),
+    "slot_occupancy": (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64),
+    "trial_messages": (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+    "trial_signatures": (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+}
+
+#: Message-kind labels produced by :func:`summary_kind` (the label space
+#: of the ``messages*`` counters).
+MESSAGE_KINDS = frozenset(
+    {
+        "bool",
+        "bytes",
+        "collection",
+        "int",
+        "none",
+        "object",
+        "parallel",
+        "sequence",
+        "signature",
+        "str",
+    }
+)
+
+#: The trace-recoverable subset: metrics derived purely from delivery
+#: summaries and fault records, therefore identical between live
+#: collection and :func:`metrics_from_trace` replay (pinned by
+#: ``tests/obs/test_metrics.py``).
+DELIVERY_METRIC_NAMES = frozenset(
+    {
+        "coin_flip_rounds",
+        "coin_share_msgs",
+        "fault_hits",
+        "messages",
+        "messages_corrupt",
+        "messages_honest",
+        "round_messages",
+        "sig_verify_ops",
+        "signatures_corrupt",
+        "signatures_honest",
+        "trial_messages",
+        "trial_signatures",
+    }
+)
+
+_COUNTER_NAMES = METRIC_NAMES - frozenset(HISTOGRAM_BUCKETS)
+
+if not frozenset(HISTOGRAM_BUCKETS) <= METRIC_NAMES:  # pragma: no cover
+    raise AssertionError("HISTOGRAM_BUCKETS names must be in METRIC_NAMES")
+if not DELIVERY_METRIC_NAMES <= METRIC_NAMES:  # pragma: no cover
+    raise AssertionError("DELIVERY_METRIC_NAMES must be in METRIC_NAMES")
+
+
+def summary_kind(summary: str) -> str:
+    """Classify a ``summarize_payload`` string into a message kind.
+
+    This is the bridge that lets trace replay and live collection share
+    one vocabulary: both see the same summary string, so both label a
+    message the same way.
+    """
+    if summary == "∅":
+        return "none"
+    if summary in ("True", "False"):
+        return "bool"
+    if summary.startswith("∥"):
+        return "parallel"
+    if summary.startswith("bytes["):
+        return "bytes"
+    if summary.startswith("{"):
+        return "collection"
+    if summary.startswith("("):
+        return "sequence"
+    if summary.startswith("'"):
+        return "str"
+    if summary.startswith("<"):
+        return "signature"
+    if summary.startswith("int(") or summary.lstrip("-").isdigit():
+        return "int"
+    return "object"
+
+
+# ── varint codec (LEB128, same wire idiom as repro.engine.transport; the
+#    obs layer cannot import engine, so the ~10 lines are duplicated) ───
+
+
+def _write_varint(buf: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _read_varint(blob: bytes, at: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if at >= len(blob):
+            raise ObsFormatError("truncated metrics blob: varint runs past end")
+        byte = blob[at]
+        at += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, at
+        shift += 7
+
+
+def _write_str(buf: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _write_varint(buf, len(raw))
+    buf.extend(raw)
+
+
+def _read_str(blob: bytes, at: int) -> Tuple[str, int]:
+    length, at = _read_varint(blob, at)
+    end = at + length
+    if end > len(blob):
+        raise ObsFormatError("truncated metrics blob: string runs past end")
+    return blob[at:end].decode("utf-8"), end
+
+
+_PACK_VERSION = 1
+
+
+class Histogram:
+    """A fixed-bucket integer histogram with exact count/total/min/max."""
+
+    __slots__ = ("buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, buckets: Sequence[int]) -> None:
+        self.buckets: Tuple[int, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        # counts has one slot per bucket plus a final overflow slot.
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.minimum, other.maximum):
+            if bound is None:
+                continue
+            if self.minimum is None or bound < self.minimum:
+                self.minimum = bound
+            if self.maximum is None or bound > self.maximum:
+                self.maximum = bound
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, fraction: float) -> Optional[int]:
+        """Upper-bound estimate of the ``fraction`` quantile.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches the target rank; observations in the overflow
+        bucket resolve to the exact maximum.  Deterministic and
+        monotone in ``fraction``.
+        """
+        if not self.count:
+            return None
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        target = fraction * self.count
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            if running >= target and n:
+                # An exact histogram never reports a quantile below the
+                # minimum or above the maximum it actually saw.
+                assert self.minimum is not None and self.maximum is not None
+                return min(max(bound, self.minimum), self.maximum)
+        return self.maximum
+
+    def copy(self) -> "Histogram":
+        dup = Histogram(self.buckets)
+        dup.merge(self)
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, total={self.total}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )
+
+    def as_payload(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Histogram":
+        hist = cls(payload["buckets"])
+        counts = list(payload["counts"])
+        if len(counts) != len(hist.buckets) + 1:
+            raise ObsFormatError(
+                f"histogram counts length {len(counts)} does not match "
+                f"{len(hist.buckets)} buckets + overflow"
+            )
+        hist.counts = counts
+        hist.count = int(payload["count"])
+        hist.total = int(payload["total"])
+        hist.minimum = payload.get("min")
+        hist.maximum = payload.get("max")
+        return hist
+
+
+class MetricsRegistry:
+    """Deterministic counters + histograms over one or many trials.
+
+    The simulator-facing hooks (:meth:`on_message`, :meth:`on_fault`)
+    mirror the ``Tracer`` seam; the engine calls :meth:`finalize_trial`
+    once per execution to fold per-trial transients (coin rounds,
+    message/signature totals) and run-level outcomes (rounds to
+    decision, agreement, decided values) into the registry.  ``merge``
+    is commutative and associative over finalized registries, and
+    ``pack``/``unpack`` round-trip losslessly — both pinned by
+    hypothesis property tests.
+    """
+
+    __slots__ = (
+        "counters",
+        "histograms",
+        "_coin_rounds",
+        "_trial_messages",
+        "_trial_signatures",
+        "_memo_round",
+        "_memo",
+    )
+
+    def __init__(self) -> None:
+        #: (name, label) → count.  Labels refine a metric (message kind,
+        #: fault kind, crypto class, decided value); unlabelled metrics
+        #: use the empty string.
+        self.counters: Dict[Tuple[str, str], int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._coin_rounds: Set[int] = set()
+        self._trial_messages = 0
+        self._trial_signatures = 0
+        self._memo_round = -1
+        self._memo: Dict[int, Tuple[str, int, Tuple[Tuple[str, int], ...], int]] = {}
+
+    # ── core mutation API (name vocabulary enforced) ──────────────────
+
+    def inc(self, name: str, label: str = "", by: int = 1) -> None:
+        if name not in _COUNTER_NAMES:
+            raise ValueError(f"unknown counter metric {name!r}")
+        if by < 0:
+            raise ValueError(f"counter increments must be >= 0, got {by}")
+        if not by:
+            return
+        key = (name, label)
+        self.counters[key] = self.counters.get(key, 0) + by
+
+    def observe(self, name: str, value: int) -> None:
+        buckets = HISTOGRAM_BUCKETS.get(name)
+        if buckets is None:
+            raise ValueError(f"unknown histogram metric {name!r}")
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(buckets)
+        hist.observe(value)
+
+    # ── simulator delivery seam (Tracer-shaped hooks) ─────────────────
+
+    def on_message(
+        self,
+        round_index: int,
+        sender: int,
+        recipient: int,
+        payload: Any,
+        sender_honest: bool,
+    ) -> None:
+        """Tally one delivered message (live collection).
+
+        The summary/signature reduction is memoized per distinct payload
+        *object* per round — a sender multicasting one payload to n
+        recipients costs one walk, exactly like the delivery loop's own
+        signature dedup.
+        """
+        if round_index != self._memo_round:
+            self._memo.clear()
+            self._memo_round = round_index
+        cached = self._memo.get(id(payload))
+        if cached is None:
+            from ..network.metrics import count_signatures
+
+            slots = len(payload) if isinstance(payload, dict) else -1
+            cached = self._memo[id(payload)] = (
+                summarize_payload(payload),
+                count_signatures(payload),
+                _crypto_class_counts(payload),
+                slots,
+            )
+        summary, signatures, classes, slots = cached
+        self.observe_delivery(round_index, summary, signatures, sender_honest)
+        # Live-only extras: payload internals a trace summary cannot
+        # recover (composite slot occupancy, per-class crypto objects).
+        if slots >= 0:
+            self.observe("slot_occupancy", slots)
+        for class_name, count in classes:
+            self.inc("crypto_ops", class_name, count)
+            if "Signature" in class_name and "Share" not in class_name:
+                self.inc("sig_combine_ops", class_name, count)
+
+    def on_fault(self, round_index: int, kind: str) -> None:
+        self.inc("fault_hits", kind)
+
+    def observe_delivery(
+        self, round_index: int, summary: str, signatures: int, sender_honest: bool
+    ) -> None:
+        """Tally one delivery from its trace summary (shared live/replay path)."""
+        kind = summary_kind(summary)
+        self.inc("messages", kind)
+        self.inc("round_messages", f"{round_index:04d}/{kind}")
+        if sender_honest:
+            self.inc("messages_honest", kind)
+            self.inc("signatures_honest", "", signatures)
+        else:
+            self.inc("messages_corrupt", kind)
+            self.inc("signatures_corrupt", "", signatures)
+        self.inc("sig_verify_ops", "", signatures)
+        if "coin_share" in summary:
+            self.inc("coin_share_msgs")
+            self._coin_rounds.add(round_index)
+        self._trial_messages += 1
+        self._trial_signatures += signatures
+
+    def finalize_delivery(self) -> None:
+        """Fold per-trial delivery transients; call once per execution."""
+        self.inc("coin_flip_rounds", "", len(self._coin_rounds))
+        self.observe("trial_messages", self._trial_messages)
+        self.observe("trial_signatures", self._trial_signatures)
+        self._coin_rounds = set()
+        self._trial_messages = 0
+        self._trial_signatures = 0
+        self._memo_round = -1
+        self._memo = {}
+
+    def finalize_trial(self, result: Any) -> None:
+        """Fold one finished ``ExecutionResult`` into run-level metrics."""
+        self.finalize_delivery()
+        self.inc("trials")
+        self.inc("agreements", "agree" if result.honest_agree() else "disagree")
+        for pid in result.honest_parties:
+            finish = result.finish_rounds.get(pid)
+            if finish is not None:
+                self.observe("rounds_to_decision", finish)
+        outputs = result.honest_outputs
+        for pid in sorted(outputs):
+            self.inc("decisions", summarize_payload(outputs[pid]))
+
+    # ── merge / views ─────────────────────────────────────────────────
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (element-wise addition)."""
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = hist.copy()
+            else:
+                mine.merge(hist)
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        total = cls()
+        for registry in registries:
+            total.merge(registry)
+        return total
+
+    def copy(self) -> "MetricsRegistry":
+        return MetricsRegistry.merged([self])
+
+    def delivery_view(self) -> "MetricsRegistry":
+        """Restrict to :data:`DELIVERY_METRIC_NAMES` (the trace-recoverable
+        subset used by the live-vs-replayed equivalence tests)."""
+        view = MetricsRegistry()
+        view.counters = {
+            key: value
+            for key, value in self.counters.items()
+            if key[0] in DELIVERY_METRIC_NAMES
+        }
+        view.histograms = {
+            name: hist.copy()
+            for name, hist in self.histograms.items()
+            if name in DELIVERY_METRIC_NAMES
+        }
+        return view
+
+    def counter_total(self, name: str) -> int:
+        return sum(
+            value for (metric, _), value in self.counters.items() if metric == name
+        )
+
+    def labels(self, name: str) -> Dict[str, int]:
+        """Sorted label → count mapping for one counter metric."""
+        return {
+            label: self.counters[(metric, label)]
+            for metric, label in sorted(self.counters)
+            if metric == name
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsRegistry):
+            return NotImplemented
+        return (
+            self.counters == other.counters and self.histograms == other.histograms
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)})"
+        )
+
+    # ── canonical wire form (ChunkSummary transport) ──────────────────
+
+    def pack(self) -> bytes:
+        """Canonical varint encoding: equal registries pack identically."""
+        buf = bytearray()
+        _write_varint(buf, _PACK_VERSION)
+        _write_varint(buf, len(self.counters))
+        for (name, label) in sorted(self.counters):
+            _write_str(buf, name)
+            _write_str(buf, label)
+            _write_varint(buf, self.counters[(name, label)])
+        _write_varint(buf, len(self.histograms))
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            _write_str(buf, name)
+            _write_varint(buf, len(hist.buckets))
+            for bound in hist.buckets:
+                _write_varint(buf, bound)
+            for count in hist.counts:
+                _write_varint(buf, count)
+            _write_varint(buf, hist.count)
+            _write_varint(buf, hist.total)
+            if hist.count:
+                _write_varint(buf, hist.minimum or 0)
+                _write_varint(buf, hist.maximum or 0)
+        return bytes(buf)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "MetricsRegistry":
+        registry = cls()
+        version, at = _read_varint(blob, 0)
+        if version != _PACK_VERSION:
+            raise ObsFormatError(f"unknown metrics pack version {version}")
+        n_counters, at = _read_varint(blob, at)
+        for _ in range(n_counters):
+            name, at = _read_str(blob, at)
+            label, at = _read_str(blob, at)
+            value, at = _read_varint(blob, at)
+            registry.counters[(name, label)] = value
+        n_hists, at = _read_varint(blob, at)
+        for _ in range(n_hists):
+            name, at = _read_str(blob, at)
+            n_buckets, at = _read_varint(blob, at)
+            buckets = []
+            for _ in range(n_buckets):
+                bound, at = _read_varint(blob, at)
+                buckets.append(bound)
+            hist = Histogram(buckets)
+            counts = []
+            for _ in range(n_buckets + 1):
+                count, at = _read_varint(blob, at)
+                counts.append(count)
+            hist.counts = counts
+            hist.count, at = _read_varint(blob, at)
+            hist.total, at = _read_varint(blob, at)
+            if hist.count:
+                hist.minimum, at = _read_varint(blob, at)
+                hist.maximum, at = _read_varint(blob, at)
+            registry.histograms[name] = hist
+        if at != len(blob):
+            raise ObsFormatError(
+                f"metrics blob has {len(blob) - at} trailing bytes"
+            )
+        return registry
+
+    # ── JSON artifact form ────────────────────────────────────────────
+
+    def as_payload(self) -> Dict[str, Any]:
+        counters: Dict[str, Dict[str, int]] = {}
+        for (name, label) in sorted(self.counters):
+            counters.setdefault(name, {})[label] = self.counters[(name, label)]
+        return {
+            "counters": counters,
+            "histograms": {
+                name: self.histograms[name].as_payload()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        for name, labels in payload.get("counters", {}).items():
+            for label, value in labels.items():
+                registry.counters[(name, label)] = int(value)
+        for name, hist_payload in payload.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_payload(hist_payload)
+        return registry
+
+
+def _crypto_class_counts(payload: Any) -> Tuple[Tuple[str, int], ...]:
+    """Count crypto-layer objects inside a payload, by class name.
+
+    Same walk shape as ``count_signatures`` (dicts by keys+values,
+    sequences element-wise, dataclass fields), reduced to a sorted
+    ``(class_name, count)`` tuple so the result is hashable and
+    memo-friendly.  Class names are surfaced the way trace summaries
+    spell them (leading underscores stripped).
+    """
+    import dataclasses
+
+    counts: Dict[str, int] = {}
+    stack = [payload]
+    while stack:
+        value = stack.pop()
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            continue
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            cls = type(value)
+            if cls.__module__.startswith("repro.crypto"):
+                name = cls.__name__.lstrip("_")
+                counts[name] = counts.get(name, 0) + 1
+            for field in dataclasses.fields(value):
+                stack.append(getattr(value, field.name))
+        elif isinstance(value, dict):
+            stack.extend(value.keys())
+            stack.extend(value.values())
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            stack.extend(value)
+    return tuple(sorted(counts.items()))
+
+
+def metrics_from_trace(
+    events: Iterable[TraceEvent], faults: Iterable[FaultEvent] = ()
+) -> MetricsRegistry:
+    """Recompute delivery metrics from replayed trace records.
+
+    Uses the exact same :meth:`MetricsRegistry.observe_delivery` /
+    :meth:`~MetricsRegistry.on_fault` path as live collection, so the
+    result equals the live registry's :meth:`~MetricsRegistry.delivery_view`
+    for the same execution.
+    """
+    registry = MetricsRegistry()
+    for event in events:
+        registry.observe_delivery(
+            event.round_index, event.summary, event.signatures, event.sender_honest
+        )
+    for fault in faults:
+        registry.on_fault(fault.round_index, fault.kind)
+    registry.finalize_delivery()
+    return registry
+
+
+def build_metrics_payload(
+    meta: Mapping[str, Any],
+    configs: Mapping[str, Tuple[Mapping[str, Any], MetricsRegistry]],
+) -> Dict[str, Any]:
+    """Assemble the ``repro-metrics/1`` artifact document.
+
+    ``configs`` maps config key → (config meta, merged registry); the
+    totals section is the merge over all configs.  ``meta`` must be
+    derived from the plan alone (never worker count or wall clock) so
+    the artifact is identical across serial/pooled/vector runs.
+    """
+    totals = MetricsRegistry.merged(registry for _, registry in configs.values())
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(meta),
+        "configs": {
+            name: {"meta": dict(config_meta), "metrics": registry.as_payload()}
+            for name, (config_meta, registry) in configs.items()
+        },
+        "totals": totals.as_payload(),
+    }
+
+
+def validate_metrics_payload(payload: Any) -> List[str]:
+    """Schema violations in a parsed metrics artifact (empty = valid)."""
+    violations: List[str] = []
+    if not isinstance(payload, dict):
+        return ["metrics artifact is not a JSON object"]
+    schema = payload.get("schema")
+    if schema != METRICS_SCHEMA:
+        violations.append(f"schema is {schema!r}, expected {METRICS_SCHEMA!r}")
+    sections: List[Tuple[str, Any]] = [("totals", payload.get("totals"))]
+    configs = payload.get("configs", {})
+    if not isinstance(configs, dict):
+        violations.append("configs section is not an object")
+        configs = {}
+    for name, entry in configs.items():
+        sections.append(
+            (f"configs[{name}]", entry.get("metrics") if isinstance(entry, dict) else None)
+        )
+    for where, section in sections:
+        if not isinstance(section, dict):
+            violations.append(f"{where}: missing metrics object")
+            continue
+        try:
+            registry = MetricsRegistry.from_payload(section)
+        except (ObsFormatError, KeyError, TypeError, ValueError) as error:
+            violations.append(f"{where}: malformed metrics ({error})")
+            continue
+        for metric, _ in registry.counters:
+            if metric not in _COUNTER_NAMES:
+                violations.append(f"{where}: unknown counter metric {metric!r}")
+        for metric, hist in registry.histograms.items():
+            expected = HISTOGRAM_BUCKETS.get(metric)
+            if expected is None:
+                violations.append(f"{where}: unknown histogram metric {metric!r}")
+            elif hist.buckets != expected:
+                violations.append(
+                    f"{where}: histogram {metric!r} buckets diverge from the "
+                    "pinned vocabulary"
+                )
+    return violations
+
+
+def write_metrics_artifact(path: str, payload: Mapping[str, Any]) -> None:
+    """Write a validated ``repro-metrics/1`` document, canonically."""
+    violations = validate_metrics_payload(dict(payload))
+    if violations:
+        raise ObsFormatError(
+            "refusing to write invalid metrics artifact: " + "; ".join(violations)
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True, indent=2))
+        handle.write("\n")
+
+
+def load_metrics_artifact(path: str) -> Dict[str, Any]:
+    """Load and validate a ``repro-metrics/1`` document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ObsFormatError(f"{path}: not valid JSON ({error})") from None
+    violations = validate_metrics_payload(payload)
+    if violations:
+        raise ObsFormatError(f"{path}: " + "; ".join(violations))
+    return payload

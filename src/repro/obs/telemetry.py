@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from typing import IO, Any, Dict, List, Mapping, Optional
 
 from .sinks import ObsFormatError, _dump
@@ -43,7 +44,7 @@ TELEMETRY_EVENT_TYPES = frozenset(
         "telemetry", "run_start", "run_complete", "chunk_dispatch",
         "chunk_complete", "predeal", "adaptive_round", "adaptive_complete",
         "probe_cache", "vector_batch", "real_setup", "bench_complete",
-        "end",
+        "profile", "end",
     }
 )
 
@@ -172,10 +173,21 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
         "adaptive_rounds": 0,
         "probe_cache_hits": 0,
         "probe_cache_misses": 0,
+        "profile_seconds": 0.0,
     }
     fallback_reasons: Dict[str, int] = {}
+    unknown_types: Dict[str, int] = {}
+    profiles: List[str] = []
     for record in records[1:]:
         kind = record["t"]
+        if kind not in TELEMETRY_EVENT_TYPES:
+            # A file written by a newer engine may carry span types this
+            # reader has never heard of.  Losing the rest of the digest
+            # over one of them would make telemetry files forward-
+            # incompatible, so unknown spans are counted and skipped —
+            # loudly, because a silent skip is how numbers go missing.
+            unknown_types[kind] = unknown_types.get(kind, 0) + 1
+            continue
         if kind == "run_start":
             current = {
                 "label": record.get("label", ""),
@@ -215,6 +227,19 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
                 fallback_reasons[reason] = fallback_reasons.get(reason, 0) + int(
                     count
                 )
+        elif kind == "profile":
+            totals["profile_seconds"] += record.get("seconds", 0.0)
+            path_field = record.get("path")
+            if path_field:
+                profiles.append(path_field)
+
+    if unknown_types:
+        listed = ", ".join(sorted(unknown_types))
+        warnings.warn(
+            f"{path}: skipped {sum(unknown_types.values())} record(s) of "
+            f"unknown telemetry type(s): {listed}",
+            stacklevel=2,
+        )
 
     consistent = True
     for run in runs:
@@ -237,5 +262,7 @@ def summarize_telemetry(path: str) -> Dict[str, Any]:
         "pooled_runs": len(pooled),
         "consistent": consistent,
         "fallback_reasons": fallback_reasons,
+        "unknown_types": unknown_types,
+        "profiles": profiles,
         **totals,
     }

@@ -78,3 +78,81 @@ class TestFigureMetrics:
         rows = {row["metric"]: row for row in report["metrics"]}
         assert rows["figure:fig1"]["status"] == "skipped"
         assert report["ok"]
+
+
+class TestSchemaValidation:
+    """``load_bench`` gates on the ``schema`` field (absent = legacy OK)."""
+
+    def _write(self, tmp_path, payload, name="bench.json"):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_declared_repro_bench_schema_loads(self, tmp_path):
+        from repro.analysis.benchdiff import load_bench
+
+        payload = artifact()
+        payload["schema"] = "repro-bench/1"
+        loaded = load_bench(self._write(tmp_path, payload))
+        assert loaded["schema"] == "repro-bench/1"
+
+    def test_faults_family_schema_loads(self, tmp_path):
+        from repro.analysis.benchdiff import load_bench
+
+        payload = artifact()
+        payload["schema"] = "repro-bench-faults/1"
+        assert load_bench(self._write(tmp_path, payload))["plan"]["name"] == "t"
+
+    def test_legacy_artifact_without_schema_loads(self, tmp_path):
+        from repro.analysis.benchdiff import load_bench
+
+        assert "schema" not in load_bench(self._write(tmp_path, artifact()))
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        from repro.analysis.benchdiff import load_bench
+
+        payload = artifact()
+        payload["schema"] = "repro-metrics/1"
+        with pytest.raises(ValueError, match="repro-bench"):
+            load_bench(self._write(tmp_path, payload))
+
+    def test_non_string_schema_rejected(self, tmp_path):
+        from repro.analysis.benchdiff import load_bench
+
+        payload = artifact()
+        payload["schema"] = 7
+        with pytest.raises(ValueError, match="repro-bench"):
+            load_bench(self._write(tmp_path, payload))
+
+
+class TestUnknownKeyTolerance:
+    def test_unknown_top_level_keys_skip_not_fail(self):
+        # A newer producer may add top-level keys this reader has never
+        # heard of; the diff must compare the keys it knows and ignore
+        # the rest, not crash or fail the gate.
+        base = artifact()
+        cand = artifact()
+        cand["schema"] = "repro-bench/1"
+        cand["a_future_top_level_key"] = {"nested": ["stuff", 1, None]}
+        cand["another_one"] = 42.5
+        report = compare_benchmarks(base, cand)
+        assert report["ok"]
+        assert {row["metric"] for row in report["metrics"]} >= {"serial"}
+
+    def test_diff_bench_files_end_to_end(self, tmp_path):
+        import json
+
+        from repro.analysis.benchdiff import diff_bench_files
+
+        base = artifact()
+        cand = artifact()
+        cand["schema"] = "repro-bench/1"
+        cand["brand_new_section"] = {"k": "v"}
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        base_path.write_text(json.dumps(base))
+        cand_path.write_text(json.dumps(cand))
+        report = diff_bench_files(str(base_path), str(cand_path))
+        assert report["ok"]

@@ -123,3 +123,73 @@ class TestObs602SpanNames:
             """,
         }), select=["OBS602"])
         assert report.findings == [] and report.suppressed == 1
+
+
+_METRICS_VOCAB = """
+            METRIC_NAMES = frozenset({"messages", "fault_hits", "rounds_to_decision"})
+"""
+
+
+class TestObs603MetricNames:
+    def test_known_metric_names_pass(self, tree):
+        report = check(tree({
+            "obs/metrics.py": _METRICS_VOCAB,
+            "engine/runner.py": """
+                def collect(registry, result):
+                    registry.inc("messages", by=2)
+                    registry.observe("rounds_to_decision", 3)
+            """,
+        }), select=["OBS603"])
+        assert report.findings == []
+
+    def test_counter_typo_is_flagged(self, tree):
+        report = check(tree({
+            "obs/metrics.py": _METRICS_VOCAB,
+            "engine/runner.py": """
+                def collect(registry):
+                    registry.inc("mesages")
+            """,
+        }), select=["OBS603"])
+        assert rule_ids(report) == ["OBS603"]
+        assert "'mesages'" in report.findings[0].message
+
+    def test_histogram_typo_is_flagged(self, tree):
+        report = check(tree({
+            "obs/metrics.py": _METRICS_VOCAB + """
+            def observe_decision(registry, rounds):
+                registry.observe("rounds_to_descision", rounds)
+            """,
+        }), select=["OBS603"])
+        assert rule_ids(report) == ["OBS603"]
+        assert report.findings[0].path == "obs/metrics.py"
+
+    def test_non_literal_first_argument_passes(self, tree):
+        # The adaptive runner's estimator takes computed observations —
+        # only string literals are pinned.
+        report = check(tree({
+            "obs/metrics.py": _METRICS_VOCAB,
+            "engine/adaptive.py": """
+                def observe_outcome(estimate, event, result):
+                    estimate.observe(event(result))
+            """,
+        }), select=["OBS603"])
+        assert report.findings == []
+
+    def test_inert_without_vocabulary_constant(self, tree):
+        report = check(tree({
+            "engine/runner.py": """
+                def collect(registry):
+                    registry.inc("mesages")
+            """,
+        }), select=["OBS603"])
+        assert report.findings == []
+
+    def test_out_of_scope_layer_passes(self, tree):
+        report = check(tree({
+            "obs/metrics.py": _METRICS_VOCAB,
+            "core/party.py": """
+                def f(counter):
+                    counter.inc("whatever")
+            """,
+        }), select=["OBS603"])
+        assert report.findings == []

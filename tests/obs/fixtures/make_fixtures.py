@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate the committed report fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/obs/fixtures/make_fixtures.py
+
+``metrics.json`` comes from a real (deterministic) engine run;
+``telemetry.jsonl`` and ``BENCH_sample.json`` are hand-shaped but
+schema-valid.  ``report.md`` is the golden rendering of all three —
+regenerate it only when the report format intentionally changes, and
+review the diff.
+"""
+
+import json
+import os
+
+from repro.engine import ParallelRunner, TrialPlan
+from repro.obs import (
+    build_report,
+    load_metrics_artifact,
+    summarize_telemetry,
+    write_metrics_artifact,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main():
+    plan = TrialPlan.concat(
+        "fixture-plan",
+        [
+            TrialPlan.monte_carlo(
+                name="one_third",
+                protocol="ba_one_third",
+                inputs=(0, 0, 1, 1),
+                max_faulty=1,
+                trials=6,
+                params={"kappa": 2},
+                adversary="straddle13",
+                adversary_params={"victims": (3,)},
+                seed=41,
+            ),
+            TrialPlan.monte_carlo(
+                name="one_half",
+                protocol="ba_one_half",
+                inputs=(0, 0, 1, 1, 1),
+                max_faulty=2,
+                trials=6,
+                params={"kappa": 2},
+                adversary="straddle12",
+                adversary_params={"victims": (3, 4)},
+                seed=42,
+            ),
+        ],
+    )
+    result = ParallelRunner(workers=1, metrics=True).run(plan)
+    metrics_path = os.path.join(HERE, "metrics.json")
+    write_metrics_artifact(metrics_path, result.metrics_payload())
+
+    telemetry_path = os.path.join(HERE, "telemetry.jsonl")
+    records = [
+        {"t": "telemetry", "schema": "repro-telemetry/1",
+         "meta": {"plan": "fixture-plan"}},
+        {"t": "run_start", "at": 0.0, "label": "fixture-plan", "mode": "pool",
+         "workers": 2, "trials": 12},
+        {"t": "chunk_dispatch", "at": 0.001, "chunk": 0, "trials": 6},
+        {"t": "chunk_dispatch", "at": 0.002, "chunk": 1, "trials": 6},
+        {"t": "chunk_complete", "at": 0.41, "chunk": 0, "seconds": 0.4,
+         "payload_bytes": 512},
+        {"t": "chunk_complete", "at": 0.52, "chunk": 1, "seconds": 0.5,
+         "payload_bytes": 498},
+        {"t": "probe_cache", "at": 0.53, "hits": 3, "misses": 1},
+        {"t": "vector_batch", "at": 0.54,
+         "fallback_reasons": {"metrics collection requested": 12}},
+        {"t": "run_complete", "at": 0.6, "label": "fixture-plan"},
+    ]
+    with open(telemetry_path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+        handle.write(json.dumps({"t": "end", "records": len(records) - 1}) + "\n")
+
+    bench_path = os.path.join(HERE, "BENCH_sample.json")
+    bench = {
+        "schema": "repro-bench/1",
+        "plan": {"name": "fixture-plan", "trials": 12},
+        "workers": 2,
+        "serial_seconds": 1.2,
+        "parallel_seconds": 0.7,
+        "speedup_parallel_vs_serial": 1.714,
+        "vector_seconds": 0.2,
+        "speedup_vector_vs_object": 6.0,
+        "rates": [
+            {"protocol": "ba_one_third", "kappa": 2, "bound": 0.25,
+             "measured": 0.1667},
+            {"protocol": "ba_one_half", "kappa": 2, "bound": 0.25,
+             "measured": 0.1667},
+        ],
+        "a_future_key_this_reader_ignores": {"x": 1},
+    }
+    with open(bench_path, "w", encoding="utf-8") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    markdown = build_report(
+        metrics=load_metrics_artifact(metrics_path),
+        telemetry=summarize_telemetry(telemetry_path),
+        benches=[(bench_path, bench)],
+    )
+    with open(os.path.join(HERE, "report.md"), "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    print("fixtures written to", HERE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,344 @@
+"""Tests for the deterministic ``repro-metrics/1`` registry.
+
+Three layers of guarantees:
+
+* algebra — ``merge`` is commutative and associative over finalized
+  registries, and the canonical ``pack``/``unpack`` wire form is
+  lossless and commutes with merging (hypothesis properties, mirroring
+  the ``RunMetrics`` tally round-trip suite);
+* collection — a registry attached to the simulator's delivery seam
+  recomputes exactly from a replayed trace (``delivery_view`` equals
+  ``metrics_from_trace``) across protocol × adversary × fault configs;
+* artifact — the ``repro-metrics/1`` JSON document validates, writes
+  deterministically and survives a disk round trip.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import TrialPlan, run_trial
+from repro.network.trace import Tracer
+from repro.obs import (
+    DELIVERY_METRIC_NAMES,
+    HISTOGRAM_BUCKETS,
+    MESSAGE_KINDS,
+    METRIC_NAMES,
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    ObsFormatError,
+    build_metrics_payload,
+    load_metrics_artifact,
+    metrics_from_trace,
+    validate_metrics_payload,
+    write_metrics_artifact,
+)
+
+_COUNTER_NAMES = sorted(METRIC_NAMES - set(HISTOGRAM_BUCKETS))
+_HIST_NAMES = sorted(HISTOGRAM_BUCKETS)
+
+
+class TestVocabulary:
+    def test_names_are_frozen_and_lowercase(self):
+        assert isinstance(METRIC_NAMES, frozenset)
+        assert all(name == name.lower() for name in METRIC_NAMES)
+
+    def test_histograms_and_delivery_names_are_subsets(self):
+        assert set(HISTOGRAM_BUCKETS) <= METRIC_NAMES
+        assert DELIVERY_METRIC_NAMES <= METRIC_NAMES
+
+    def test_buckets_strictly_increasing(self):
+        for name, buckets in HISTOGRAM_BUCKETS.items():
+            assert list(buckets) == sorted(set(buckets)), name
+
+
+class TestRegistryValidation:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            MetricsRegistry().inc("mesages")
+
+    def test_histogram_name_not_a_counter(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            MetricsRegistry().inc("rounds_to_decision")
+
+    def test_unknown_histogram_rejected(self):
+        with pytest.raises(ValueError, match="unknown histogram"):
+            MetricsRegistry().observe("messages", 1)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricsRegistry().inc("messages", by=-1)
+
+    def test_zero_increment_is_canonical_noop(self):
+        registry = MetricsRegistry()
+        registry.inc("messages", by=0)
+        assert registry == MetricsRegistry()
+        assert registry.pack() == MetricsRegistry().pack()
+
+
+class TestHistogram:
+    def test_percentiles_are_monotone_and_clamped(self):
+        hist = Histogram(HISTOGRAM_BUCKETS["rounds_to_decision"])
+        for value in (2, 2, 3, 3, 3, 5, 9, 40):
+            hist.observe(value)
+        p50, p90, p99 = (hist.percentile(q) for q in (0.5, 0.9, 0.99))
+        assert p50 <= p90 <= p99 <= hist.maximum == 40
+        assert hist.percentile(1e-9) >= hist.minimum == 2
+
+    def test_overflow_bucket_resolves_to_maximum(self):
+        hist = Histogram((1, 2, 4))
+        hist.observe(1000)
+        assert hist.percentile(0.99) == 1000
+
+    def test_merge_requires_matching_buckets(self):
+        with pytest.raises(ValueError, match="different buckets"):
+            Histogram((1, 2)).merge(Histogram((1, 3)))
+
+
+# Random registry shapes: counter bumps over the real vocabulary with a
+# few label spellings, plus histogram observations over real buckets.
+_counter_entry = st.tuples(
+    st.sampled_from(_COUNTER_NAMES),
+    st.sampled_from(["", "agree", "crash", "0001/int", "0002/signature"]),
+    st.integers(min_value=1, max_value=1 << 20),
+)
+_hist_entry = st.tuples(
+    st.sampled_from(_HIST_NAMES), st.integers(min_value=0, max_value=500)
+)
+_registry_shape = st.tuples(
+    st.lists(_counter_entry, max_size=16), st.lists(_hist_entry, max_size=24)
+)
+
+
+def _build(shape) -> MetricsRegistry:
+    counters, observations = shape
+    registry = MetricsRegistry()
+    for name, label, by in counters:
+        registry.inc(name, label, by=by)
+    for name, value in observations:
+        registry.observe(name, value)
+    return registry
+
+
+class TestMergeAlgebra:
+    @settings(deadline=None)
+    @given(_registry_shape, _registry_shape)
+    def test_merge_is_commutative(self, a, b):
+        assert MetricsRegistry.merged([_build(a), _build(b)]) == (
+            MetricsRegistry.merged([_build(b), _build(a)])
+        )
+
+    @settings(deadline=None)
+    @given(_registry_shape, _registry_shape, _registry_shape)
+    def test_merge_is_associative(self, a, b, c):
+        left = _build(a)
+        left.merge(_build(b))
+        left.merge(_build(c))
+        bc = _build(b)
+        bc.merge(_build(c))
+        right = _build(a)
+        right.merge(bc)
+        assert left == right
+
+    def test_merge_with_empty_is_identity(self):
+        registry = _build(([("messages", "", 7)], [("slot_occupancy", 3)]))
+        merged = registry.copy()
+        merged.merge(MetricsRegistry())
+        assert merged == registry
+
+
+class TestWireForm:
+    @settings(deadline=None)
+    @given(_registry_shape)
+    def test_pack_unpack_is_identity(self, shape):
+        registry = _build(shape)
+        assert MetricsRegistry.unpack(registry.pack()) == registry
+
+    @settings(deadline=None)
+    @given(_registry_shape)
+    def test_pack_is_canonical(self, shape):
+        registry = _build(shape)
+        blob = registry.pack()
+        assert MetricsRegistry.unpack(blob).pack() == blob
+
+    @settings(deadline=None)
+    @given(_registry_shape, _registry_shape)
+    def test_merge_commutes_with_the_wire(self, a, b):
+        direct = _build(a)
+        direct.merge(_build(b))
+        via_wire = MetricsRegistry.merged(
+            MetricsRegistry.unpack(_build(shape).pack()) for shape in (a, b)
+        )
+        assert via_wire == direct
+
+    def test_truncated_blob_raises(self):
+        blob = _build(([("messages", "", 3)], [])).pack()
+        with pytest.raises(ObsFormatError, match="truncated"):
+            MetricsRegistry.unpack(blob[:-1])
+
+    def test_trailing_bytes_raise(self):
+        blob = _build(([("messages", "", 3)], [])).pack()
+        with pytest.raises(ObsFormatError, match="trailing"):
+            MetricsRegistry.unpack(blob + b"\x00")
+
+    def test_unknown_version_raises(self):
+        with pytest.raises(ObsFormatError, match="version"):
+            MetricsRegistry.unpack(b"\x63")
+
+    def test_json_payload_roundtrip(self):
+        registry = _build(
+            ([("messages", "", 5), ("fault_hits", "crash", 2)],
+             [("rounds_to_decision", 3)])
+        )
+        assert MetricsRegistry.from_payload(registry.as_payload()) == registry
+
+
+# One small plan per protocol × adversary × fault configuration the
+# collection grid covers; every entry must satisfy live == replayed.
+_GRID = [
+    ("ba_one_third", (0, 0, 1, 1), 1, {"kappa": 2},
+     "straddle13", {"victims": (3,)}, None, None),
+    ("ba_one_half", (0, 0, 1, 1, 1), 2, {"kappa": 2},
+     "straddle12", {"victims": (3, 4)}, None, None),
+    ("fm_probabilistic", (0, 0, 1, 1), 1, {}, None, None, None, None),
+    ("threshold_coin", (None, None, None, None), 1, {"index": 0},
+     "withhold_coin", {"victims": (3,), "preferred": 1}, None, None),
+    ("ba_one_third", (0, 0, 1, 1), 1, {"kappa": 2},
+     "crash", {"victims": (3,)}, "lossy", {"rate": 0.3}),
+]
+
+
+def _grid_specs(entry, trials=3):
+    protocol, inputs, t, params, adversary, adv_params, faults, fparams = entry
+    plan = TrialPlan.monte_carlo(
+        name=f"metrics-{protocol}",
+        protocol=protocol,
+        inputs=inputs,
+        max_faulty=t,
+        trials=trials,
+        params=params,
+        adversary=adversary,
+        adversary_params=adv_params,
+        seed=29,
+        faults=faults,
+        fault_params=fparams,
+        vectorizable=faults is None,
+    )
+    return plan.trials
+
+
+class TestLiveEqualsReplayed:
+    @pytest.mark.parametrize(
+        "entry", _GRID, ids=[f"{e[0]}-{e[4]}-{e[6]}" for e in _GRID]
+    )
+    def test_delivery_view_matches_trace_recomputation(self, entry):
+        for spec in _grid_specs(entry):
+            tracer = Tracer()
+            collector = MetricsRegistry()
+            result = run_trial(spec, tracer=tracer, collector=collector)
+            collector.finalize_trial(result)
+            replayed = metrics_from_trace(tracer.events, tracer.faults)
+            assert collector.delivery_view() == replayed
+
+    def test_collector_never_perturbs_execution(self):
+        spec = _grid_specs(_GRID[0], trials=1)[0]
+        bare = run_trial(spec)
+        collector = MetricsRegistry()
+        observed = run_trial(spec, collector=collector)
+        assert observed == bare
+        assert collector.counter_total("messages") > 0
+
+    def test_round_message_labels_use_known_kinds(self):
+        collector = MetricsRegistry()
+        result = run_trial(_grid_specs(_GRID[0], trials=1)[0], collector=collector)
+        collector.finalize_trial(result)
+        labels = collector.labels("round_messages")
+        assert labels
+        for label in labels:
+            round_key, kind = label.split("/", 1)
+            assert round_key.isdigit()
+            assert kind in MESSAGE_KINDS
+
+    def test_finalize_trial_rolls_up_outcomes(self):
+        collector = MetricsRegistry()
+        result = run_trial(_grid_specs(_GRID[0], trials=1)[0], collector=collector)
+        collector.finalize_trial(result)
+        assert collector.counter_total("trials") == 1
+        rounds = collector.histograms["rounds_to_decision"]
+        assert rounds.count == len(
+            [pid for pid in result.finish_rounds if pid not in result.corrupted]
+        )
+        assert collector.counter_total("agreements") == 1
+
+    def test_faulted_run_attributes_fault_hits(self):
+        faulted = _GRID[-1]
+        total = MetricsRegistry()
+        for spec in _grid_specs(faulted, trials=4):
+            collector = MetricsRegistry()
+            result = run_trial(spec, collector=collector)
+            collector.finalize_trial(result)
+            total.merge(collector)
+        assert total.counter_total("fault_hits") > 0
+        assert all(kind for kind in total.labels("fault_hits"))
+
+
+class TestArtifact:
+    def _payload(self):
+        registry = _build(
+            ([("messages", "", 9), ("trials", "", 2)],
+             [("rounds_to_decision", 2), ("rounds_to_decision", 4)])
+        )
+        return build_metrics_payload(
+            {"plan": "unit", "trials": 2},
+            {"cfg": ({"protocol": "ba_one_third", "num_parties": 4}, registry)},
+        )
+
+    def test_payload_validates_clean(self):
+        assert validate_metrics_payload(self._payload()) == []
+
+    def test_totals_equal_config_merge(self):
+        payload = self._payload()
+        merged = MetricsRegistry.merged(
+            MetricsRegistry.from_payload(entry["metrics"])
+            for entry in payload["configs"].values()
+        )
+        assert MetricsRegistry.from_payload(payload["totals"]) == merged
+
+    def test_wrong_schema_flagged(self):
+        payload = self._payload()
+        payload["schema"] = "repro-metrics/99"
+        assert any("schema" in v for v in validate_metrics_payload(payload))
+
+    def test_unknown_counter_name_flagged(self):
+        payload = self._payload()
+        payload["totals"]["counters"]["mesages"] = {"": 1}
+        assert any("mesages" in v for v in validate_metrics_payload(payload))
+
+    def test_non_object_payload_flagged(self):
+        assert validate_metrics_payload([]) != []
+
+    def test_write_load_roundtrip_and_deterministic_bytes(self, tmp_path):
+        payload = self._payload()
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_metrics_artifact(str(first), payload)
+        write_metrics_artifact(str(second), json.loads(first.read_text()))
+        assert first.read_bytes() == second.read_bytes()
+        loaded = load_metrics_artifact(str(first))
+        assert loaded["schema"] == METRICS_SCHEMA
+        assert MetricsRegistry.from_payload(
+            loaded["totals"]
+        ) == MetricsRegistry.from_payload(payload["totals"])
+
+    def test_write_refuses_invalid_payload(self, tmp_path):
+        with pytest.raises(ObsFormatError):
+            write_metrics_artifact(str(tmp_path / "bad.json"), {"schema": "x"})
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ObsFormatError, match="JSON"):
+            load_metrics_artifact(str(path))

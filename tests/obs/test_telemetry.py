@@ -209,3 +209,59 @@ class TestRunnerTelemetry:
         complete = next(r for r in records if r["t"] == "adaptive_complete")
         assert complete["spent"] <= complete["budget"]
         assert complete["allocation_rounds"] == len(rounds)
+
+
+class TestForwardCompatibility:
+    """Unknown span types warn-and-skip; the rest of the digest survives.
+
+    A ``repro-telemetry/1`` file written by a newer engine may carry
+    span types this reader predates — losing the whole summary over one
+    of them would make the format version-locked in practice.
+    """
+
+    def test_unknown_span_type_warns_and_skips(self, tmp_path):
+        path = _write_file(tmp_path, "future.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "pool",
+             "workers": 2, "trials": 4},
+            {"t": "chunk_dispatch", "at": 0.0, "chunk": 0, "trials": 4},
+            {"t": "quantum_leap", "at": 0.1, "entangled": True},
+            {"t": "chunk_complete", "at": 0.5, "chunk": 0, "seconds": 0.4,
+             "payload_bytes": 64},
+            {"t": "quantum_leap", "at": 0.6},
+            {"t": "run_complete", "at": 0.7, "label": "r"},
+        ])
+        with pytest.warns(UserWarning, match="quantum_leap"):
+            summary = summarize_telemetry(path)
+        # The known spans still digest in full.
+        assert summary["chunks"] == 1
+        assert summary["trials"] == 4
+        assert summary["consistent"] is True
+        assert summary["unknown_types"] == {"quantum_leap": 2}
+
+    def test_known_types_do_not_warn(self, tmp_path, recwarn):
+        path = _write_file(tmp_path, "known.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "inline",
+             "workers": 1},
+            {"t": "run_complete", "at": 0.1, "label": "r"},
+        ])
+        summary = summarize_telemetry(path)
+        assert summary["unknown_types"] == {}
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+
+class TestProfileSpans:
+    def test_profile_spans_digest_into_totals(self, tmp_path):
+        path = _write_file(tmp_path, "prof.jsonl", [
+            {"t": "run_start", "at": 0.0, "label": "r", "mode": "pool",
+             "workers": 1},
+            {"t": "profile", "at": 0.5, "chunk": 0,
+             "path": "prof/chunk-00000.pstats", "seconds": 0.4},
+            {"t": "profile", "at": 0.9, "chunk": 1,
+             "path": "prof/chunk-00001.pstats", "seconds": 0.3},
+            {"t": "run_complete", "at": 1.0, "label": "r"},
+        ])
+        summary = summarize_telemetry(path)
+        assert summary["profile_seconds"] == pytest.approx(0.7)
+        assert summary["profiles"] == [
+            "prof/chunk-00000.pstats", "prof/chunk-00001.pstats",
+        ]

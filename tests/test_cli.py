@@ -85,7 +85,10 @@ class TestTrace:
         assert main(["trace", path, "--stats"]) == 0
         replayed = capsys.readouterr().out
         assert "per-round tallies" in replayed
-        assert "msgs honest" in replayed and "sigs corrupt" in replayed
+        # Headers and counters use the pinned repro-metrics/1 vocabulary.
+        assert "messages_honest" in replayed
+        assert "signatures_corrupt" in replayed
+        assert "sig_verify_ops" in replayed
 
     def test_filters(self, tmp_path, capsys):
         path, _ = self._stream(tmp_path, capsys)
@@ -233,7 +236,7 @@ class TestRunFaults:
         assert code in (0, 1)
         capsys.readouterr()
         assert main(["trace", path, "--stats"]) == 0
-        assert "faults injected" in capsys.readouterr().out
+        assert "fault_hits" in capsys.readouterr().out
 
 
 class TestCompare:
@@ -368,6 +371,86 @@ class TestBench:
         assert "pre-engine baseline" in out
         assert "best vs baseline" in out
 
+    def test_metrics_and_profile_artifacts_written(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        profile_dir = tmp_path / "prof"
+        code = main(
+            ["bench", "--protocol", "one_third", "--kappas", "1",
+             "--trials", "6", "--workers", "1",
+             "--metrics", str(metrics_path), "--profile", str(profile_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics artifact" in out and "profiled leg" in out
+
+        import json
+
+        from repro.obs import validate_metrics_payload
+
+        payload = json.loads(metrics_path.read_text())
+        assert validate_metrics_payload(payload) == []
+        dumps = [
+            name for name in os.listdir(profile_dir)
+            if name.endswith(".pstats")
+        ]
+        assert dumps
+
+
+class TestReport:
+    FIXTURES = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "obs", "fixtures"
+    )
+
+    def test_no_inputs_is_a_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        err = capsys.readouterr().err
+        assert "nothing to report" in err
+        assert "--metrics" in err
+
+    def test_renders_fixture_inputs_and_checks_clean(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        html_path = tmp_path / "report.html"
+        code = main(
+            ["report",
+             "--metrics", os.path.join(self.FIXTURES, "metrics.json"),
+             "--telemetry", self.FIXTURES,
+             "--bench", os.path.join(self.FIXTURES, "BENCH_sample.json"),
+             "--check", "--out", str(out_path), "--html", str(html_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "report inputs: OK" in out
+        golden = os.path.join(self.FIXTURES, "report.md")
+        with open(golden, encoding="utf-8") as handle:
+            assert out_path.read_text() == handle.read()
+        assert html_path.read_text().startswith("<!doctype html>")
+
+    def test_stdout_rendering_without_out(self, capsys):
+        code = main(
+            ["report",
+             "--metrics", os.path.join(self.FIXTURES, "metrics.json")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# repro run report")
+        assert "## Protocol metrics" in out
+
+    def test_unreadable_input_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["report", "--metrics", str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+        assert "repro report:" in capsys.readouterr().err
+
+    def test_check_rejects_foreign_bench_schema(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": "repro-telemetry/1"}))
+        code = main(["report", "--bench", str(bad), "--check"])
+        assert code == 2
+        assert "repro-bench" in capsys.readouterr().err
+
 
 class TestLedger:
     def test_identical_logs_and_exit_zero(self, capsys):
@@ -429,8 +512,8 @@ class TestErgonomics:
     """The CLI ergonomics contract (see `main`'s docstring)."""
 
     SUBCOMMANDS = (
-        "run", "trace", "compare", "tables", "error-sweep", "bench", "check",
-        "ledger",
+        "run", "trace", "compare", "tables", "error-sweep", "bench",
+        "report", "check", "ledger",
     )
 
     def test_help_lists_every_subcommand_with_a_summary(self, capsys):
